@@ -1,0 +1,95 @@
+"""E6 — Section 6: beyond #P (SpanP reductions end-to-end).
+
+* Theorem 6.3: ``#k3SAT(F,k) = #Compu(¬q)(D_{F,k})`` — parsimonious;
+* Lemma D.1: padding makes ``#Compu(σ) = #Compu(q)``, the accounting step
+  of Prop. 6.1;
+* Theorem 6.4: ``#HamSubgraphs(G,k) = #Valu(q_ESO)(D_{G,k})`` for the fixed
+  query with NP model checking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity.cnf import CNF3, count_k3sat
+from repro.exact.brute import count_completions_brute
+from repro.graphs.generators import complete_graph, cycle_graph
+from repro.graphs.hamilton import count_hamiltonian_induced_subgraphs
+from repro.reductions.hamiltonian import count_ham_subgraphs_via_valuations
+from repro.reductions.spanp import (
+    SPANP_QUERY,
+    build_k3sat_db,
+    count_k3sat_via_completions,
+    pad_with_fresh_facts,
+)
+
+
+def _formula(num_variables: int, seed: int) -> CNF3:
+    import random
+
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_variables + 1):
+        literals = tuple(
+            rng.choice([1, -1]) * rng.randint(1, num_variables)
+            for _ in range(3)
+        )
+        clauses.append(literals)
+    return CNF3.from_literals(num_variables, clauses)
+
+
+@pytest.mark.parametrize("n,k", [(3, 2), (4, 2), (4, 3)])
+def test_k3sat_reduction(benchmark, emit, n, k):
+    formula = _formula(n, seed=n * 10 + k)
+
+    def run():
+        return count_k3sat_via_completions(formula, k)
+
+    result = benchmark(run)
+    expected = count_k3sat(formula, k)
+    emit(
+        "Thm 6.3 #k3SAT = #Compu(¬q), n=%d k=%d" % (n, k),
+        via_completions=result,
+        direct=expected,
+    )
+    assert result == expected
+
+
+def test_lemma_d1_padding(benchmark, emit):
+    formula = _formula(3, seed=9)
+    db = build_k3sat_db(formula, 2)
+    padded = pad_with_fresh_facts(db)
+
+    def run():
+        return count_completions_brute(padded, SPANP_QUERY)
+
+    via_query = benchmark(run)
+    total = count_completions_brute(db, None)
+    emit(
+        "Lemma D.1 #Compu(σ) = #Compu(q) after padding",
+        all_completions=total,
+        query_completions_after_padding=via_query,
+    )
+    assert via_query == total
+
+
+@pytest.mark.parametrize(
+    "name,graph,k",
+    [
+        ("C4, k=4", cycle_graph(4), 4),
+        ("C5, k=4", cycle_graph(5), 4),
+        ("K4, k=3", complete_graph(4), 3),
+    ],
+)
+def test_hamiltonian_reduction(benchmark, emit, name, graph, k):
+    def run():
+        return count_ham_subgraphs_via_valuations(graph, k)
+
+    result = benchmark(run)
+    expected = count_hamiltonian_induced_subgraphs(graph, k)
+    emit(
+        "Thm 6.4 #HamSubgraphs = #Valu(q_ESO), %s" % name,
+        via_valuations=result,
+        direct=expected,
+    )
+    assert result == expected

@@ -1,0 +1,78 @@
+"""E4 — Table 1 as a decision procedure: the dichotomy classifier.
+
+Regenerates every cell of Table 1 over a catalogue of queries (the six
+canonical patterns plus composites) and times classification — which must
+be instantaneous relative to any counting — plus the general Definition-3.1
+pattern search on a larger query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import Tractability, classify
+from repro.core.patterns import (
+    PATTERN_BINARY,
+    PATTERN_DOUBLE_EDGE,
+    PATTERN_PATH,
+    PATTERN_REPEAT,
+    PATTERN_SHARED,
+    PATTERN_UNARY,
+    is_pattern_of,
+)
+from repro.core.problems import ALL_VARIANTS
+from repro.core.query import Atom, BCQ
+
+CATALOGUE = {
+    "R(x)": PATTERN_UNARY,
+    "R(x,x)": PATTERN_REPEAT,
+    "R(x,y)": PATTERN_BINARY,
+    "R(x)∧S(x)": PATTERN_SHARED,
+    "path": PATTERN_PATH,
+    "double-edge": PATTERN_DOUBLE_EDGE,
+    "mixed": BCQ(
+        [Atom("R", ["x", "y"]), Atom("S", ["y"]), Atom("T", ["z", "z"])]
+    ),
+    "wide": BCQ(
+        [
+            Atom("A", ["x1", "x2", "x3"]),
+            Atom("B", ["x3", "x4"]),
+            Atom("C", ["x5"]),
+            Atom("D", ["x4", "x6", "x6"]),
+        ]
+    ),
+}
+
+
+def test_table1_regenerated(benchmark, emit):
+    """Print the full empirical Table 1 for the catalogue."""
+    reports = benchmark(
+        lambda: {name: classify(query) for name, query in CATALOGUE.items()}
+    )
+    for name, query in CATALOGUE.items():
+        report = reports[name]
+        cells = {
+            variant.paper_name: report.entry(variant).tractability.value
+            for variant in ALL_VARIANTS
+        }
+        emit("Table 1 row for %s" % name, **cells)
+        # sanity: #Comp non-uniform is never FP (Theorem 4.3)
+        assert all(
+            not report.entry(v).tractability is Tractability.FP
+            for v in ALL_VARIANTS
+            if v.mode.value == "comp" and not v.uniform
+        )
+
+
+@pytest.mark.parametrize("name", sorted(CATALOGUE))
+def test_classification_speed(benchmark, name):
+    query = CATALOGUE[name]
+    report = benchmark(classify, query)
+    assert len(report.entries) == 8
+
+
+def test_pattern_search_speed(benchmark):
+    """The general Def. 3.1 search on the largest catalogue query."""
+    query = CATALOGUE["wide"]
+    result = benchmark(is_pattern_of, PATTERN_PATH, query)
+    assert result is True

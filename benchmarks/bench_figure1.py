@@ -1,0 +1,93 @@
+"""E1 — Figure 1 (Section 2): the worked example and its scaling family.
+
+Regenerates the figure's row "#Val = 4, #Comp = 3" exactly, then times the
+two counters on a growing family of the same shape (a binary relation with
+one ground fact and two null-carrying facts per scale step), exhibiting the
+exponential cost of the definitional (brute-force) semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import Atom, BCQ
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.exact.brute import (
+    count_completions_brute,
+    count_valuations_brute,
+    valuation_completion_gap,
+)
+
+QUERY = BCQ([Atom("S", ["x", "x"])])
+
+
+def figure1_db() -> IncompleteDatabase:
+    return IncompleteDatabase(
+        [
+            Fact("S", ["a", "b"]),
+            Fact("S", [Null(1), "a"]),
+            Fact("S", ["a", Null(2)]),
+        ],
+        dom={Null(1): ["a", "b", "c"], Null(2): ["a", "b"]},
+    )
+
+
+def scaled_figure1(scale: int) -> IncompleteDatabase:
+    """``scale`` disjoint copies of the Figure-1 table (fresh constants)."""
+    facts = []
+    dom = {}
+    for i in range(scale):
+        a, b = ("a", i), ("b", i)
+        left, right = Null(("l", i)), Null(("r", i))
+        facts += [
+            Fact("S", [a, b]),
+            Fact("S", [left, a]),
+            Fact("S", [a, right]),
+        ]
+        dom[left] = [a, b, ("c", i)]
+        dom[right] = [a, b]
+    return IncompleteDatabase(facts, dom=dom)
+
+
+def test_figure1_exact_counts(benchmark, emit):
+    db = figure1_db()
+    valuations, completions = benchmark(valuation_completion_gap, db, QUERY)
+    emit(
+        "Figure 1: q = ∃x S(x,x)",
+        valuations_satisfying=valuations,
+        completions_satisfying=completions,
+        paper="4 / 3",
+    )
+    assert valuations == 4
+    assert completions == 3
+
+
+@pytest.mark.parametrize("scale", [1, 2, 3, 4])
+def test_figure1_valuation_scaling(benchmark, emit, scale):
+    db = scaled_figure1(scale)
+    result = benchmark(count_valuations_brute, db, QUERY)
+    # per copy: 6 valuations, 4 satisfying; copies independent:
+    # total = 6^n - 2^n (complement product).
+    expected = 6**scale - 2**scale
+    emit(
+        "Figure 1 scaling (valuations), %d copies" % scale,
+        count=result,
+        expected=expected,
+    )
+    assert result == expected
+
+
+@pytest.mark.parametrize("scale", [1, 2, 3])
+def test_figure1_completion_scaling(benchmark, emit, scale):
+    db = scaled_figure1(scale)
+    result = benchmark(count_completions_brute, db, QUERY)
+    # per copy 5 completions of which 3 satisfy: total = 5^n - 2^n.
+    expected = 5**scale - 2**scale
+    emit(
+        "Figure 1 scaling (completions), %d copies" % scale,
+        count=result,
+        expected=expected,
+    )
+    assert result == expected

@@ -1,0 +1,123 @@
+"""E3 — Table 1, columns 3-4: counting completions.
+
+* non-uniform: hard for *every* sjfBCQ, already for R(x) on Codd tables
+  (Prop. 4.2) — the vertex-cover reduction is executed and timed;
+* uniform: FP for unary schemas (Theorem 4.6, shape-enumeration algorithm
+  timed on a scaling family) and hard for R(x,x)/R(x,y) (Prop. 4.5, both
+  the naive-table #IS reduction and the Codd-table #PF reduction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exact.brute import count_completions_brute
+from repro.exact.comp_uniform import (
+    count_completions_single_unary,
+    count_completions_uniform_unary,
+)
+from repro.graphs.counting import count_independent_sets, count_vertex_covers
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    random_graph,
+)
+from repro.graphs.pseudoforest import count_induced_pseudoforests
+from repro.reductions.independent_set import (
+    count_independent_sets_via_completions,
+)
+from repro.reductions.pseudoforest import count_pseudoforests_via_completions
+from repro.reductions.vertex_cover import count_vertex_covers_via_completions
+from repro.workloads.generators import scaling_uniform_unary_comp_instance
+
+
+# ---------------------------------------------------------------------------
+# Non-uniform cells: #P-hard for every query (Theorems 4.3 / 4.4)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("nodes", [4, 5, 6])
+def test_comp_nonuniform_hard_for_single_unary(benchmark, emit, nodes):
+    """Prop. 4.2: counting completions of one unary Codd table counts
+    vertex covers — parsimoniously.  The instance has one null per node
+    *and* per edge, so brute force pays 2^(n + |E|) — the exponential the
+    #P-hardness predicts."""
+    graph = random_graph(nodes, 0.5, seed=nodes + 1)
+    result = benchmark(count_vertex_covers_via_completions, graph)
+    expected = count_vertex_covers(graph)
+    emit(
+        "Table 1 #CompCd(R(x)) via #VC, n=%d" % nodes,
+        recovered=result,
+        direct=expected,
+    )
+    assert result == expected
+
+
+# ---------------------------------------------------------------------------
+# Uniform cells: FP for unary schemas (Theorem 4.6)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("nulls", [6, 10, 14])
+def test_comp_uniform_unary_tractable(benchmark, emit, nulls):
+    db, query = scaling_uniform_unary_comp_instance(nulls)
+    result = benchmark(count_completions_uniform_unary, db, query)
+    emit(
+        "Table 1 #Compu tractable (Thm 4.6), nulls=%d" % nulls,
+        count=result,
+    )
+    if nulls == 6:
+        assert result == count_completions_brute(db, query)
+
+
+@pytest.mark.parametrize("nulls", [20, 60, 120])
+def test_comp_uniform_single_unary_closed_form(benchmark, emit, nulls):
+    """Warm-up B.6.1/B.6.2 closed form: far larger instances than the
+    shape-enumeration algorithm (and both stay polynomial)."""
+    from repro.db.fact import Fact
+    from repro.db.incomplete import IncompleteDatabase
+    from repro.db.terms import Null
+
+    facts = [Fact("R", [Null(i)]) for i in range(nulls)]
+    facts.append(Fact("R", ["k"]))
+    db = IncompleteDatabase.uniform(
+        facts, ["k"] + ["v%d" % i for i in range(nulls + 5)]
+    )
+    result = benchmark(count_completions_single_unary, db)
+    emit(
+        "Warm-up closed form, nulls=%d" % nulls,
+        count=("%d digits" % len(str(result))),
+    )
+    assert result > 0
+
+
+# ---------------------------------------------------------------------------
+# Uniform cells: hard for R(x,x) / R(x,y) (Prop. 4.5)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("nodes", [4, 6, 8])
+def test_comp_uniform_hard_naive(benchmark, emit, nodes):
+    """Prop. 4.5(a): #Compu(R(x,x)) counts 2^n + #IS on naive tables."""
+    graph = random_graph(nodes, 0.5, seed=nodes + 2)
+    result = benchmark(count_independent_sets_via_completions, graph)
+    expected = count_independent_sets(graph)
+    emit(
+        "Table 1 #Compu hard cell via #IS, n=%d" % nodes,
+        recovered=result,
+        direct=expected,
+    )
+    assert result == expected
+
+
+@pytest.mark.parametrize("side", [2])
+def test_comp_uniform_hard_codd(benchmark, emit, side):
+    """Prop. 4.5(b): #CompuCd(R(x,y)) counts induced pseudoforests."""
+    graph = complete_bipartite_graph(side, side)
+    result = benchmark(count_pseudoforests_via_completions, graph)
+    expected = count_induced_pseudoforests(graph)
+    emit(
+        "Table 1 #CompuCd hard cell via #PF, K_{%d,%d}" % (side, side),
+        recovered=result,
+        direct=expected,
+    )
+    assert result == expected

@@ -1,0 +1,197 @@
+"""E2 — Table 1, columns 1-2: counting valuations.
+
+For each of the four cells the harness regenerates both sides of the
+dichotomy:
+
+* tractable side — the polynomial algorithm is timed on a scaling family
+  and checked against brute force on the smallest size;
+* hard side — the hardness reduction is executed end-to-end (counts match
+  the graph oracle), and the brute-force oracle is timed on growing graphs
+  to exhibit the exponential cost the #P-hardness predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import Atom, BCQ
+from repro.exact.brute import count_valuations_brute
+from repro.exact.val_codd import count_valuations_codd
+from repro.exact.val_nonuniform import count_valuations_single_occurrence
+from repro.exact.val_uniform import count_valuations_uniform
+from repro.graphs.counting import count_colorings, count_independent_sets
+from repro.graphs.generators import cycle_graph, random_graph
+from repro.graphs.graph import Multigraph
+from repro.graphs.avoidance import count_avoiding_assignments
+from repro.reductions.avoidance import (
+    count_avoiding_assignments_via_valuations,
+)
+from repro.reductions.bis import count_bis_via_valuations
+from repro.reductions.coloring import (
+    build_three_coloring_db,
+    count_colorings_via_valuations,
+)
+from repro.reductions.independent_set import (
+    PATH_QUERY,
+    count_independent_sets_via_valuations,
+)
+from repro.workloads.generators import (
+    scaling_codd_instance,
+    scaling_single_occurrence_instance,
+    scaling_uniform_val_instance,
+)
+from tests.conftest import small_bipartite_graphs  # reuse strategy helpers
+
+
+# ---------------------------------------------------------------------------
+# Cell (naive, non-uniform): hard iff R(x,x) or R(x)∧S(x) (Theorem 3.6)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", [20, 60, 120])
+def test_val_nonuniform_tractable(benchmark, emit, size):
+    db, query = scaling_single_occurrence_instance(size)
+    result = benchmark(count_valuations_single_occurrence, db, query)
+    emit(
+        "Table 1 #Val tractable (Thm 3.6), size %d" % size,
+        count=("%d digits" % len(str(result))),
+    )
+    if size == 20:
+        small_db, small_query = scaling_single_occurrence_instance(4)
+        assert count_valuations_single_occurrence(
+            small_db, small_query
+        ) == count_valuations_brute(small_db, small_query)
+
+
+@pytest.mark.parametrize("nodes", [5, 7, 9])
+def test_val_nonuniform_hard_pattern(benchmark, emit, nodes):
+    """#Val(R(x,x)) is #P-hard (Prop. 3.4): brute force over the coloring
+    reduction database grows as 3^n."""
+    graph = random_graph(nodes, 0.5, seed=nodes)
+    db = build_three_coloring_db(graph)
+    query = BCQ([Atom("R", ["x", "x"])])
+    result = benchmark(count_valuations_brute, db, query, budget=None)
+    expected = count_colorings(graph, 3)
+    emit(
+        "Table 1 #Val hard cell R(x,x) via #3COL, n=%d" % nodes,
+        recovered_3col=3 ** len(db.nulls) - result,
+        direct_3col=expected,
+    )
+    assert count_colorings_via_valuations(graph) == expected
+
+
+# ---------------------------------------------------------------------------
+# Cell (Codd, non-uniform): hard iff R(x)∧S(x) (Theorem 3.7)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", [10, 30, 60])
+def test_val_codd_tractable(benchmark, emit, size):
+    db, query = scaling_codd_instance(size)
+    result = benchmark(count_valuations_codd, db, query)
+    emit(
+        "Table 1 #ValCd tractable (Thm 3.7), size %d" % size,
+        count=("%d digits" % len(str(result))),
+    )
+    if size == 10:
+        small_db, small_query = scaling_codd_instance(3)
+        assert count_valuations_codd(
+            small_db, small_query
+        ) == count_valuations_brute(small_db, small_query)
+
+
+@pytest.mark.parametrize("side", [2, 3])
+def test_val_codd_hard_pattern(benchmark, emit, side):
+    """#ValCd(R(x)∧S(x)) is #P-hard (Prop. 3.5) via #Avoidance."""
+    graph = _bipartite_with_degrees(side)
+    result = benchmark(count_avoiding_assignments_via_valuations, graph)
+    expected = count_avoiding_assignments(Multigraph.from_graph(graph))
+    emit(
+        "Table 1 #ValCd hard cell via #Avoidance, side %d" % side,
+        recovered=result,
+        direct=expected,
+    )
+    assert result == expected
+
+
+def _bipartite_with_degrees(side: int):
+    from repro.graphs.generators import complete_bipartite_graph
+
+    return complete_bipartite_graph(side, side)
+
+
+# ---------------------------------------------------------------------------
+# Cell (naive, uniform): hard iff R(x,x) / path / double edge (Theorem 3.9)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", [4, 8, 12])
+def test_val_uniform_tractable(benchmark, emit, size):
+    db, query = scaling_uniform_val_instance(size)
+    result = benchmark(count_valuations_uniform, db, query)
+    emit(
+        "Table 1 #Valu tractable (Thm 3.9), size %d" % size,
+        count=result,
+    )
+    if size == 4:
+        assert result == count_valuations_brute(db, query)
+
+
+@pytest.mark.parametrize("nodes", [6, 9, 12])
+def test_val_uniform_hard_pattern(benchmark, emit, nodes):
+    """#Valu(R(x)∧S(x,y)∧T(y)) is #P-hard (Prop. 3.8) via #IS."""
+    graph = random_graph(nodes, 0.4, seed=nodes)
+    result = benchmark(
+        count_independent_sets_via_valuations, graph, PATH_QUERY
+    )
+    expected = count_independent_sets(graph)
+    emit(
+        "Table 1 #Valu hard cell via #IS, n=%d" % nodes,
+        recovered=result,
+        direct=expected,
+    )
+    assert result == expected
+
+
+# ---------------------------------------------------------------------------
+# Cell (Codd, uniform): path pattern hard (Prop. 3.11); rest open/FP
+# ---------------------------------------------------------------------------
+
+
+def test_val_uniform_codd_hard_pattern(benchmark, emit):
+    """#ValuCd(path) is #P-hard (Prop. 3.11): the interpolation reduction,
+    timed end-to-end ((n+1)^2 oracle calls + exact linear solve)."""
+    graph = _bipartite_with_degrees(2)
+    result = benchmark(count_bis_via_valuations, graph)
+    expected = count_independent_sets(graph)
+    emit(
+        "Table 1 #ValuCd hard cell via #BIS (Prop 3.11)",
+        recovered=result,
+        direct=expected,
+    )
+    assert result == expected
+
+
+@pytest.mark.parametrize("size", [4, 8])
+def test_val_uniform_codd_tractable(benchmark, emit, size):
+    """Pattern-free queries stay FP on uniform Codd tables (the classifier's
+    FP region of the open cell): reuse the Theorem 3.9 algorithm on a Codd
+    instance."""
+    db, query = scaling_uniform_val_instance(size)
+    # make it Codd by keeping only first occurrences of shared nulls
+    seen = set()
+    facts = []
+    for fact in sorted(db.facts):
+        if fact.nulls() & seen:
+            continue
+        seen |= fact.nulls()
+        facts.append(fact)
+    codd_db = db.with_facts(facts)
+    assert codd_db.is_codd
+    result = benchmark(count_valuations_uniform, codd_db, query)
+    emit(
+        "Table 1 #ValuCd FP region, size %d" % size,
+        count=result,
+    )
+    if size == 4:
+        assert result == count_valuations_brute(codd_db, query)

@@ -1,0 +1,59 @@
+"""Best answers vs. counting support (Section 7 + future work).
+
+Libkin's *best answers* order candidate tuples by inclusion of their
+supporting valuation sets; the paper argues counting refines this: a best
+answer need not have the largest support, and the support number says how
+close each answer is to certain.  This example builds a small project
+staffing database with unknowns and compares the two rankings.
+
+Run:  python examples/best_answers_demo.py
+"""
+
+from repro.core.query import Atom, BCQ, Const
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.eval.answers import (
+    ConjunctiveQuery,
+    answer_reports,
+    answers_by_support,
+    best_answers,
+)
+
+# Assignment(person, project); two unknown assignments share one null
+# (whoever fills in team X does both tasks), one is independent.
+shared, solo = Null("teamX"), Null("solo")
+db = IncompleteDatabase(
+    facts=[
+        Fact("Assign", ["ada", "apollo"]),
+        Fact("Assign", [shared, "apollo"]),
+        Fact("Assign", [shared, "borealis"]),
+        Fact("Assign", [solo, "borealis"]),
+    ],
+    dom={
+        shared: ["grace", "alan"],
+        solo: ["ada", "grace", "edsger"],
+    },
+)
+
+# q(who): who is assigned to borealis?
+query = ConjunctiveQuery.make(
+    BCQ([Atom("Assign", ["who", Const("borealis")])]), ["who"]
+)
+
+reports = answer_reports(query, db)
+print("candidate answers for 'assigned to borealis':")
+for answer, report in sorted(reports.items()):
+    print(
+        "  %-8s supported by %d/6 valuations, %d completions"
+        % (answer[0], report.valuation_support, report.completion_support)
+    )
+
+print("\nbest answers (Libkin's order):", [a[0] for a in best_answers(query, db)])
+print("ranked by valuation support  :")
+for answer, fraction in answers_by_support(query, db):
+    print("  %-8s %s" % (answer[0], fraction))
+
+# The counting view distinguishes grace (supported whenever either null
+# picks her) from alan (only via the shared null) — information the
+# inclusion order alone cannot quantify.

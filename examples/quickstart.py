@@ -1,0 +1,43 @@
+"""Quickstart: the paper's Figure 1 in twenty lines.
+
+Builds the incomplete database of Example 2.2, counts the valuations and
+completions satisfying ``q = ∃x S(x, x)``, and shows the dichotomy verdicts
+for the query.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Atom, BCQ, Fact, IncompleteDatabase, Null, classify
+from repro.exact import count_completions, count_valuations
+from repro.db.valuation import count_total_valuations, iter_completions
+
+# --- the incomplete database of Figure 1 -----------------------------------
+# T = { S(a,b), S(⊥1,a), S(a,⊥2) }, dom(⊥1) = {a,b,c}, dom(⊥2) = {a,b}.
+bottom1, bottom2 = Null(1), Null(2)
+db = IncompleteDatabase(
+    facts=[
+        Fact("S", ["a", "b"]),
+        Fact("S", [bottom1, "a"]),
+        Fact("S", ["a", bottom2]),
+    ],
+    dom={bottom1: ["a", "b", "c"], bottom2: ["a", "b"]},
+)
+
+# --- the Boolean query q = ∃x S(x,x) ----------------------------------------
+query = BCQ([Atom("S", ["x", "x"])])
+
+print("database:", db)
+print("total valuations:", count_total_valuations(db))
+print("distinct completions:", sum(1 for _ in iter_completions(db)))
+print()
+
+# --- the two counting problems of the paper ---------------------------------
+valuations = count_valuations(db, query)
+completions = count_completions(db, query)
+print("#Val(q)(D)  =", valuations, " (paper: 4)")
+print("#Comp(q)(D) =", completions, "(paper: 3)")
+assert (valuations, completions) == (4, 3)
+print()
+
+# --- where does q sit in Table 1? -------------------------------------------
+print(classify(query).to_table())

@@ -1,0 +1,73 @@
+"""Libkin's 0-1 law for query support (Section 7 of the paper).
+
+For a Boolean query ``q`` and incomplete database ``D``, let
+``μ_k(q, D)`` be the fraction of valuations over the uniform domain
+``{1..k}`` satisfying ``q``.  Libkin [37] showed μ_k tends to 0 or 1 as
+``k -> ∞`` for generic queries; the paper's ``#Valu`` is exactly the
+numerator.  This example computes μ_k exactly for growing k on three
+queries over the same naive table and watches the convergence — including
+a query converging to 0 and one converging to 1.
+
+Run:  python examples/zero_one_law.py
+"""
+
+from fractions import Fraction
+
+from repro.core.query import Atom, BCQ
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.db.valuation import count_total_valuations
+from repro.exact.brute import count_valuations_brute
+from repro.exact.dispatch import count_valuations
+
+TABLE = [
+    Fact("R", [Null(1), Null(2)]),
+    Fact("R", [Null(2), Null(3)]),
+    Fact("R", ["a", Null(1)]),
+]
+
+QUERIES = {
+    # Some value appears twice along the chain: becomes *rare* as the
+    # domain grows (collisions die out) -> μ_k -> 0.
+    "∃x R(x,x)": BCQ([Atom("R", ["x", "x"])]),
+    # A join that only needs *some* pair of facts to link up; the table
+    # hard-wires R(⊥1,⊥2), R(⊥2,⊥3): always linked -> μ_k = 1.
+    "∃x,y,z R(x,y) ∧ R(y,z) [self-join]": BCQ(
+        [Atom("R", ["x", "y"]), Atom("R", ["y", "z"])]
+    ),
+    # 'a' appears in the first column: needs ⊥1 or ⊥2 = a -> μ_k -> 0,
+    # but more slowly (union of two collision events).
+    "∃y R(a, y) via null": BCQ([Atom("R", ["x", "x"]), Atom("R", ["x", "y"])]),
+}
+
+print("μ_k(q, D): fraction of valuations over {1..k} satisfying q\n")
+header = "%-38s" + "%10s" * 6
+ks = [1, 2, 3, 5, 8, 12]
+print(header % ("query", *["k=%d" % k for k in ks]))
+
+for name, query in QUERIES.items():
+    row = []
+    for k in ks:
+        db = IncompleteDatabase.uniform(TABLE, range(1, k + 1))
+        satisfying = count_valuations_brute(db, query)
+        mu = Fraction(satisfying, count_total_valuations(db))
+        row.append("%.4f" % float(mu))
+    print(header % (name, *row))
+
+print(
+    "\nEach row drifts to 0 or 1 — Libkin's 0-1 law; #Valu(q) is the "
+    "quantity whose complexity the paper pins down (Theorem 3.9)."
+)
+
+# A tractable query computed by the Theorem 3.9 algorithm instead of
+# enumeration, at a domain size enumeration could not handle.
+query = BCQ([Atom("R", ["x", "z"]), Atom("S", ["x"])])
+facts = TABLE + [Fact("S", [Null(1)]), Fact("S", [Null(4)])]
+db = IncompleteDatabase.uniform(facts, range(1, 60))
+count = count_valuations(db, query, method="poly")
+total = count_total_valuations(db)
+print(
+    "\npolynomial case at k=59: #Valu = %d of %d valuations (μ = %.4f)"
+    % (count, total, count / total)
+)

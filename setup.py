@@ -1,0 +1,6 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package,
+so PEP 660 editable installs cannot build; `pip install -e . --no-use-pep517`
+(or `python setup.py develop`) uses this file instead."""
+from setuptools import setup
+
+setup()

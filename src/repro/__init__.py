@@ -1,0 +1,35 @@
+"""repro: a reproduction of "Counting Problems over Incomplete Databases".
+
+Arenas, Barcelo, Monet — PODS 2020 (arXiv:1912.11064).
+
+Public API highlights::
+
+    from repro import (
+        Atom, BCQ, Fact, IncompleteDatabase, Null,
+        classify, count_valuations, count_completions,
+    )
+"""
+
+from repro.core.query import Atom, BCQ, Const, Negation, UCQ, Var
+from repro.core.classify import classify
+from repro.db import Database, Fact, IncompleteDatabase, Null
+from repro.exact import count_completions, count_valuations
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "BCQ",
+    "Const",
+    "Negation",
+    "UCQ",
+    "Var",
+    "classify",
+    "Database",
+    "Fact",
+    "IncompleteDatabase",
+    "Null",
+    "count_completions",
+    "count_valuations",
+    "__version__",
+]

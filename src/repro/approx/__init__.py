@@ -1,0 +1,32 @@
+"""Randomized approximation of ``#Val`` (Section 5).
+
+Corollary 5.3: ``#Val(q)`` admits an FPRAS for every union of BCQs.  The
+paper derives this from SpanL membership (Prop. 5.2 + Theorem 5.1 [Arenas,
+Croquevielle, Jayaram, Riveros 2019]); we realize the same guarantee with
+the classic Karp-Luby union-of-events estimator, whose events are the
+consistent embeddings of query atoms into facts — see
+:mod:`repro.approx.events`.
+
+The naive Monte-Carlo estimator is included as the baseline whose failure
+mode (vanishing acceptance probability) motivates the FPRAS, and as the
+contrast class for ``#Comp``, which by Theorem 5.5 / Prop. 5.6 has *no*
+FPRAS at all unless NP = RP.
+"""
+
+from repro.approx.events import EmbeddingEvent, enumerate_events
+from repro.approx.fpras import KarpLubyEstimator, fpras_count_valuations
+from repro.approx.montecarlo import naive_monte_carlo_valuations
+from repro.approx.sampler import (
+    NoSatisfyingValuation,
+    SatisfyingValuationSampler,
+)
+
+__all__ = [
+    "EmbeddingEvent",
+    "enumerate_events",
+    "KarpLubyEstimator",
+    "fpras_count_valuations",
+    "naive_monte_carlo_valuations",
+    "NoSatisfyingValuation",
+    "SatisfyingValuationSampler",
+]

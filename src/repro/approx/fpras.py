@@ -1,0 +1,130 @@
+"""Karp-Luby FPRAS for ``#Val(q)`` over unions of BCQs (Corollary 5.3).
+
+The coverage (union-of-sets) estimator of Karp, Luby and Madras: with
+events ``E_1..E_m`` of known weights ``w_i = |E_i|`` and ``W = sum w_i``,
+repeat: draw event ``i`` with probability ``w_i / W``, draw ``ν`` uniform in
+``E_i``, record ``X = 1 / #{j : ν in E_j}``.  Then ``E[W X] = |E_1 ∪ ... ∪
+E_m| = #Val(q)(D)``.
+
+Since ``X ∈ [1/m, 1]``, a multiplicative Chernoff bound gives relative
+error ``ε`` with confidence ``1 - δ`` after
+``t = ceil(3 m ln(2/δ) / ε²)`` samples — polynomial in the input and
+``1/ε`` because ``m <= |D|^{|atoms|}`` for a fixed query.  That matches the
+FPRAS definition of Section 5 (whose fixed confidence is 3/4; we expose
+``δ``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.query import BCQ, UCQ
+from repro.db.incomplete import IncompleteDatabase
+from repro.approx.events import EmbeddingEvent, enumerate_events
+
+
+@dataclass(frozen=True)
+class EstimateReport:
+    """An estimate together with the parameters that produced it."""
+
+    estimate: float
+    samples: int
+    num_events: int
+    total_event_weight: int
+
+
+class KarpLubyEstimator:
+    """Reusable estimator for ``#Val(q)(D)``, ``q`` a BCQ or UCQ."""
+
+    def __init__(
+        self,
+        db: IncompleteDatabase,
+        query: BCQ | UCQ,
+        seed: int | None = None,
+    ) -> None:
+        self._db = db
+        self._query = query
+        self._events: list[EmbeddingEvent] = enumerate_events(db, query)
+        self._weights = [event.weight for event in self._events]
+        self._total_weight = sum(self._weights)
+        self._rng = random.Random(seed)
+        # cumulative weights for O(log m) event sampling
+        self._cumulative: list[int] = []
+        acc = 0
+        for weight in self._weights:
+            acc += weight
+            self._cumulative.append(acc)
+
+    @property
+    def num_events(self) -> int:
+        return len(self._events)
+
+    @property
+    def total_event_weight(self) -> int:
+        """``W = sum |E_i|`` — an upper bound on ``#Val(q)(D)``."""
+        return self._total_weight
+
+    def _draw(self) -> float:
+        """One coverage sample ``X = 1/#{j : ν ∈ E_j}``."""
+        target = self._rng.randrange(self._total_weight)
+        low, high = 0, len(self._cumulative) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cumulative[mid] > target:
+                high = mid
+            else:
+                low = mid + 1
+        valuation = self._events[low].sample(self._rng)
+        containing = sum(
+            1 for event in self._events if event.contains(valuation)
+        )
+        return 1.0 / containing
+
+    def sample_count(self, epsilon: float, delta: float = 0.25) -> int:
+        """The Chernoff-derived number of coverage samples."""
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ValueError("need 0 < epsilon < 1 and 0 < delta < 1")
+        m = max(1, len(self._events))
+        return math.ceil(3.0 * m * math.log(2.0 / delta) / epsilon**2)
+
+    def estimate(
+        self, epsilon: float, delta: float = 0.25
+    ) -> EstimateReport:
+        """(ε, δ)-approximation of ``#Val(q)(D)``.
+
+        ``delta`` defaults to 1/4, matching the paper's FPRAS definition
+        (success probability >= 3/4).
+        """
+        return self.estimate_with_samples(self.sample_count(epsilon, delta))
+
+    def estimate_with_samples(self, samples: int) -> EstimateReport:
+        """Coverage estimate from an explicit number of samples."""
+        if samples <= 0:
+            raise ValueError("need at least one sample")
+        if self._total_weight == 0:
+            # No event: no valuation can satisfy the query.
+            return EstimateReport(0.0, samples, 0, 0)
+        acc = 0.0
+        for _ in range(samples):
+            acc += self._draw()
+        mean = acc / samples
+        return EstimateReport(
+            estimate=mean * self._total_weight,
+            samples=samples,
+            num_events=len(self._events),
+            total_event_weight=self._total_weight,
+        )
+
+
+def fpras_count_valuations(
+    db: IncompleteDatabase,
+    query: BCQ | UCQ,
+    epsilon: float = 0.1,
+    delta: float = 0.25,
+    seed: int | None = None,
+) -> float:
+    """One-shot FPRAS estimate of ``#Val(q)(D)`` (Corollary 5.3)."""
+    estimator = KarpLubyEstimator(db, query, seed=seed)
+    return estimator.estimate(epsilon, delta).estimate

@@ -1,0 +1,53 @@
+"""Naive Monte-Carlo estimation of ``#Val`` (the non-FPRAS baseline).
+
+Sampling valuations uniformly and scaling the acceptance fraction by the
+total valuation count is unbiased but is *not* an FPRAS: when
+``#Val(q)(D)`` is an exponentially small fraction of the valuation space,
+polynomially many samples see no accepting valuation at all.  The benchmark
+suite contrasts this estimator with the Karp-Luby FPRAS on exactly such
+instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.query import BooleanQuery
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null, Term
+from repro.db.valuation import apply_valuation, count_total_valuations
+from repro.eval.evaluate import evaluate
+
+
+def sample_valuation(
+    db: IncompleteDatabase, rng: random.Random
+) -> dict[Null, Term]:
+    """One uniform valuation of ``db``."""
+    valuation: dict[Null, Term] = {}
+    for null in db.nulls:
+        domain = sorted(db.domain_of(null), key=repr)
+        if not domain:
+            raise ValueError("null %r has an empty domain" % (null,))
+        valuation[null] = rng.choice(domain)
+    return valuation
+
+
+def naive_monte_carlo_valuations(
+    db: IncompleteDatabase,
+    query: BooleanQuery,
+    samples: int,
+    seed: int | None = None,
+) -> float:
+    """Unbiased (but non-FPRAS) estimate of ``#Val(q)(D)``."""
+    if samples <= 0:
+        raise ValueError("need at least one sample")
+    rng = random.Random(seed)
+    total = count_total_valuations(db)
+    if total == 0:
+        return 0.0
+    hits = 0
+    for _ in range(samples):
+        valuation = sample_valuation(db, rng)
+        if evaluate(query, apply_valuation(db, valuation)):
+            hits += 1
+    return total * hits / samples

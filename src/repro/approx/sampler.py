@@ -1,0 +1,97 @@
+"""Uniform generation of satisfying valuations.
+
+The paper derives its FPRAS (Theorem 5.1) from Arenas, Croquevielle,
+Jayaram and Riveros [9], whose subject is *enumeration, counting and
+uniform generation* for SpanL.  Counting and uniform generation are two
+faces of the same coin, and the Karp-Luby event structure gives the
+classic rejection sampler:
+
+1. draw an event ``E_i`` with probability ``w_i / W``;
+2. draw ``ν`` uniform in ``E_i``;
+3. accept with probability ``1 / #{j : ν ∈ E_j}``.
+
+Accepted valuations are exactly uniform over ``{ν : ν(D) |= q}``, and the
+expected number of rounds per sample is ``W / #Val(q)(D) <= m`` — so for a
+fixed UCQ the sampler runs in expected polynomial time.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.query import BCQ, UCQ
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null, Term
+from repro.approx.events import EmbeddingEvent, enumerate_events
+
+
+class NoSatisfyingValuation(RuntimeError):
+    """The query is unsatisfiable on the instance (no event exists)."""
+
+
+class SatisfyingValuationSampler:
+    """Uniform sampler over the valuations ``ν`` with ``ν(D) |= q``."""
+
+    def __init__(
+        self,
+        db: IncompleteDatabase,
+        query: BCQ | UCQ,
+        seed: int | None = None,
+    ) -> None:
+        self._db = db
+        self._events: list[EmbeddingEvent] = enumerate_events(db, query)
+        self._weights = [event.weight for event in self._events]
+        self._total = sum(self._weights)
+        self._rng = random.Random(seed)
+        self._cumulative: list[int] = []
+        acc = 0
+        for weight in self._weights:
+            acc += weight
+            self._cumulative.append(acc)
+
+    @property
+    def num_events(self) -> int:
+        return len(self._events)
+
+    def _draw_event_index(self) -> int:
+        target = self._rng.randrange(self._total)
+        low, high = 0, len(self._cumulative) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cumulative[mid] > target:
+                high = mid
+            else:
+                low = mid + 1
+        return low
+
+    def sample(self, max_rounds: int | None = None) -> dict[Null, Term]:
+        """One uniform satisfying valuation (rejection sampling).
+
+        Raises :class:`NoSatisfyingValuation` when no valuation satisfies
+        the query, and ``RuntimeError`` if ``max_rounds`` rejections occur
+        (``None`` = unbounded; the expected round count is at most the
+        number of events).
+        """
+        if self._total == 0:
+            raise NoSatisfyingValuation(
+                "query has no embedding event on this database"
+            )
+        rounds = 0
+        while max_rounds is None or rounds < max_rounds:
+            rounds += 1
+            event = self._events[self._draw_event_index()]
+            valuation = event.sample(self._rng)
+            containing = sum(
+                1 for other in self._events if other.contains(valuation)
+            )
+            if self._rng.random() < 1.0 / containing:
+                return valuation
+        raise RuntimeError(
+            "rejection sampling did not accept within %d rounds" % max_rounds
+        )
+
+    def sample_many(
+        self, count: int, max_rounds_each: int | None = None
+    ) -> list[dict[Null, Term]]:
+        """``count`` independent uniform satisfying valuations."""
+        return [self.sample(max_rounds_each) for _ in range(count)]

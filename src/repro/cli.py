@@ -1,0 +1,154 @@
+"""Command-line interface: classify queries and count over database files.
+
+Examples::
+
+    repro-count classify "R(x,x)"
+    repro-count count --mode val --query "R(x), S(x)" --db instance.idb
+    repro-count count --mode comp --db instance.idb          # all completions
+    repro-count approx --query "R(x,y)" --db instance.idb --epsilon 0.05
+    repro-count show --db instance.idb
+
+Database files use the :mod:`repro.io.databases` text format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.classify import classify
+from repro.core.query import BCQ
+from repro.db.valuation import count_total_valuations
+from repro.exact.dispatch import count_completions, count_valuations
+from repro.io.databases import parse_database
+from repro.io.queries import parse_query
+
+
+def _load_db(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_database(handle.read())
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    if not isinstance(query, BCQ):
+        print("classification applies to (self-join-free) BCQs", file=sys.stderr)
+        return 2
+    print(classify(query).to_table())
+    return 0
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    db = _load_db(args.db)
+    query = parse_query(args.query) if args.query else None
+    if args.mode == "val":
+        if query is None:
+            print(count_total_valuations(db))
+            return 0
+        print(count_valuations(db, query, method=args.method, budget=args.budget))
+        return 0
+    print(count_completions(db, query, method=args.method, budget=args.budget))
+    return 0
+
+
+def _cmd_approx(args: argparse.Namespace) -> int:
+    from repro.approx.fpras import KarpLubyEstimator
+
+    db = _load_db(args.db)
+    query = parse_query(args.query)
+    estimator = KarpLubyEstimator(db, query, seed=args.seed)
+    report = estimator.estimate(args.epsilon, args.delta)
+    print(
+        "%.6g  (events=%d, samples=%d, weight-bound=%d)"
+        % (
+            report.estimate,
+            report.num_events,
+            report.samples,
+            report.total_event_weight,
+        )
+    )
+    return 0
+
+
+def _cmd_cite(args: argparse.Namespace) -> int:
+    from repro.paperindex import all_results, find_results, format_result
+
+    results = find_results(args.result) if args.result else all_results()
+    if not results:
+        print("no indexed result matches %r" % args.result, file=sys.stderr)
+        return 1
+    print("\n\n".join(format_result(result) for result in results))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    db = _load_db(args.db)
+    print(repr(db))
+    print("relations: %s" % ", ".join(sorted(db.relations)))
+    print("nulls: %s" % ", ".join(repr(n) for n in db.nulls))
+    print("total valuations: %d" % count_total_valuations(db))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-count",
+        description="Counting problems over incomplete databases "
+        "(Arenas, Barcelo, Monet; PODS 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_classify = sub.add_parser(
+        "classify", help="dichotomy verdicts (Table 1) for an sjfBCQ"
+    )
+    p_classify.add_argument("query", help="e.g. \"R(x,y), S(y)\"")
+    p_classify.set_defaults(func=_cmd_classify)
+
+    p_count = sub.add_parser("count", help="exact #Val / #Comp")
+    p_count.add_argument("--mode", choices=("val", "comp"), required=True)
+    p_count.add_argument("--db", required=True, help="database file")
+    p_count.add_argument("--query", help="query text (optional for comp)")
+    p_count.add_argument(
+        "--method",
+        default="auto",
+        help="auto | poly | brute | algorithm name",
+    )
+    p_count.add_argument(
+        "--budget",
+        type=int,
+        default=2_000_000,
+        help="max valuations for brute force",
+    )
+    p_count.set_defaults(func=_cmd_count)
+
+    p_approx = sub.add_parser("approx", help="FPRAS estimate of #Val")
+    p_approx.add_argument("--db", required=True)
+    p_approx.add_argument("--query", required=True)
+    p_approx.add_argument("--epsilon", type=float, default=0.1)
+    p_approx.add_argument("--delta", type=float, default=0.25)
+    p_approx.add_argument("--seed", type=int, default=None)
+    p_approx.set_defaults(func=_cmd_approx)
+
+    p_cite = sub.add_parser(
+        "cite", help="map a paper result to the code implementing it"
+    )
+    p_cite.add_argument(
+        "result", nargs="?", default="",
+        help="e.g. 'Theorem 3.9' or 'FPRAS' (empty: list everything)",
+    )
+    p_cite.set_defaults(func=_cmd_cite)
+
+    p_show = sub.add_parser("show", help="summarize a database file")
+    p_show.add_argument("--db", required=True)
+    p_show.set_defaults(func=_cmd_show)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

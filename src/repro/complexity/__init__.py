@@ -1,0 +1,28 @@
+"""Complexity-theory substrate for Section 6 of the paper.
+
+* :mod:`repro.complexity.cnf` — 3-CNF formulas and the SpanP-complete
+  source problem ``#k3SAT`` (count assignments of the first ``k`` variables
+  extendable to satisfying assignments; Def. D.2).
+* :mod:`repro.complexity.classes` — the counting-class taxonomy the paper
+  situates its problems in (FP ⊆ SpanL ⊆ #P ⊆ SpanP, GapP, SPP) with the
+  known inclusions/collapse conditions as queryable data.
+"""
+
+from repro.complexity.cnf import CNF3, Clause, count_k3sat, count_sat
+from repro.complexity.classes import (
+    CLASSES,
+    ComplexityClass,
+    inclusion_chain,
+    is_known_subclass,
+)
+
+__all__ = [
+    "CNF3",
+    "Clause",
+    "count_k3sat",
+    "count_sat",
+    "CLASSES",
+    "ComplexityClass",
+    "inclusion_chain",
+    "is_known_subclass",
+]

@@ -1,0 +1,107 @@
+"""The counting-complexity landscape of the paper, as queryable data.
+
+Sections 5-6 situate the problems among FP, SpanL, #P, SpanP, GapP and
+SPP.  This module encodes the classes, the known inclusions, and the
+conditional statements ("#P = SpanP iff NP = UP", "SpanP ⊆ GapP implies
+NP ⊆ SPP", ...) used by the paper, so that the classifier and the
+documentation can cite them programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ComplexityClass:
+    """A counting (or function) complexity class with provenance notes."""
+
+    name: str
+    description: str
+    defined_in: str
+    #: classes known to contain this one (immediate edges only).
+    contained_in: tuple[str, ...] = field(default_factory=tuple)
+    #: statements conditioning equality/collapse, as human-readable text.
+    collapse_conditions: tuple[str, ...] = field(default_factory=tuple)
+
+
+CLASSES: dict[str, ComplexityClass] = {
+    cls.name: cls
+    for cls in (
+        ComplexityClass(
+            name="FP",
+            description="functions computable in deterministic polynomial "
+            "time — the tractable side of every dichotomy in Table 1",
+            defined_in="standard",
+            contained_in=("#P", "SpanL"),
+        ),
+        ComplexityClass(
+            name="SpanL",
+            description="number of distinct outputs of a logspace "
+            "NL-transducer; every SpanL problem has an FPRAS "
+            "(Theorem 5.1, citing Arenas-Croquevielle-Jayaram-Riveros)",
+            defined_in="Alvarez & Jenner 1993 [5]",
+            contained_in=("#P",),
+            collapse_conditions=("SpanL = #P implies NL = NP",),
+        ),
+        ComplexityClass(
+            name="#P",
+            description="number of accepting paths of a poly-time NTM; "
+            "counting valuations always lies here (Section 3), counting "
+            "completions does for Codd tables (Prop. B.1)",
+            defined_in="Valiant 1979 [50]",
+            contained_in=("SpanP", "GapP"),
+        ),
+        ComplexityClass(
+            name="SpanP",
+            description="number of distinct outputs of a poly-time NTM "
+            "with output; the natural home of #Comp(q) for queries with "
+            "NP model checking (Obs. 6.2, Thm. 6.4)",
+            defined_in="Köbler, Schöning & Torán 1989 [34]",
+            contained_in=(),
+            collapse_conditions=(
+                "#P = SpanP iff NP = UP",
+                "SpanP ⊆ GapP implies NP ⊆ SPP",
+            ),
+        ),
+        ComplexityClass(
+            name="GapP",
+            description="differences of two #P functions; used in the "
+            "proof of Prop. 6.1",
+            defined_in="Fenner, Fortnow & Kurtz 1994 [23]",
+            contained_in=(),
+        ),
+        ComplexityClass(
+            name="SPP",
+            description="languages with gap 1/0; NP ⊆ SPP is the "
+            "widely-disbelieved collapse that Prop. 6.1 conditions on",
+            defined_in="Fenner, Fortnow & Kurtz 1994 [23]",
+            contained_in=(),
+        ),
+    )
+}
+
+
+def is_known_subclass(lower: str, upper: str) -> bool:
+    """Transitive closure of the recorded inclusion edges."""
+    if lower not in CLASSES or upper not in CLASSES:
+        raise KeyError("unknown class")
+    frontier = [lower]
+    seen = {lower}
+    while frontier:
+        current = frontier.pop()
+        if current == upper:
+            return True
+        for parent in CLASSES[current].contained_in:
+            if parent not in seen:
+                seen.add(parent)
+                frontier.append(parent)
+    return False
+
+
+def inclusion_chain() -> list[str]:
+    """The paper's headline chain ``FP ⊆ SpanL ⊆ #P ⊆ SpanP``."""
+    chain = ["FP", "SpanL", "#P", "SpanP"]
+    for lower, upper in zip(chain, chain[1:]):
+        assert is_known_subclass(lower, upper)
+    return chain

@@ -1,0 +1,115 @@
+"""3-CNF formulas and the ``#k3SAT`` counting problem (Definition D.2).
+
+``#k3SAT`` — given a 3-CNF ``F`` over ``x_1..x_n`` and ``1 <= k <= n``,
+count the assignments of ``x_1..x_k`` extendable to satisfying assignments
+of ``F`` — is SpanP-complete under parsimonious reductions (Köbler,
+Schöning, Torán; Prop. D.3), and is the source of Theorem 6.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of exactly three literals.
+
+    ``variables`` are 1-based indices; ``signs[i]`` is ``True`` for a
+    positive literal.  Repeated variables inside a clause are allowed (as
+    in the paper's reduction, which treats the clause positionally).
+    """
+
+    variables: tuple[int, int, int]
+    signs: tuple[bool, bool, bool]
+
+    def __post_init__(self) -> None:
+        if len(self.variables) != 3 or len(self.signs) != 3:
+            raise ValueError("3-CNF clauses have exactly three literals")
+        if any(v < 1 for v in self.variables):
+            raise ValueError("variables are 1-based positive indices")
+
+    def satisfied_by(self, assignment: Sequence[bool]) -> bool:
+        """``assignment[i-1]`` is the value of variable ``i``."""
+        return any(
+            assignment[variable - 1] == sign
+            for variable, sign in zip(self.variables, self.signs)
+        )
+
+    def sign_tuple(self) -> tuple[int, int, int]:
+        """The ``(a, b, c) ∈ {0,1}³`` naming the clause's relation in the
+        Theorem 6.3 reduction (1 = positive literal)."""
+        return tuple(int(sign) for sign in self.signs)  # type: ignore
+
+
+class CNF3:
+    """A 3-CNF formula over variables ``x_1..x_n``."""
+
+    def __init__(self, num_variables: int, clauses: Iterable[Clause]) -> None:
+        if num_variables < 1:
+            raise ValueError("formulas need at least one variable")
+        self._num_variables = num_variables
+        self._clauses = tuple(clauses)
+        for clause in self._clauses:
+            if max(clause.variables) > num_variables:
+                raise ValueError(
+                    "clause %r uses a variable beyond x_%d"
+                    % (clause, num_variables)
+                )
+
+    @property
+    def num_variables(self) -> int:
+        return self._num_variables
+
+    @property
+    def clauses(self) -> tuple[Clause, ...]:
+        return self._clauses
+
+    def satisfied_by(self, assignment: Sequence[bool]) -> bool:
+        return all(clause.satisfied_by(assignment) for clause in self._clauses)
+
+    @classmethod
+    def from_literals(
+        cls, num_variables: int, clause_literals: Iterable[Sequence[int]]
+    ) -> "CNF3":
+        """Build from DIMACS-style literal triples (negative = negated)."""
+        clauses = []
+        for literals in clause_literals:
+            if len(literals) != 3:
+                raise ValueError("each clause needs exactly three literals")
+            clauses.append(
+                Clause(
+                    variables=tuple(abs(l) for l in literals),  # type: ignore
+                    signs=tuple(l > 0 for l in literals),  # type: ignore
+                )
+            )
+        return cls(num_variables, clauses)
+
+    def __repr__(self) -> str:
+        return "CNF3(n=%d, clauses=%d)" % (
+            self._num_variables,
+            len(self._clauses),
+        )
+
+
+def count_sat(formula: CNF3) -> int:
+    """``#3SAT``: satisfying assignments, by exhaustive enumeration."""
+    return sum(
+        1
+        for bits in product((False, True), repeat=formula.num_variables)
+        if formula.satisfied_by(bits)
+    )
+
+
+def count_k3sat(formula: CNF3, k: int) -> int:
+    """``#k3SAT(F, k)`` (Definition D.2): distinct prefixes ``x_1..x_k`` of
+    satisfying assignments."""
+    if not 1 <= k <= formula.num_variables:
+        raise ValueError("k must satisfy 1 <= k <= n")
+    prefixes: set[tuple[bool, ...]] = set()
+    for bits in product((False, True), repeat=formula.num_variables):
+        if formula.satisfied_by(bits):
+            prefixes.add(tuple(bits[:k]))
+    return len(prefixes)

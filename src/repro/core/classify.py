@@ -1,0 +1,270 @@
+"""The dichotomy classifier: Table 1 plus Sections 5-6 as a decision
+procedure.
+
+Given a variable-only sjfBCQ ``q``, :func:`classify` determines, for each of
+the eight problem variants, the paper's verdict on:
+
+* exact complexity (FP / #P-complete / #P-hard / open),
+* approximability (FPRAS exists / none unless NP = RP / open),
+* membership (always-#P for valuations; SpanP and the Prop. 6.1 caveat for
+  completions over naive tables),
+
+together with the witnessing hard patterns.  Every rule cites the result it
+implements, so the classifier doubles as an executable index of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.patterns import find_table1_patterns
+from repro.core.problems import ALL_VARIANTS, Mode, ProblemVariant
+from repro.core.query import BCQ
+
+
+class Tractability(Enum):
+    """Exact-counting verdicts of Table 1."""
+
+    FP = "FP"
+    SHARP_P_COMPLETE = "#P-complete"
+    #: hard for #P, but membership in #P is *not* claimed (naive-table
+    #: completion counting; see Section 6).
+    SHARP_P_HARD = "#P-hard"
+    OPEN = "open"
+
+    @property
+    def is_tractable(self) -> bool:
+        return self is Tractability.FP
+
+    @property
+    def is_hard(self) -> bool:
+        return self in (
+            Tractability.SHARP_P_COMPLETE,
+            Tractability.SHARP_P_HARD,
+        )
+
+
+class Approximability(Enum):
+    """Approximate-counting verdicts of Section 5."""
+
+    EXACT_FP = "exact (FP)"
+    FPRAS = "FPRAS"
+    NO_FPRAS_UNLESS_NP_EQ_RP = "no FPRAS unless NP = RP"
+    OPEN = "open"
+
+
+@dataclass(frozen=True)
+class ClassificationEntry:
+    """Verdicts for one problem variant of one query."""
+
+    variant: ProblemVariant
+    tractability: Tractability
+    approximability: Approximability
+    #: display names of Table-1 patterns found in ``q`` that witness
+    #: hardness for this variant (empty when tractable/open).
+    witnesses: tuple[str, ...]
+    #: complexity-class membership notes (e.g. "in #P", "in SpanP").
+    membership: str
+    #: the result(s) of the paper this entry instantiates.
+    citations: tuple[str, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class DichotomyReport:
+    """Full classification of a query across all eight variants."""
+
+    query: BCQ
+    patterns: dict[str, bool]
+    entries: dict[ProblemVariant, ClassificationEntry]
+
+    def entry(self, variant: ProblemVariant) -> ClassificationEntry:
+        return self.entries[variant]
+
+    def to_table(self) -> str:
+        """Render an ASCII table in the layout of the paper's Table 1."""
+        lines = ["query: %r" % (self.query,)]
+        present = sorted(name for name, found in self.patterns.items() if found)
+        lines.append("patterns present: %s" % (", ".join(present) or "none"))
+        header = "%-12s %-16s %-26s %s" % (
+            "problem",
+            "exact",
+            "approximate",
+            "witnesses",
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for variant in ALL_VARIANTS:
+            entry = self.entries[variant]
+            lines.append(
+                "%-12s %-16s %-26s %s"
+                % (
+                    variant.paper_name,
+                    entry.tractability.value,
+                    entry.approximability.value,
+                    ", ".join(entry.witnesses) or "-",
+                )
+            )
+        return "\n".join(lines)
+
+
+def _require_sjf(query: BCQ) -> None:
+    if not query.is_self_join_free or not query.is_variable_only:
+        raise ValueError(
+            "the dichotomies apply to variable-only self-join-free BCQs; "
+            "got %r" % (query,)
+        )
+
+
+def _witnesses(patterns: dict[str, bool], names: tuple[str, ...]) -> tuple[str, ...]:
+    return tuple(name for name in names if patterns[name])
+
+
+def classify(query: BCQ) -> DichotomyReport:
+    """Classify ``query`` per Table 1 and Sections 5-6 of the paper."""
+    _require_sjf(query)
+    patterns = find_table1_patterns(query)
+    entries: dict[ProblemVariant, ClassificationEntry] = {}
+
+    for variant in ALL_VARIANTS:
+        if variant.mode is Mode.VALUATIONS:
+            entries[variant] = _classify_valuations(variant, patterns)
+        else:
+            entries[variant] = _classify_completions(variant, patterns)
+
+    return DichotomyReport(query=query, patterns=patterns, entries=entries)
+
+
+def _classify_valuations(
+    variant: ProblemVariant, patterns: dict[str, bool]
+) -> ClassificationEntry:
+    """Columns 1-2 of Table 1 (Theorems 3.6, 3.7, 3.9; Prop. 3.11)."""
+    membership = "in #P (guess a valuation, check q; Section 3.1)"
+    if not variant.uniform and not variant.codd:
+        # Theorem 3.6: hard iff R(x,x) or R(x)∧S(x).
+        names = ("R(x,x)", "R(x)∧S(x)")
+        witnesses = _witnesses(patterns, names)
+        hard = bool(witnesses)
+        return ClassificationEntry(
+            variant=variant,
+            tractability=(
+                Tractability.SHARP_P_COMPLETE if hard else Tractability.FP
+            ),
+            approximability=(
+                Approximability.FPRAS if hard else Approximability.EXACT_FP
+            ),
+            witnesses=witnesses,
+            membership=membership,
+            citations=("Theorem 3.6", "Corollary 5.3"),
+        )
+    if not variant.uniform and variant.codd:
+        # Theorem 3.7: hard iff R(x)∧S(x).
+        witnesses = _witnesses(patterns, ("R(x)∧S(x)",))
+        hard = bool(witnesses)
+        return ClassificationEntry(
+            variant=variant,
+            tractability=(
+                Tractability.SHARP_P_COMPLETE if hard else Tractability.FP
+            ),
+            approximability=(
+                Approximability.FPRAS if hard else Approximability.EXACT_FP
+            ),
+            witnesses=witnesses,
+            membership=membership,
+            citations=("Theorem 3.7", "Corollary 5.3"),
+        )
+    if variant.uniform and not variant.codd:
+        # Theorem 3.9: hard iff R(x,x) or R(x)∧S(x,y)∧T(y) or R(x,y)∧S(x,y).
+        names = ("R(x,x)", "R(x)∧S(x,y)∧T(y)", "R(x,y)∧S(x,y)")
+        witnesses = _witnesses(patterns, names)
+        hard = bool(witnesses)
+        return ClassificationEntry(
+            variant=variant,
+            tractability=(
+                Tractability.SHARP_P_COMPLETE if hard else Tractability.FP
+            ),
+            approximability=(
+                Approximability.FPRAS if hard else Approximability.EXACT_FP
+            ),
+            witnesses=witnesses,
+            membership=membership,
+            citations=("Theorem 3.9", "Corollary 5.3"),
+        )
+    # Uniform Codd tables: the one case the paper leaves open.  The path
+    # pattern is known hard (Prop. 3.11).  Two FP sources apply a fortiori,
+    # since uniform Codd inputs are special cases of both restrictions:
+    # queries without R(x)∧S(x) (Theorem 3.7 on Codd tables) and queries
+    # with none of the three uniform-naive patterns (Theorem 3.9).
+    # Everything in between is open.
+    witnesses = _witnesses(patterns, ("R(x)∧S(x,y)∧T(y)",))
+    if witnesses:
+        tractability = Tractability.SHARP_P_COMPLETE
+        approximability = Approximability.FPRAS
+    elif not patterns["R(x)∧S(x)"] or not any(
+        patterns[name]
+        for name in ("R(x,x)", "R(x)∧S(x,y)∧T(y)", "R(x,y)∧S(x,y)")
+    ):
+        tractability = Tractability.FP
+        approximability = Approximability.EXACT_FP
+    else:
+        tractability = Tractability.OPEN
+        approximability = Approximability.FPRAS  # Cor. 5.3 regardless
+    return ClassificationEntry(
+        variant=variant,
+        tractability=tractability,
+        approximability=approximability,
+        witnesses=witnesses,
+        membership=membership,
+        citations=("Prop. 3.11", "Theorem 3.9", "Corollary 5.3"),
+    )
+
+
+def _classify_completions(
+    variant: ProblemVariant, patterns: dict[str, bool]
+) -> ClassificationEntry:
+    """Columns 3-4 of Table 1 (Theorems 4.3, 4.4, 4.6, 4.7; Section 5.2)."""
+    if variant.codd:
+        membership = "in #P (Prop. B.1: matching-based certificates)"
+    else:
+        membership = (
+            "in SpanP (Obs. 6.2); not in #P for some q unless NP ⊆ SPP "
+            "(Prop. 6.1)"
+        )
+    if not variant.uniform:
+        # Theorems 4.3 / 4.4: hard for every sjfBCQ, already via R(x).
+        witnesses = _witnesses(patterns, ("R(x)",))
+        return ClassificationEntry(
+            variant=variant,
+            tractability=(
+                Tractability.SHARP_P_COMPLETE
+                if variant.codd
+                else Tractability.SHARP_P_HARD
+            ),
+            approximability=Approximability.NO_FPRAS_UNLESS_NP_EQ_RP,
+            witnesses=witnesses,
+            membership=membership,
+            citations=("Theorem 4.3", "Theorem 4.4", "Theorem 5.5"),
+        )
+    # Uniform: Theorems 4.6 / 4.7 — hard iff R(x,x) or R(x,y) is a pattern
+    # (equivalently: some atom of arity >= 2).
+    names = ("R(x,x)", "R(x,y)")
+    witnesses = _witnesses(patterns, names)
+    hard = bool(witnesses)
+    if not hard:
+        tractability = Tractability.FP
+        approximability = Approximability.EXACT_FP
+    elif variant.codd:
+        tractability = Tractability.SHARP_P_COMPLETE
+        # Open question of Section 5.2: FPRAS over uniform Codd tables.
+        approximability = Approximability.OPEN
+    else:
+        tractability = Tractability.SHARP_P_HARD
+        approximability = Approximability.NO_FPRAS_UNLESS_NP_EQ_RP
+    return ClassificationEntry(
+        variant=variant,
+        tractability=tractability,
+        approximability=approximability,
+        witnesses=witnesses,
+        membership=membership,
+        citations=("Theorem 4.6", "Theorem 4.7", "Theorem 5.7"),
+    )

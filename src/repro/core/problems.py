@@ -1,0 +1,98 @@
+"""The eight problem variants studied by the paper.
+
+``#Val(q)`` / ``#Comp(q)`` each come in four flavors, crossing two input
+restrictions (Section 2):
+
+* **Codd** — every null occurs at most once (vs. naive tables);
+* **uniform** — all nulls share one domain (vs. per-null domains).
+
+The paper's notation maps to ours as::
+
+    #Val(q)      = ProblemVariant(Mode.VALUATIONS,  codd=False, uniform=False)
+    #ValCd(q)    = ProblemVariant(Mode.VALUATIONS,  codd=True,  uniform=False)
+    #Valu(q)     = ProblemVariant(Mode.VALUATIONS,  codd=False, uniform=True)
+    #ValuCd(q)   = ProblemVariant(Mode.VALUATIONS,  codd=True,  uniform=True)
+    (same for #Comp with Mode.COMPLETIONS)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Mode(Enum):
+    """What is being counted."""
+
+    VALUATIONS = "val"
+    COMPLETIONS = "comp"
+
+
+@dataclass(frozen=True, order=True)
+class ProblemVariant:
+    """One of the eight counting problems (for a query fixed separately)."""
+
+    mode: Mode
+    codd: bool
+    uniform: bool
+
+    @property
+    def paper_name(self) -> str:
+        """The paper's notation, e.g. ``#ValuCd`` or ``#Comp``."""
+        base = "#Val" if self.mode is Mode.VALUATIONS else "#Comp"
+        if self.uniform:
+            base += "u"
+        if self.codd:
+            base += "Cd"
+        return base
+
+    @classmethod
+    def parse(cls, text: str) -> "ProblemVariant":
+        """Parse strings like ``"val/uniform/codd"`` or ``"#CompuCd"``.
+
+        Accepted slash form: ``{val|comp}[/uniform][/codd]`` in any order of
+        the flags; accepted paper form: ``#Val``, ``#ValCd``, ``#Valu``,
+        ``#ValuCd`` and the ``#Comp`` counterparts.
+        """
+        stripped = text.strip()
+        if stripped.startswith("#"):
+            for variant in ALL_VARIANTS:
+                if variant.paper_name == stripped:
+                    return variant
+            raise ValueError("unknown problem name %r" % (text,))
+        pieces = [p for p in stripped.lower().split("/") if p]
+        if not pieces or pieces[0] not in ("val", "comp"):
+            raise ValueError(
+                "expected 'val' or 'comp' as the first component in %r"
+                % (text,)
+            )
+        mode = Mode.VALUATIONS if pieces[0] == "val" else Mode.COMPLETIONS
+        flags = set(pieces[1:])
+        unknown = flags - {"uniform", "codd", "nonuniform", "naive"}
+        if unknown:
+            raise ValueError("unknown flags %s in %r" % (sorted(unknown), text))
+        return cls(
+            mode=mode, codd="codd" in flags, uniform="uniform" in flags
+        )
+
+    def __str__(self) -> str:
+        return self.paper_name
+
+
+#: All eight variants in Table-1 presentation order (valuations first,
+#: non-uniform before uniform, naive before Codd).
+ALL_VARIANTS: tuple[ProblemVariant, ...] = tuple(
+    ProblemVariant(mode, codd, uniform)
+    for mode in (Mode.VALUATIONS, Mode.COMPLETIONS)
+    for codd in (False, True)
+    for uniform in (False, True)
+)
+
+VAL = ProblemVariant(Mode.VALUATIONS, codd=False, uniform=False)
+VAL_CODD = ProblemVariant(Mode.VALUATIONS, codd=True, uniform=False)
+VAL_UNIFORM = ProblemVariant(Mode.VALUATIONS, codd=False, uniform=True)
+VAL_UNIFORM_CODD = ProblemVariant(Mode.VALUATIONS, codd=True, uniform=True)
+COMP = ProblemVariant(Mode.COMPLETIONS, codd=False, uniform=False)
+COMP_CODD = ProblemVariant(Mode.COMPLETIONS, codd=True, uniform=False)
+COMP_UNIFORM = ProblemVariant(Mode.COMPLETIONS, codd=False, uniform=True)
+COMP_UNIFORM_CODD = ProblemVariant(Mode.COMPLETIONS, codd=True, uniform=True)

@@ -1,0 +1,48 @@
+"""Incomplete relational databases (Section 2 of the paper).
+
+The data model follows the paper exactly:
+
+* a *complete database* is a finite set of facts over constants;
+* an *incomplete database* ``D = (T, dom)`` pairs a naive table ``T`` (facts
+  over constants and labeled nulls) with a finite domain for every null —
+  either one domain per null (non-uniform) or a single shared domain
+  (uniform);
+* a *valuation* maps every null to a constant of its domain, and the
+  *completion* ``ν(T)`` is the resulting complete database under set
+  semantics (duplicate facts collapse — the reason ``#Val`` and ``#Comp``
+  differ);
+* a *Codd table* is a naive table in which every null occurs at most once.
+"""
+
+from repro.db.terms import Null, Term, is_constant, is_null
+from repro.db.fact import Fact
+from repro.db.database import Database
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.bag_semantics import (
+    BagDatabase,
+    apply_valuation_bag,
+    count_bag_completions,
+)
+from repro.db.valuation import (
+    apply_valuation,
+    count_total_valuations,
+    iter_completions,
+    iter_valuations,
+)
+
+__all__ = [
+    "Null",
+    "Term",
+    "is_constant",
+    "is_null",
+    "Fact",
+    "Database",
+    "IncompleteDatabase",
+    "BagDatabase",
+    "apply_valuation_bag",
+    "count_bag_completions",
+    "apply_valuation",
+    "count_total_valuations",
+    "iter_completions",
+    "iter_valuations",
+]

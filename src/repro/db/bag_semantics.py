@@ -1,0 +1,99 @@
+"""Bag-semantics completions (a future-work item of Section 8).
+
+The paper works under set semantics — ``ν(D)`` collapses duplicate facts,
+which is the very reason ``#Val`` and ``#Comp`` differ.  Its final remarks
+propose studying the problems under *bag semantics*, where a completion
+keeps one (multiset) occurrence per fact of ``T``.  This module implements
+that variant so the relationship can be explored:
+
+* a :class:`BagDatabase` is a multiset of ground facts;
+* two valuations yield the same bag completion iff they agree on every
+  null *up to the table's symmetries* — in particular, for tables whose
+  facts are pairwise distinct as *patterns*, bag completions are in
+  bijection with valuations, so ``#Comp_bag(q) = #Val(q)`` there;
+* in general ``#Comp(q) <= #Comp_bag(q) <= #Val(q)`` — both inequalities
+  are strict on small examples exercised in the tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.query import BooleanQuery
+from repro.db.database import Database
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null, Term
+from repro.db.valuation import iter_valuations
+from repro.eval.evaluate import evaluate
+
+
+class BagDatabase:
+    """A complete database under bag semantics: facts with multiplicity."""
+
+    def __init__(self, facts: Iterable[Fact] = ()) -> None:
+        self._facts: Counter = Counter()
+        for fact in facts:
+            if not fact.is_ground():
+                raise ValueError("bag databases cannot contain nulls")
+            self._facts[fact] += 1
+
+    @property
+    def multiplicities(self) -> Mapping[Fact, int]:
+        return dict(self._facts)
+
+    def multiplicity(self, fact: Fact) -> int:
+        return self._facts.get(fact, 0)
+
+    def to_set_database(self) -> Database:
+        """The set-semantics projection (drop multiplicities)."""
+        return Database(self._facts.keys())
+
+    def __len__(self) -> int:
+        """Total number of fact occurrences."""
+        return sum(self._facts.values())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BagDatabase) and other._facts == self._facts
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._facts.items()))
+
+    def __repr__(self) -> str:
+        return "BagDatabase(%d occurrences of %d facts)" % (
+            len(self),
+            len(self._facts),
+        )
+
+
+def apply_valuation_bag(
+    db: IncompleteDatabase, valuation: Mapping[Null, Term]
+) -> BagDatabase:
+    """The bag completion: substitute, *keep* duplicates."""
+    return BagDatabase(fact.substitute(dict(valuation)) for fact in db.facts)
+
+
+def iter_bag_completions(db: IncompleteDatabase) -> Iterator[BagDatabase]:
+    """Distinct bag completions of ``D``."""
+    seen: set[BagDatabase] = set()
+    for valuation in iter_valuations(db):
+        completion = apply_valuation_bag(db, valuation)
+        if completion not in seen:
+            seen.add(completion)
+            yield completion
+
+
+def count_bag_completions(
+    db: IncompleteDatabase, query: BooleanQuery | None = None
+) -> int:
+    """``#Comp_bag(q)(D)``: distinct bag completions satisfying ``q``.
+
+    Query satisfaction is evaluated on the set projection — Boolean CQ
+    semantics is insensitive to multiplicities.
+    """
+    count = 0
+    for completion in iter_bag_completions(db):
+        if query is None or evaluate(query, completion.to_set_database()):
+            count += 1
+    return count

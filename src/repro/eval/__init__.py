@@ -1,0 +1,50 @@
+"""Query evaluation over complete databases, and certainty measures.
+
+``D |= q`` for BCQs is homomorphism existence (Section 2); unions, negations
+and custom queries are layered on top.  :mod:`repro.eval.certainty` provides
+the classical ``Certainty(q)`` / possibility notions the paper refines, plus
+the valuation/completion *support* ratios that motivate the counting
+problems in the introduction.
+"""
+
+from repro.eval.homomorphism import (
+    count_homomorphisms,
+    find_homomorphism,
+    satisfies_bcq,
+)
+from repro.eval.evaluate import evaluate
+from repro.eval.certainty import (
+    completion_support,
+    is_certain,
+    is_possible,
+    valuation_support,
+)
+from repro.eval.answers import (
+    ConjunctiveQuery,
+    answer_reports,
+    answers_by_support,
+    best_answers,
+)
+from repro.eval.minimal_models import (
+    has_bounded_minimal_models,
+    is_monotone_on,
+    minimal_models,
+)
+
+__all__ = [
+    "count_homomorphisms",
+    "find_homomorphism",
+    "satisfies_bcq",
+    "evaluate",
+    "completion_support",
+    "is_certain",
+    "is_possible",
+    "valuation_support",
+    "ConjunctiveQuery",
+    "answer_reports",
+    "answers_by_support",
+    "best_answers",
+    "has_bounded_minimal_models",
+    "is_monotone_on",
+    "minimal_models",
+]

@@ -1,0 +1,196 @@
+"""Non-Boolean queries: answer tuples, supports, and best answers.
+
+The paper restricts itself to Boolean queries but motivates the counting
+problems through Libkin's *best answers* [37] (Section 7, and "study
+counting problems for non-Boolean queries" in the future-work list).  This
+module implements that extension:
+
+* a conjunctive query with **free variables** is an ordinary
+  :class:`~repro.core.query.BCQ` plus a tuple of distinguished variables;
+* an *answer candidate* is a tuple of constants; its **support set** is
+  the set of valuations ν with ``ā ∈ q(ν(D))``;
+* ``ā`` is a *better answer* than ``b̄`` when its support set contains
+  b̄'s; *best answers* are the maximal elements of that preorder;
+* the **counting refinement** of the paper ranks answers by the *size* of
+  their support instead.
+
+The example highlighted in Section 7 — a best answer need not have
+maximum support, and counting distinguishes valuation- from
+completion-support while the best-answer order cannot — is exercised in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product
+from typing import Sequence
+
+from repro.core.query import BCQ, Var
+from repro.db.database import Database
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Term
+from repro.db.valuation import (
+    apply_valuation,
+    count_total_valuations,
+    iter_valuations,
+)
+from repro.eval.homomorphism import find_homomorphism
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A CQ ``q(x̄)``: a BCQ body plus distinguished free variables."""
+
+    body: BCQ
+    free: tuple[Var, ...]
+
+    def __post_init__(self) -> None:
+        body_vars = set(self.body.variables())
+        for variable in self.free:
+            if variable not in body_vars:
+                raise ValueError(
+                    "free variable %r does not occur in the body" % (variable,)
+                )
+        if len(set(self.free)) != len(self.free):
+            raise ValueError("free variables must be distinct")
+
+    @classmethod
+    def make(cls, body: BCQ, free_names: Sequence[str]) -> "ConjunctiveQuery":
+        return cls(body, tuple(Var(name) for name in free_names))
+
+
+def answers_on(query: ConjunctiveQuery, database: Database) -> set[tuple]:
+    """``q(D)`` on a complete database: all images of the free variables.
+
+    Backtracking over homomorphisms via repeated Boolean checks with the
+    free variables pinned — simple and adequate for the small instances
+    this research code targets.
+    """
+    domain = sorted(database.active_domain(), key=repr)
+    found: set[tuple] = set()
+    for values in product(domain, repeat=len(query.free)):
+        pinned = _pin(query, values)
+        if find_homomorphism(pinned, database) is not None:
+            found.add(tuple(values))
+    return found
+
+
+def _pin(query: ConjunctiveQuery, values: tuple) -> BCQ:
+    """The Boolean query q(ā): substitute constants for free variables."""
+    from repro.core.query import Atom, Const
+
+    substitution = dict(zip(query.free, values))
+    atoms = []
+    for atom in query.body.atoms:
+        terms = [
+            Const(substitution[t]) if isinstance(t, Var) and t in substitution
+            else t
+            for t in atom.terms
+        ]
+        atoms.append(Atom(atom.relation, terms))
+    return BCQ(atoms)
+
+
+@dataclass(frozen=True)
+class AnswerReport:
+    """Support data for one candidate answer tuple."""
+
+    answer: tuple
+    #: number of valuations whose completion contains the answer.
+    valuation_support: int
+    #: number of distinct completions containing the answer.
+    completion_support: int
+    #: indices (into the valuation enumeration) — kept as a frozenset for
+    #: the better-answer containment order.
+    support_set: frozenset[int]
+
+
+def candidate_answers(
+    query: ConjunctiveQuery, db: IncompleteDatabase
+) -> set[tuple]:
+    """Answers of ``q`` on *some* completion (possible answers)."""
+    found: set[tuple] = set()
+    for valuation in iter_valuations(db):
+        found |= answers_on(query, apply_valuation(db, valuation))
+    return found
+
+
+def answer_reports(
+    query: ConjunctiveQuery, db: IncompleteDatabase
+) -> dict[tuple, AnswerReport]:
+    """Support sets and counts for every possible answer of ``q`` on ``D``.
+
+    Exhaustive over valuations — the ground truth the paper's counting
+    problems generalize (each fixed ``ā`` turns into the Boolean problem
+    ``#Val(q(ā))``).
+    """
+    supports: dict[tuple, set[int]] = {}
+    completions_of: dict[tuple, set[Database]] = {}
+    for index, valuation in enumerate(iter_valuations(db)):
+        completion = apply_valuation(db, valuation)
+        for answer in answers_on(query, completion):
+            supports.setdefault(answer, set()).add(index)
+            completions_of.setdefault(answer, set()).add(completion)
+    return {
+        answer: AnswerReport(
+            answer=answer,
+            valuation_support=len(indices),
+            completion_support=len(completions_of[answer]),
+            support_set=frozenset(indices),
+        )
+        for answer, indices in supports.items()
+    }
+
+
+def is_better_answer(
+    left: AnswerReport, right: AnswerReport
+) -> bool:
+    """Libkin's order: ``left`` is at least as good as ``right`` when every
+    valuation supporting ``right`` also supports ``left``."""
+    return right.support_set <= left.support_set
+
+
+def best_answers(
+    query: ConjunctiveQuery, db: IncompleteDatabase
+) -> list[tuple]:
+    """The maximal answers under the better-answer preorder."""
+    reports = answer_reports(query, db)
+    best: list[tuple] = []
+    for answer, report in reports.items():
+        dominated = any(
+            other != answer
+            and report.support_set < reports[other].support_set
+            for other in reports
+        )
+        if not dominated:
+            best.append(answer)
+    return sorted(best, key=repr)
+
+
+def answers_by_support(
+    query: ConjunctiveQuery, db: IncompleteDatabase, by: str = "valuations"
+) -> list[tuple[tuple, Fraction]]:
+    """The paper's counting refinement: rank answers by support fraction.
+
+    ``by`` is ``"valuations"`` or ``"completions"``.  Unlike best answers,
+    this is a *total* order (ties aside) and quantifies how close each
+    answer is to being certain.
+    """
+    if by not in ("valuations", "completions"):
+        raise ValueError("by must be 'valuations' or 'completions'")
+    reports = answer_reports(query, db)
+    total_valuations = count_total_valuations(db)
+    total_completions = len(
+        {apply_valuation(db, v) for v in iter_valuations(db)}
+    )
+    ranked = []
+    for answer, report in reports.items():
+        if by == "valuations":
+            fraction = Fraction(report.valuation_support, total_valuations)
+        else:
+            fraction = Fraction(report.completion_support, total_completions)
+        ranked.append((answer, fraction))
+    ranked.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+    return ranked

@@ -1,0 +1,78 @@
+"""Certainty, possibility and support of a query on an incomplete database.
+
+The introduction motivates the counting problems as refinements of the
+classical ``Certainty(q)`` decision problem: when ``q`` is not certain, the
+*fraction* of valuations (or completions) satisfying ``q`` measures "how
+close ``q`` is to being certain".  These helpers compute the classical
+notions and the two support ratios by exhaustive enumeration (ground truth
+for small inputs; the exact/approximate counters of :mod:`repro.exact` and
+:mod:`repro.approx` are the scalable routes).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.query import BooleanQuery
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.valuation import (
+    apply_valuation,
+    count_total_valuations,
+    iter_completions,
+    iter_valuations,
+)
+from repro.eval.evaluate import evaluate
+
+
+def is_certain(query: BooleanQuery, db: IncompleteDatabase) -> bool:
+    """True when *every* completion of ``db`` satisfies ``query``.
+
+    Equivalently every valuation, since the two quantify over the same set
+    of completed databases.
+    """
+    return all(
+        evaluate(query, apply_valuation(db, valuation))
+        for valuation in iter_valuations(db)
+    )
+
+
+def is_possible(query: BooleanQuery, db: IncompleteDatabase) -> bool:
+    """True when *some* completion of ``db`` satisfies ``query``."""
+    return any(
+        evaluate(query, apply_valuation(db, valuation))
+        for valuation in iter_valuations(db)
+    )
+
+
+def valuation_support(
+    query: BooleanQuery, db: IncompleteDatabase
+) -> Fraction:
+    """``#Val(q)(D) / #valuations(D)`` as an exact rational.
+
+    This is Libkin's ``μ``-measure for the fixed domain of ``D``
+    (Section 7); support 1 means certainty, support 0 impossibility.
+    """
+    total = count_total_valuations(db)
+    if total == 0:
+        raise ValueError("database admits no valuations (empty null domain)")
+    satisfying = sum(
+        1
+        for valuation in iter_valuations(db)
+        if evaluate(query, apply_valuation(db, valuation))
+    )
+    return Fraction(satisfying, total)
+
+
+def completion_support(
+    query: BooleanQuery, db: IncompleteDatabase
+) -> Fraction:
+    """``#Comp(q)(D) / #completions(D)`` as an exact rational."""
+    total = 0
+    satisfying = 0
+    for completion in iter_completions(db):
+        total += 1
+        if evaluate(query, completion):
+            satisfying += 1
+    if total == 0:
+        raise ValueError("database admits no completions (empty null domain)")
+    return Fraction(satisfying, total)

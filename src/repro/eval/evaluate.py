@@ -1,0 +1,27 @@
+"""Generic Boolean-query evaluation over complete databases."""
+
+from __future__ import annotations
+
+from repro.core.query import BCQ, BooleanQuery, CustomQuery, Negation, UCQ
+from repro.db.database import Database
+from repro.eval.homomorphism import satisfies_bcq
+
+
+def evaluate(query: BooleanQuery, database: Database) -> bool:
+    """``D |= q`` for any supported Boolean query.
+
+    Dispatches on the query class: homomorphism search for BCQs, disjunction
+    for UCQs, complement for negations, and the embedded decision procedure
+    for :class:`~repro.core.query.CustomQuery` (Section 6 queries).
+    """
+    if isinstance(query, BCQ):
+        return satisfies_bcq(database, query)
+    if isinstance(query, UCQ):
+        return any(
+            satisfies_bcq(database, disjunct) for disjunct in query.disjuncts
+        )
+    if isinstance(query, Negation):
+        return not evaluate(query.inner, database)
+    if isinstance(query, CustomQuery):
+        return query.decide(database)
+    raise TypeError("cannot evaluate query of type %s" % type(query).__name__)

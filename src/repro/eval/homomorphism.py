@@ -1,0 +1,105 @@
+"""Homomorphism-based evaluation of Boolean conjunctive queries.
+
+A homomorphism from a BCQ ``q`` to a database ``D`` maps the variables of
+``q`` to constants of ``D`` so that every atom lands on a fact of ``D``
+(Section 2).  Backtracking search over atoms, processing the most
+constrained atoms first.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import Atom, BCQ, Const, Var
+from repro.db.database import Database
+from repro.db.fact import Fact
+from repro.db.terms import Term
+
+
+def _atom_matches(
+    atom: Atom, fact: Fact, assignment: dict[Var, Term]
+) -> dict[Var, Term] | None:
+    """Try to extend ``assignment`` so that ``atom`` maps onto ``fact``.
+
+    Returns the extended assignment, or ``None`` on mismatch.  Constants in
+    the atom must equal the fact's values; repeated variables must agree.
+    """
+    if atom.relation != fact.relation or atom.arity != fact.arity:
+        return None
+    extended = dict(assignment)
+    for term, value in zip(atom.terms, fact.terms):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+        else:
+            bound = extended.get(term)
+            if bound is None:
+                extended[term] = value
+            elif bound != value:
+                return None
+    return extended
+
+
+def find_homomorphism(
+    query: BCQ, database: Database
+) -> dict[Var, Term] | None:
+    """One homomorphism from ``query`` to ``database``, or ``None``.
+
+    Atoms are matched in ascending order of candidate-fact count, which
+    keeps the search shallow on the small fixed queries of the paper.
+    """
+    facts_by_relation: dict[str, list[Fact]] = {}
+    for fact in database.facts:
+        facts_by_relation.setdefault(fact.relation, []).append(fact)
+
+    atoms = sorted(
+        query.atoms,
+        key=lambda atom: len(facts_by_relation.get(atom.relation, ())),
+    )
+    if any(atom.relation not in facts_by_relation for atom in atoms):
+        return None
+
+    def search(index: int, assignment: dict[Var, Term]) -> dict[Var, Term] | None:
+        if index == len(atoms):
+            return assignment
+        atom = atoms[index]
+        for fact in facts_by_relation[atom.relation]:
+            extended = _atom_matches(atom, fact, assignment)
+            if extended is not None:
+                result = search(index + 1, extended)
+                if result is not None:
+                    return result
+        return None
+
+    return search(0, {})
+
+
+def satisfies_bcq(database: Database, query: BCQ) -> bool:
+    """``D |= q`` for a Boolean conjunctive query."""
+    return find_homomorphism(query, database) is not None
+
+
+def count_homomorphisms(query: BCQ, database: Database) -> int:
+    """Number of homomorphisms from ``query`` to ``database``.
+
+    Not one of the paper's counting problems (those count valuations and
+    completions), but a convenient cross-check for the evaluator.
+    """
+    facts_by_relation: dict[str, list[Fact]] = {}
+    for fact in database.facts:
+        facts_by_relation.setdefault(fact.relation, []).append(fact)
+
+    atoms = list(query.atoms)
+    if any(atom.relation not in facts_by_relation for atom in atoms):
+        return 0
+
+    def count(index: int, assignment: dict[Var, Term]) -> int:
+        if index == len(atoms):
+            return 1
+        total = 0
+        atom = atoms[index]
+        for fact in facts_by_relation[atom.relation]:
+            extended = _atom_matches(atom, fact, assignment)
+            if extended is not None:
+                total += count(index + 1, extended)
+        return total
+
+    return count(0, {})

@@ -1,0 +1,136 @@
+"""Front-door counting API: pick the right algorithm for the instance.
+
+``count_valuations`` / ``count_completions`` inspect the query (via the
+pattern detectors) and the database (Codd? uniform? unary?) and route to the
+fastest *exact* algorithm the dichotomies provide, falling back to
+brute-force enumeration — with an explicit opt-in budget — on the provably
+hard cells.  ``method`` forces a specific algorithm (useful for tests and
+benchmarks).
+"""
+
+from __future__ import annotations
+
+from repro.core.query import BCQ, BooleanQuery
+from repro.db.incomplete import IncompleteDatabase
+from repro.exact import brute
+from repro.exact import comp_uniform as _comp_uniform
+from repro.exact import val_codd as _val_codd
+from repro.exact import val_nonuniform as _val_nonuniform
+from repro.exact import val_uniform as _val_uniform
+
+
+class NoPolynomialAlgorithm(ValueError):
+    """Raised by ``method='poly'`` when no tractable algorithm applies —
+    i.e. the instance sits in a #P-hard cell of Table 1."""
+
+
+_VAL_METHODS = ("auto", "poly", "brute", "single-occurrence", "codd", "uniform")
+_COMP_METHODS = ("auto", "poly", "brute", "uniform-unary")
+
+
+def select_valuation_algorithm(
+    db: IncompleteDatabase, query: BCQ
+) -> str | None:
+    """Name of the applicable polynomial #Val algorithm, or ``None``.
+
+    Preference order: the Theorem 3.6 formula (cheapest, works whenever the
+    query is fully pattern-free), then Theorem 3.7 (Codd tables), then
+    Theorem 3.9 (uniform naive tables).
+    """
+    if not isinstance(query, BCQ):
+        return None
+    if not query.is_self_join_free or not query.is_variable_only:
+        return None
+    if _val_nonuniform.applies_to(query):
+        return "single-occurrence"
+    if db.is_codd and _val_codd.applies_to(query):
+        return "codd"
+    if db.is_uniform and _val_uniform.applies_to(query):
+        return "uniform"
+    return None
+
+
+def count_valuations(
+    db: IncompleteDatabase,
+    query: BooleanQuery,
+    method: str = "auto",
+    budget: int | None = brute.DEFAULT_BUDGET,
+) -> int:
+    """``#Val(q)(D)`` with automatic algorithm selection.
+
+    ``method='poly'`` refuses to fall back to enumeration (raises
+    :class:`NoPolynomialAlgorithm` on hard cells); explicit method names
+    force one algorithm.
+    """
+    if method not in _VAL_METHODS:
+        raise ValueError("unknown method %r (one of %s)" % (method, _VAL_METHODS))
+    if method == "brute":
+        return brute.count_valuations_brute(db, query, budget=budget)
+    if method == "single-occurrence":
+        return _val_nonuniform.count_valuations_single_occurrence(db, query)
+    if method == "codd":
+        return _val_codd.count_valuations_codd(db, query)
+    if method == "uniform":
+        return _val_uniform.count_valuations_uniform(db, query)
+
+    selected = (
+        select_valuation_algorithm(db, query)
+        if isinstance(query, BCQ)
+        else None
+    )
+    if selected == "single-occurrence":
+        return _val_nonuniform.count_valuations_single_occurrence(db, query)
+    if selected == "codd":
+        return _val_codd.count_valuations_codd(db, query)
+    if selected == "uniform":
+        return _val_uniform.count_valuations_uniform(db, query)
+    if method == "poly":
+        raise NoPolynomialAlgorithm(
+            "no polynomial-time algorithm for %r on this instance; "
+            "the dichotomies place it in a #P-hard cell" % (query,)
+        )
+    return brute.count_valuations_brute(db, query, budget=budget)
+
+
+def select_completion_algorithm(
+    db: IncompleteDatabase, query: BCQ | None
+) -> str | None:
+    """Name of the applicable polynomial #Comp algorithm, or ``None``."""
+    if query is not None and not isinstance(query, BCQ):
+        return None
+    if query is not None and not _comp_uniform.applies_to(query):
+        return None
+    if not db.is_uniform:
+        return None
+    if any(fact.arity != 1 for fact in db.facts):
+        return None
+    return "uniform-unary"
+
+
+def count_completions(
+    db: IncompleteDatabase,
+    query: BooleanQuery | None = None,
+    method: str = "auto",
+    budget: int | None = brute.DEFAULT_BUDGET,
+) -> int:
+    """``#Comp(q)(D)`` (or the total number of completions for
+    ``query=None``) with automatic algorithm selection."""
+    if method not in _COMP_METHODS:
+        raise ValueError("unknown method %r (one of %s)" % (method, _COMP_METHODS))
+    if method == "brute":
+        return brute.count_completions_brute(db, query, budget=budget)
+    if method == "uniform-unary":
+        return _comp_uniform.count_completions_uniform_unary(db, query)
+
+    bcq = query if isinstance(query, BCQ) or query is None else False
+    selected = (
+        select_completion_algorithm(db, bcq) if bcq is not False else None
+    )
+    if selected == "uniform-unary":
+        return _comp_uniform.count_completions_uniform_unary(db, query)
+    if method == "poly":
+        raise NoPolynomialAlgorithm(
+            "no polynomial-time algorithm for counting completions on this "
+            "instance; the dichotomies place it in a #P-hard cell"
+        )
+    return brute.count_completions_brute(db, query, budget=budget)

@@ -1,0 +1,44 @@
+"""Tractable case of ``#Val(q)`` on non-uniform naive tables (Theorem 3.6).
+
+When neither ``R(x,x)`` nor ``R(x) ∧ S(x)`` is a pattern of the sjfBCQ
+``q``, every variable occurs exactly once in ``q``.  Then a completion
+``ν(D)`` satisfies ``q`` iff every relation of ``sig(q)`` is non-empty in
+``D`` (footnote 2 of the paper), so ``#Val(q)(D)`` is either ``0`` or the
+total number of valuations — computable as the product of the domain sizes.
+"""
+
+from __future__ import annotations
+
+from repro.core.patterns import has_repeated_variable_atom, has_shared_variable
+from repro.core.query import BCQ
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.valuation import count_total_valuations
+
+
+def applies_to(query: BCQ) -> bool:
+    """True when the Theorem 3.6 tractable case covers ``query``."""
+    return (
+        query.is_self_join_free
+        and query.is_variable_only
+        and not has_repeated_variable_atom(query)
+        and not has_shared_variable(query)
+    )
+
+
+def count_valuations_single_occurrence(
+    db: IncompleteDatabase, query: BCQ
+) -> int:
+    """``#Val(q)(D)`` for pattern-free ``q`` (Theorem 3.6), any table kind.
+
+    Works on naive and Codd tables, uniform or not — the argument never uses
+    those restrictions.
+    """
+    if not applies_to(query):
+        raise ValueError(
+            "Theorem 3.6 requires an sjfBCQ without the patterns R(x,x) "
+            "and R(x)∧S(x); got %r" % (query,)
+        )
+    for relation in query.relations:
+        if not db.relation(relation):
+            return 0
+    return count_total_valuations(db)

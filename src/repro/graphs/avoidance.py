@@ -1,0 +1,125 @@
+"""Avoiding assignments of multigraphs (Appendix A.2, Definition A.1).
+
+An *assignment* of a multigraph maps every node to one of its incident
+edges; it is *avoiding* when no edge is chosen by both of its endpoints.
+``#Avoidance`` is the #P-hard source problem (Prop. A.3, via the Holant
+framework) behind the hardness of ``#ValCd(R(x) ∧ S(x))`` (Prop. 3.5).
+
+This module provides the exact counter plus the two graph transformations of
+the appendix: the *merging* of a 2-3-regular bipartite graph (proof of
+Prop. A.3) and the edge-subdivision of Prop. A.8, whose counting identity
+``#Avoidance(G') = 2^{|E|-|V|} * #Avoidance(G)`` is verified in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graphs.graph import Graph, Multigraph, Node
+
+
+def count_assignments(multigraph: Multigraph) -> int:
+    """Total number of assignments: product of node degrees.
+
+    Zero when some node is isolated (it has no incident edge to pick).
+    """
+    total = 1
+    for node in multigraph.nodes:
+        total *= multigraph.degree(node)
+    return total
+
+
+def count_avoiding_assignments(multigraph: Multigraph) -> int:
+    """``#Avoidance``: exact backtracking count of avoiding assignments.
+
+    Nodes pick incident edges one at a time; an edge picked by one endpoint
+    is barred for the other endpoint.
+    """
+    nodes = multigraph.nodes
+    chosen: dict[Node, Hashable] = {}
+
+    def count_from(position: int) -> int:
+        if position == len(nodes):
+            return 1
+        node = nodes[position]
+        total = 0
+        for edge_id in sorted(multigraph.incident_edges(node), key=repr):
+            u, v = multigraph.endpoints(edge_id)
+            other = v if u == node else u
+            if chosen.get(other) == edge_id:
+                continue
+            chosen[node] = edge_id
+            total += count_from(position + 1)
+            del chosen[node]
+        return total
+
+    return count_from(0)
+
+
+def merge_degree_two_nodes(graph: Graph) -> Multigraph:
+    """The *merging* of a 2-3-regular bipartite graph (proof of Prop. A.3).
+
+    Every node of degree 2 is removed and its two incident edges fused into
+    a single edge between its two neighbors.  For a 2-3-regular bipartite
+    input the result is a 3-regular multigraph (parallel edges may appear,
+    self-loops cannot: the input is simple and bipartite).
+    """
+    partition = graph.bipartition()
+    if partition is None:
+        raise ValueError("merging requires a bipartite graph")
+    degree_two = {node for node in graph.nodes if graph.degree(node) == 2}
+    merged = Multigraph()
+    for node in graph.nodes:
+        if node not in degree_two:
+            merged.add_node(node)
+    for node in degree_two:
+        neighbors = sorted(graph.neighbors(node), key=repr)
+        if len(neighbors) != 2:
+            raise ValueError("node %r does not have degree 2" % (node,))
+        left, right = neighbors
+        if left in degree_two or right in degree_two:
+            raise ValueError(
+                "degree-2 nodes must form an independent set (2-3-regular "
+                "bipartite input expected)"
+            )
+        merged.add_edge(left, right, edge_id=("merged", node))
+    return merged
+
+
+def subdivide_edges(multigraph: Multigraph) -> Graph:
+    """The Prop. A.8 transformation: add a node in the middle of each edge.
+
+    For a 3-regular multigraph ``G`` the output ``G'`` is a simple
+    2-3-regular bipartite graph with
+    ``#Avoidance(G') = 2^{|E| - |V|} * #Avoidance(G)``.
+    """
+    subdivided = Graph()
+    for node in multigraph.nodes:
+        subdivided.add_node(node)
+    for edge_id, u, v in multigraph.iter_edges():
+        midpoint = ("mid", edge_id)
+        subdivided.add_edge(u, midpoint)
+        subdivided.add_edge(midpoint, v)
+    return subdivided
+
+
+def k_stretch(graph: Graph, k: int) -> Graph:
+    """The ``k``-stretch ``s_k(G)`` (Definition B.11): replace every edge by
+    a path of length ``k``.
+
+    ``s_1(G) = G``; for even ``k`` the stretch is bipartite regardless of
+    ``G``, which is the final step of the Prop. B.5 hardness transfer.
+    """
+    if k < 1:
+        raise ValueError("stretch factor must be >= 1")
+    stretched = Graph()
+    for node in graph.nodes:
+        stretched.add_node(node)
+    for u, v in graph.edges:
+        previous = u
+        for step in range(1, k):
+            waypoint = ("stretch", (u, v), step)
+            stretched.add_edge(previous, waypoint)
+            previous = waypoint
+        stretched.add_edge(previous, v)
+    return stretched

@@ -1,0 +1,197 @@
+"""Exact brute-force counters for the graph problems used as reduction
+sources.
+
+These are the "oracles" against which the paper's reductions are validated:
+``#IS`` (independent sets, Prop. 3.8/4.5), ``#VC`` (vertex covers,
+Prop. 4.2), ``#3COL``/``#kCOL`` (colorings, Prop. 3.4/5.6) and the
+size-stratified independent-pair counts ``Z_{i,j}`` of Prop. 3.11.
+
+All counters use bitmask enumeration and are exponential by design — the
+problems are #P-hard; the point is exactness on small instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.graphs.graph import Graph, Node
+
+
+def _neighbor_masks(graph: Graph) -> tuple[list[Node], list[int]]:
+    """Index nodes and build per-node neighbor bitmasks."""
+    nodes = graph.nodes
+    index = {node: i for i, node in enumerate(nodes)}
+    masks = [0] * len(nodes)
+    for u, v in graph.edges:
+        masks[index[u]] |= 1 << index[v]
+        masks[index[v]] |= 1 << index[u]
+    return nodes, masks
+
+
+def is_independent_set(graph: Graph, subset: Iterable[Node]) -> bool:
+    """True when no two nodes of ``subset`` are adjacent."""
+    chosen = list(subset)
+    chosen_set = set(chosen)
+    if len(chosen_set) != len(chosen):
+        raise ValueError("subset contains duplicates")
+    for node in chosen_set:
+        if graph.neighbors(node) & chosen_set:
+            return False
+    return True
+
+
+def is_vertex_cover(graph: Graph, subset: Iterable[Node]) -> bool:
+    """True when every edge has at least one endpoint in ``subset``."""
+    cover = set(subset)
+    return all(u in cover or v in cover for u, v in graph.edges)
+
+
+def count_independent_sets(graph: Graph) -> int:
+    """``#IS(G)``: number of independent sets, the empty set included.
+
+    Branch-and-bound on the node list: at each node either exclude it or
+    include it and discard its neighbors.  Far faster than the naive
+    ``2^n`` scan, while remaining exact.
+    """
+    nodes, masks = _neighbor_masks(graph)
+    n = len(nodes)
+
+    def count_from(available: int, lowest: int) -> int:
+        # Strip leading unavailable positions.
+        while lowest < n and not (available >> lowest) & 1:
+            lowest += 1
+        if lowest >= n:
+            return 1
+        without = count_from(available & ~(1 << lowest), lowest + 1)
+        with_node = count_from(
+            available & ~(1 << lowest) & ~masks[lowest], lowest + 1
+        )
+        return without + with_node
+
+    return count_from((1 << n) - 1, 0)
+
+
+def count_vertex_covers(graph: Graph) -> int:
+    """``#VC(G)``.
+
+    Uses the complementation bijection the paper invokes in Section 5.2:
+    ``S`` is an independent set iff ``V \\ S`` is a vertex cover, hence
+    ``#VC(G) = #IS(G)``.
+    """
+    return count_independent_sets(graph)
+
+
+def count_independent_sets_naive(graph: Graph) -> int:
+    """Reference ``2^n`` scan; kept as a cross-check for the fast counter."""
+    nodes, masks = _neighbor_masks(graph)
+    n = len(nodes)
+    count = 0
+    for subset in range(1 << n):
+        ok = True
+        remaining = subset
+        while remaining:
+            low = remaining & -remaining
+            position = low.bit_length() - 1
+            if masks[position] & subset:
+                ok = False
+                break
+            remaining ^= low
+        if ok:
+            count += 1
+    return count
+
+
+def count_colorings(graph: Graph, num_colors: int) -> int:
+    """Number of proper ``num_colors``-colorings of ``graph``.
+
+    Backtracking over nodes in insertion order; exact, exponential worst
+    case.  ``count_colorings(G, 3)`` is the ``#3COL`` oracle of Prop. 3.4.
+    """
+    if num_colors < 0:
+        raise ValueError("number of colors must be non-negative")
+    nodes, masks = _neighbor_masks(graph)
+    n = len(nodes)
+    assignment = [-1] * n
+
+    def count_from(position: int) -> int:
+        if position == n:
+            return 1
+        total = 0
+        for color in range(num_colors):
+            conflict = False
+            neighbor_mask = masks[position]
+            while neighbor_mask:
+                low = neighbor_mask & -neighbor_mask
+                neighbor = low.bit_length() - 1
+                if neighbor < position and assignment[neighbor] == color:
+                    conflict = True
+                    break
+                neighbor_mask ^= low
+            if conflict:
+                continue
+            assignment[position] = color
+            total += count_from(position + 1)
+            assignment[position] = -1
+        return total
+
+    return count_from(0)
+
+
+def is_colorable(graph: Graph, num_colors: int) -> bool:
+    """Decision version (used by the Prop. 5.6 gap-gadget experiment)."""
+    return count_colorings(graph, num_colors) > 0
+
+
+def count_independent_pairs_by_size(
+    graph: Graph, left: Sequence[Node], right: Sequence[Node]
+) -> dict[tuple[int, int], int]:
+    """The numbers ``Z_{i,j}`` of Prop. 3.11.
+
+    For a bipartite graph with parts ``left``/``right``, ``Z_{i,j}`` counts
+    pairs ``(S1, S2)``, ``S1 subset of left`` of size ``i`` and ``S2 subset
+    of right`` of size ``j``, such that ``(S1 x S2)`` contains no edge.
+    ``#BIS(G) = sum_{i,j} Z_{i,j}`` (claim (*) in the proof).
+    """
+    left = list(left)
+    right = list(right)
+    left_index = {node: i for i, node in enumerate(left)}
+    right_index = {node: i for i, node in enumerate(right)}
+    # neighbor mask of each left node within the right part
+    masks = [0] * len(left)
+    for u, v in graph.edges:
+        if u in left_index and v in right_index:
+            masks[left_index[u]] |= 1 << right_index[v]
+        elif v in left_index and u in right_index:
+            masks[left_index[v]] |= 1 << right_index[u]
+        else:
+            raise ValueError("graph is not bipartite over the given parts")
+
+    counts: dict[tuple[int, int], int] = {
+        (i, j): 0
+        for i in range(len(left) + 1)
+        for j in range(len(right) + 1)
+    }
+    for s1 in range(1 << len(left)):
+        forbidden = 0
+        remaining = s1
+        size1 = 0
+        while remaining:
+            low = remaining & -remaining
+            forbidden |= masks[low.bit_length() - 1]
+            size1 += 1
+            remaining ^= low
+        allowed = ((1 << len(right)) - 1) & ~forbidden
+        # Count subsets of `allowed` stratified by size: C(popcount, j).
+        free = bin(allowed).count("1")
+        for size2 in range(free + 1):
+            key = (size1, size2)
+            counts[key] = counts.get(key, 0) + math.comb(free, size2)
+    return counts
+
+
+def count_bipartite_independent_sets(graph: Graph) -> int:
+    """``#BIS(G)`` for a bipartite graph (used as the Prop. 3.11 oracle)."""
+    if not graph.is_bipartite():
+        raise ValueError("#BIS requires a bipartite graph")
+    return count_independent_sets(graph)

@@ -1,0 +1,249 @@
+"""Simple graphs and multigraphs, matching the paper's Section 2 conventions.
+
+A :class:`Graph` is finite, undirected, with no self-loops and no parallel
+edges.  A :class:`Multigraph` (Appendix A.2) additionally allows parallel
+edges — each edge is a distinct identified object ``e`` with endpoint set
+``lambda(e) = {u, v}``, ``u != v`` — but still no self-loops.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+def _normalize_edge(u: Node, v: Node) -> Edge:
+    """Canonical ordered representation of the undirected edge ``{u, v}``."""
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Graph:
+    """A finite simple undirected graph.
+
+    Nodes are arbitrary hashable labels.  Edges are stored canonically so
+    ``{u, v}`` and ``{v, u}`` are the same edge.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        edges: Iterable[tuple[Node, Node]] = (),
+    ) -> None:
+        self._adjacency: dict[Node, set[Node]] = {}
+        self._edges: set[Edge] = set()
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- construction --------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Add an isolated node (no-op if present)."""
+        self._adjacency.setdefault(node, set())
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``{u, v}``; self-loops are rejected."""
+        if u == v:
+            raise ValueError("simple graphs cannot contain self-loops")
+        self.add_node(u)
+        self.add_node(v)
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._edges.add(_normalize_edge(u, v))
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def nodes(self) -> list[Node]:
+        """Nodes in insertion order."""
+        return list(self._adjacency)
+
+    @property
+    def edges(self) -> list[Edge]:
+        """Canonically-ordered edge list (deterministic order)."""
+        return sorted(self._edges, key=repr)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return _normalize_edge(u, v) in self._edges if u != v else False
+
+    def neighbors(self, node: Node) -> set[Node]:
+        return set(self._adjacency[node])
+
+    def degree(self, node: Node) -> int:
+        return len(self._adjacency[node])
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adjacency
+
+    def __repr__(self) -> str:
+        return "Graph(nodes=%d, edges=%d)" % (self.num_nodes, self.num_edges)
+
+    # -- structure -----------------------------------------------------
+
+    def connected_components(self) -> list[set[Node]]:
+        """Node sets of connected components (DFS)."""
+        seen: set[Node] = set()
+        components: list[set[Node]] = []
+        for start in self._adjacency:
+            if start in seen:
+                continue
+            stack = [start]
+            component: set[Node] = set()
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(self._adjacency[node] - component)
+            seen |= component
+            components.append(component)
+        return components
+
+    def bipartition(self) -> tuple[set[Node], set[Node]] | None:
+        """A 2-coloring ``(A, B)`` if the graph is bipartite, else ``None``."""
+        color: dict[Node, int] = {}
+        for start in self._adjacency:
+            if start in color:
+                continue
+            color[start] = 0
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in color:
+                        color[neighbor] = 1 - color[node]
+                        stack.append(neighbor)
+                    elif color[neighbor] == color[node]:
+                        return None
+        side_a = {node for node, c in color.items() if c == 0}
+        side_b = {node for node, c in color.items() if c == 1}
+        return side_a, side_b
+
+    def is_bipartite(self) -> bool:
+        return self.bipartition() is not None
+
+    def subgraph_of_edges(self, edge_subset: Iterable[Edge]) -> "Graph":
+        """The graph ``G[S]`` induced by an edge subset (Definition B.3):
+        its nodes are exactly the endpoints of edges in ``S``."""
+        subgraph = Graph()
+        for u, v in edge_subset:
+            if not self.has_edge(u, v):
+                raise ValueError("edge %r not in graph" % ((u, v),))
+            subgraph.add_edge(u, v)
+        return subgraph
+
+    def induced_subgraph(self, node_subset: Iterable[Node]) -> "Graph":
+        """The node-induced subgraph ``G[S]`` (Definition D.4)."""
+        keep = set(node_subset)
+        unknown = keep - set(self._adjacency)
+        if unknown:
+            raise ValueError("nodes %r not in graph" % (sorted(map(repr, unknown)),))
+        subgraph = Graph(nodes=keep)
+        for u, v in self._edges:
+            if u in keep and v in keep:
+                subgraph.add_edge(u, v)
+        return subgraph
+
+
+class Multigraph:
+    """A finite undirected multigraph without self-loops (Appendix A.2).
+
+    Edges are explicit identifiers mapped to endpoint pairs, so parallel
+    edges are distinct objects — exactly the ``(V, E, lambda)`` presentation
+    in the paper.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[Node, set[Hashable]] = {}
+        self._endpoints: dict[Hashable, Edge] = {}
+        self._next_id = 0
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "Multigraph":
+        """View a simple graph as a multigraph (no parallel edges)."""
+        multigraph = cls()
+        for node in graph.nodes:
+            multigraph.add_node(node)
+        for u, v in graph.edges:
+            multigraph.add_edge(u, v)
+        return multigraph
+
+    def add_node(self, node: Node) -> None:
+        self._nodes.setdefault(node, set())
+
+    def add_edge(self, u: Node, v: Node, edge_id: Hashable = None) -> Hashable:
+        """Add an edge between distinct nodes; returns its identifier."""
+        if u == v:
+            raise ValueError("multigraphs here cannot contain self-loops")
+        if edge_id is None:
+            edge_id = "e%d" % self._next_id
+            self._next_id += 1
+        if edge_id in self._endpoints:
+            raise ValueError("duplicate edge id %r" % (edge_id,))
+        self.add_node(u)
+        self.add_node(v)
+        self._endpoints[edge_id] = (u, v)
+        self._nodes[u].add(edge_id)
+        self._nodes[v].add(edge_id)
+        return edge_id
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._nodes)
+
+    @property
+    def edge_ids(self) -> list[Hashable]:
+        return sorted(self._endpoints, key=repr)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._endpoints)
+
+    def endpoints(self, edge_id: Hashable) -> Edge:
+        """The pair ``lambda(e)`` of the edge's endpoints."""
+        return self._endpoints[edge_id]
+
+    def incident_edges(self, node: Node) -> set[Hashable]:
+        """``E(u)``: identifiers of edges incident to ``node``."""
+        return set(self._nodes[node])
+
+    def degree(self, node: Node) -> int:
+        return len(self._nodes[node])
+
+    def is_regular(self, degree: int) -> bool:
+        """True when every node has the given degree."""
+        return all(self.degree(node) == degree for node in self._nodes)
+
+    def parallel_classes(self) -> dict[Edge, list[Hashable]]:
+        """Group edge ids by endpoint pair (parallel edges share a key)."""
+        classes: dict[Edge, list[Hashable]] = {}
+        for edge_id, (u, v) in self._endpoints.items():
+            classes.setdefault(_normalize_edge(u, v), []).append(edge_id)
+        return classes
+
+    def __repr__(self) -> str:
+        return "Multigraph(nodes=%d, edges=%d)" % (
+            self.num_nodes,
+            self.num_edges,
+        )
+
+    def iter_edges(self) -> Iterator[tuple[Hashable, Node, Node]]:
+        """Yield ``(edge_id, u, v)`` triples in deterministic order."""
+        for edge_id in self.edge_ids:
+            u, v = self._endpoints[edge_id]
+            yield edge_id, u, v

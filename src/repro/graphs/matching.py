@@ -1,0 +1,93 @@
+"""Maximum bipartite matching (Hopcroft-Karp).
+
+Lemma B.2 of the paper decides whether a set of ground facts is a completion
+of a Codd table by computing a maximum-cardinality matching in the bipartite
+graph connecting incomplete facts to compatible ground facts; the paper cites
+Edmonds [20], and for the bipartite case Hopcroft-Karp is the standard
+polynomial algorithm.  The same primitive decides the out-degree-one
+orientation criterion for pseudoforests (Lemma B.4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Mapping, Sequence
+
+LeftNode = Hashable
+RightNode = Hashable
+
+_INFINITY = float("inf")
+
+
+def hopcroft_karp(
+    left_nodes: Sequence[LeftNode],
+    adjacency: Mapping[LeftNode, Sequence[RightNode]],
+) -> dict[LeftNode, RightNode]:
+    """Maximum-cardinality matching of a bipartite graph.
+
+    ``adjacency`` maps each left node to the right nodes it may match.
+    Returns a dict ``left -> right`` describing one maximum matching.
+    Runs in ``O(E * sqrt(V))``.
+    """
+    match_left: dict[LeftNode, RightNode | None] = {u: None for u in left_nodes}
+    match_right: dict[RightNode, LeftNode | None] = {}
+    for u in left_nodes:
+        for v in adjacency.get(u, ()):  # register right nodes
+            match_right.setdefault(v, None)
+
+    distance: dict[LeftNode, float] = {}
+
+    def bfs() -> bool:
+        queue: deque[LeftNode] = deque()
+        for u in left_nodes:
+            if match_left[u] is None:
+                distance[u] = 0
+                queue.append(u)
+            else:
+                distance[u] = _INFINITY
+        found_augmenting = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency.get(u, ()):
+                partner = match_right[v]
+                if partner is None:
+                    found_augmenting = True
+                elif distance[partner] == _INFINITY:
+                    distance[partner] = distance[u] + 1
+                    queue.append(partner)
+        return found_augmenting
+
+    def dfs(u: LeftNode) -> bool:
+        for v in adjacency.get(u, ()):
+            partner = match_right[v]
+            if partner is None or (
+                distance[partner] == distance[u] + 1 and dfs(partner)
+            ):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        distance[u] = _INFINITY
+        return False
+
+    while bfs():
+        for u in left_nodes:
+            if match_left[u] is None:
+                dfs(u)
+
+    return {u: v for u, v in match_left.items() if v is not None}
+
+
+def maximum_matching_size(
+    left_nodes: Sequence[LeftNode],
+    adjacency: Mapping[LeftNode, Sequence[RightNode]],
+) -> int:
+    """Size of a maximum matching (the quantity ``m`` in Lemma B.2)."""
+    return len(hopcroft_karp(left_nodes, adjacency))
+
+
+def has_perfect_left_matching(
+    left_nodes: Sequence[LeftNode],
+    adjacency: Mapping[LeftNode, Sequence[RightNode]],
+) -> bool:
+    """True when every left node can be matched simultaneously."""
+    return maximum_matching_size(left_nodes, adjacency) == len(left_nodes)

@@ -1,0 +1,121 @@
+"""Bicircular matroids and Tutte-polynomial evaluation (Appendix B.5).
+
+The hardness of ``#PF`` on bipartite graphs (Prop. B.5) rests on three facts
+which this module makes executable and testable:
+
+* ``B(G)`` — ground set ``E``, independent sets = pseudoforests — is a
+  matroid (Definition B.9; axioms property-tested in the suite);
+* ``T(B(G); 2, 1)`` counts the independent sets, i.e. equals ``#PF(G)``
+  (Observation B.8);
+* the k-stretch identity
+  ``T(B(s_k(G)); 2, 1) = (2^k - 1)^{|E| - rk(E)} * T(B(G); 2^k, 1)``
+  transfers hardness to bipartite graphs (even ``k`` makes ``s_k(G)``
+  bipartite).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import Iterable
+
+from repro.graphs.graph import Edge, Graph
+from repro.graphs.pseudoforest import bicircular_rank, is_pseudoforest_edge_set
+
+
+class BicircularMatroid:
+    """The bicircular matroid ``B(G)`` of a simple graph ``G``."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._ground: tuple[Edge, ...] = tuple(graph.edges)
+
+    @property
+    def ground_set(self) -> tuple[Edge, ...]:
+        return self._ground
+
+    def is_independent(self, subset: Iterable[Edge]) -> bool:
+        """Independent iff the edge subset spans a pseudoforest."""
+        return is_pseudoforest_edge_set(subset)
+
+    def rank(self, subset: Iterable[Edge]) -> int:
+        """Matroid rank: largest independent subset size within ``subset``."""
+        return bicircular_rank(self._graph, subset)
+
+    @property
+    def full_rank(self) -> int:
+        return self.rank(self._ground)
+
+    def count_independent_sets(self) -> int:
+        """Exhaustive count of independent sets (== ``#PF`` of the graph)."""
+        count = 0
+        for size in range(len(self._ground) + 1):
+            for subset in combinations(self._ground, size):
+                if self.is_independent(subset):
+                    count += 1
+        return count
+
+    def tutte_polynomial(
+        self, x: int | Fraction, y: int | Fraction
+    ) -> Fraction:
+        """Evaluate ``T(B(G); x, y)`` by the rank-sum definition (Def. B.7):
+
+        ``T(M; x, y) = sum_{A subset E} (x-1)^{rk(E)-rk(A)} (y-1)^{|A|-rk(A)}``
+
+        Exact over rationals; exponential in ``|E|`` by design (evaluation at
+        generic points is #P-hard, which is the point of Appendix B.5).
+        """
+        x = Fraction(x)
+        y = Fraction(y)
+        full_rank = self.full_rank
+        total = Fraction(0)
+        for size in range(len(self._ground) + 1):
+            for subset in combinations(self._ground, size):
+                rank = self.rank(subset)
+                corank = full_rank - rank
+                nullity = size - rank
+                term = Fraction(1)
+                if corank:
+                    term *= (x - 1) ** corank
+                if nullity:
+                    term *= (y - 1) ** nullity
+                # 0^0 = 1 convention is automatic: skipped factors are 1.
+                total += term
+        return total
+
+
+def independence_axioms_hold(
+    matroid: BicircularMatroid, max_check_size: int | None = None
+) -> bool:
+    """Check the three independence axioms of Definition B.6 exhaustively.
+
+    Intended for small graphs in tests; ``max_check_size`` caps the subset
+    size examined.
+    """
+    ground = matroid.ground_set
+    limit = len(ground) if max_check_size is None else max_check_size
+    independents: list[frozenset[Edge]] = []
+    for size in range(limit + 1):
+        for subset in combinations(ground, size):
+            if matroid.is_independent(subset):
+                independents.append(frozenset(subset))
+    independent_family = set(independents)
+
+    # Non-emptiness: the empty set is always independent.
+    if frozenset() not in independent_family:
+        return False
+    # Heritage: subsets of independent sets are independent.
+    for independent in independent_family:
+        for element in independent:
+            if independent - {element} not in independent_family:
+                return False
+    # Exchange: |A| > |B| implies some x in A-B with B + x independent.
+    for bigger in independent_family:
+        for smaller in independent_family:
+            if len(bigger) <= len(smaller):
+                continue
+            if not any(
+                smaller | {x} in independent_family for x in bigger - smaller
+            ):
+                return False
+    return True

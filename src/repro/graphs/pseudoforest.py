@@ -1,0 +1,111 @@
+"""Pseudoforests and the bicircular rank function (Appendix B.4-B.5).
+
+A graph is a *pseudoforest* when every connected component contains at most
+one cycle (Definition B.3).  Equivalently (Lemma B.4) it admits an
+orientation in which every node has out-degree at most one — which we decide
+with bipartite matching, giving an independent implementation used to
+cross-check the component-census definition in the tests.
+
+``#PF`` — the number of edge subsets ``S`` with ``G[S]`` a pseudoforest — is
+the hard source problem behind Prop. 4.5(b).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from repro.graphs.graph import Edge, Graph
+from repro.graphs.matching import has_perfect_left_matching
+
+
+def _component_census(edges: list[Edge]) -> list[tuple[int, int]]:
+    """``(num_nodes, num_edges)`` per connected component of ``(V(S), S)``."""
+    parent: dict[object, object] = {}
+
+    def find(x: object) -> object:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        parent.setdefault(u, u)
+        parent.setdefault(v, v)
+        root_u, root_v = find(u), find(v)
+        if root_u != root_v:
+            parent[root_u] = root_v
+
+    node_count: dict[object, int] = {}
+    edge_count: dict[object, int] = {}
+    for node in parent:
+        node_count[find(node)] = node_count.get(find(node), 0) + 1
+    for u, _v in edges:
+        root = find(u)
+        edge_count[root] = edge_count.get(root, 0) + 1
+    return [
+        (node_count[root], edge_count.get(root, 0)) for root in node_count
+    ]
+
+
+def is_pseudoforest_edge_set(edges: Iterable[Edge]) -> bool:
+    """True when the graph spanned by ``edges`` is a pseudoforest.
+
+    A component with ``n`` nodes and ``m`` edges has at most one cycle iff
+    ``m <= n`` (a tree has ``m = n - 1``; one extra edge creates exactly one
+    cycle; two extra edges force two).
+    """
+    census = _component_census(list(edges))
+    return all(m <= n for n, m in census)
+
+
+def has_outdegree_one_orientation(edges: Iterable[Edge]) -> bool:
+    """Lemma B.4 criterion, decided independently via bipartite matching.
+
+    An orientation with out-degree <= 1 assigns each edge a distinct owning
+    endpoint, i.e. a matching of edges to nodes saturating all edges.
+    """
+    edge_list = list(edges)
+    adjacency = {index: list(edge) for index, edge in enumerate(edge_list)}
+    return has_perfect_left_matching(list(range(len(edge_list))), adjacency)
+
+
+def count_induced_pseudoforests(graph: Graph) -> int:
+    """``#PF(G)``: edge subsets ``S`` such that ``G[S]`` is a pseudoforest.
+
+    Exact exponential enumeration (the problem is #P-hard, App. B.5); the
+    empty subset counts, matching Definition B.3.
+    """
+    edges = graph.edges
+    count = 0
+    for size in range(len(edges) + 1):
+        for subset in combinations(edges, size):
+            if is_pseudoforest_edge_set(subset):
+                count += 1
+    return count
+
+
+def bicircular_rank(graph: Graph, edge_subset: Iterable[Edge]) -> int:
+    """Rank of an edge set in the bicircular matroid ``B(G)``.
+
+    The independent sets of ``B(G)`` are the pseudoforest edge subsets
+    (Definition B.9), so the rank of ``A`` is the size of a largest
+    pseudoforest inside ``A``; per component of ``(V(A), A)`` that is
+    ``min(#edges, #nodes)``.
+    """
+    subset = list(edge_subset)
+    for edge in subset:
+        if not graph.has_edge(*edge):
+            raise ValueError("edge %r not in graph" % (edge,))
+    census = _component_census(subset)
+    return sum(min(m, n) for n, m in census)
+
+
+def maximal_pseudoforest_size(graph: Graph) -> int:
+    """``rk_{B(G)}(E)``: the size of a maximum pseudoforest of ``G``.
+
+    Used by the k-stretch Tutte identity of Appendix B.5 (the paper notes it
+    is polynomial-time computable; with the component census it is a direct
+    formula).
+    """
+    return bicircular_rank(graph, graph.edges)

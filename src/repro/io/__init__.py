@@ -1,0 +1,24 @@
+"""Text and CSV tooling for incomplete databases and queries.
+
+A small, regular text format keeps examples, docs and the CLI honest:
+
+* queries: ``R(x, y), S(y)`` — comma-separated atoms, lowercase tokens are
+  variables, quoted tokens/numbers are constants; ``|`` separates UCQ
+  disjuncts; a leading ``!`` negates.
+* databases: one fact per line (``R(a, ?n1)``), ``?name`` marks a null,
+  with ``domain ...`` / ``null n : ...`` header lines declaring domains.
+* CSV: each ``NULL``-marked cell becomes a null (``NULL:label`` shares a
+  null across cells, producing naive tables).
+"""
+
+from repro.io.queries import format_query, parse_query
+from repro.io.databases import format_database, parse_database
+from repro.io.csv_loader import load_csv_relation
+
+__all__ = [
+    "format_query",
+    "parse_query",
+    "format_database",
+    "parse_database",
+    "load_csv_relation",
+]

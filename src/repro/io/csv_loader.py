@@ -1,0 +1,102 @@
+"""CSV ingestion: turn tables with missing values into incomplete databases.
+
+Real data arrives as CSV with missing cells.  ``load_csv_relation`` maps a
+CSV table to facts over one relation, turning marked cells into labeled
+nulls:
+
+* a cell equal to ``null_marker`` (default ``"NULL"``) becomes a *fresh*
+  null — repeated markers are independent unknowns (Codd style);
+* a cell of the form ``NULL:label`` reuses the null named ``label`` —
+  correlated unknowns (naive-table style, e.g. "these two rows hide the
+  same salary").
+
+The caller supplies the finite domain(s) the unknowns range over, matching
+the paper's finitary semantics.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Mapping, Sequence
+
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null, Term
+
+
+def load_csv_relation(
+    source: str | Iterable[str],
+    relation: str,
+    domain: Iterable[Term] | None = None,
+    column_domains: Mapping[int, Iterable[Term]] | None = None,
+    null_marker: str = "NULL",
+    has_header: bool = False,
+) -> IncompleteDatabase:
+    """Load one relation from CSV text (or an iterable of lines).
+
+    Exactly one of ``domain`` (uniform) or ``column_domains`` (per-column,
+    producing a non-uniform database where each null takes its column's
+    domain) must be given.  Values are kept as strings except unmarked
+    cells that parse as integers, which become ints.
+    """
+    if (domain is None) == (column_domains is None):
+        raise ValueError(
+            "provide exactly one of `domain` or `column_domains`"
+        )
+    if isinstance(source, str):
+        reader = csv.reader(io.StringIO(source))
+    else:
+        reader = csv.reader(source)
+
+    rows = list(reader)
+    if has_header and rows:
+        rows = rows[1:]
+
+    facts: list[Fact] = []
+    null_domains: dict[Null, set[Term]] = {}
+    fresh_counter = 0
+
+    def cell_domain(column: int) -> set[Term]:
+        if column_domains is not None:
+            try:
+                return set(column_domains[column])
+            except KeyError:
+                raise ValueError(
+                    "no domain declared for column %d" % column
+                ) from None
+        assert domain is not None
+        return set(domain)
+
+    for row_number, row in enumerate(rows):
+        if not row:
+            continue
+        terms: list[Term] = []
+        for column, cell in enumerate(row):
+            cell = cell.strip()
+            if cell == null_marker:
+                fresh_counter += 1
+                null = Null("csv%d" % fresh_counter)
+                null_domains[null] = cell_domain(column)
+                terms.append(null)
+            elif cell.startswith(null_marker + ":"):
+                label = cell[len(null_marker) + 1 :]
+                null = Null(label)
+                wanted = cell_domain(column)
+                if null in null_domains and null_domains[null] != wanted:
+                    # A shared null crossing columns takes the intersection
+                    # of the column domains: it must be valid in both.
+                    null_domains[null] &= wanted
+                else:
+                    null_domains.setdefault(null, wanted)
+                terms.append(null)
+            else:
+                try:
+                    terms.append(int(cell))
+                except ValueError:
+                    terms.append(cell)
+        facts.append(Fact(relation, terms))
+
+    if domain is not None:
+        return IncompleteDatabase.uniform(facts, domain)
+    return IncompleteDatabase(facts, dom=null_domains)

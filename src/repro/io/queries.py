@@ -1,0 +1,102 @@
+"""Parsing and formatting Boolean queries.
+
+Grammar (whitespace-insensitive)::
+
+    query    := [ '!' ] disjunct ( '|' disjunct )*
+    disjunct := atom ( ',' atom )*
+    atom     := NAME '(' term ( ',' term )* ')'
+    term     := NAME            — a variable (identifier)
+              | NUMBER          — an integer constant
+              | "'" CHARS "'"   — a quoted string constant
+
+Relation names start with an uppercase letter by convention but any
+identifier is accepted; variables are identifiers too — the distinction is
+positional (relation names precede ``(``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.query import Atom, BCQ, BooleanQuery, Const, Negation, UCQ
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(([^()]*)\)\s*")
+
+
+class QuerySyntaxError(ValueError):
+    """Raised on malformed query text."""
+
+
+def _parse_term(token: str):
+    token = token.strip()
+    if not token:
+        raise QuerySyntaxError("empty term")
+    if token.startswith("'") and token.endswith("'") and len(token) >= 2:
+        return Const(token[1:-1])
+    if re.fullmatch(r"-?\d+", token):
+        return Const(int(token))
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+        return token  # a variable name (Atom coerces)
+    raise QuerySyntaxError("cannot parse term %r" % token)
+
+
+def _parse_disjunct(text: str) -> BCQ:
+    atoms = []
+    position = 0
+    while position < len(text):
+        match = _ATOM_RE.match(text, position)
+        if not match:
+            raise QuerySyntaxError(
+                "expected an atom at %r" % text[position : position + 30]
+            )
+        relation, body = match.group(1), match.group(2)
+        terms = [_parse_term(part) for part in body.split(",")]
+        atoms.append(Atom(relation, terms))
+        position = match.end()
+        if position < len(text):
+            if text[position] != ",":
+                raise QuerySyntaxError(
+                    "expected ',' between atoms at %r" % text[position:]
+                )
+            position += 1
+    if not atoms:
+        raise QuerySyntaxError("a query needs at least one atom")
+    return BCQ(atoms)
+
+
+def parse_query(text: str) -> BooleanQuery:
+    """Parse a query; returns a :class:`BCQ`, :class:`UCQ` or
+    :class:`Negation` depending on the connectives present."""
+    stripped = text.strip()
+    negated = stripped.startswith("!")
+    if negated:
+        stripped = stripped[1:].strip()
+    disjunct_texts = [part for part in stripped.split("|")]
+    disjuncts = [_parse_disjunct(part) for part in disjunct_texts]
+    inner: BooleanQuery = (
+        disjuncts[0] if len(disjuncts) == 1 else UCQ(disjuncts)
+    )
+    return Negation(inner) if negated else inner
+
+
+def _format_term(term) -> str:
+    if isinstance(term, Const):
+        if isinstance(term.value, int):
+            return str(term.value)
+        return "'%s'" % (term.value,)
+    return term.name
+
+
+def format_query(query: BooleanQuery) -> str:
+    """Round-trippable text form of a query."""
+    if isinstance(query, Negation):
+        return "!%s" % format_query(query.inner)
+    if isinstance(query, UCQ):
+        return " | ".join(format_query(d) for d in query.disjuncts)
+    if isinstance(query, BCQ):
+        return ", ".join(
+            "%s(%s)"
+            % (atom.relation, ", ".join(_format_term(t) for t in atom.terms))
+            for atom in query.atoms
+        )
+    raise TypeError("cannot format %s" % type(query).__name__)

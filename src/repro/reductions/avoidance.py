@@ -1,0 +1,72 @@
+"""Prop. 3.5: ``#ValCd(R(x) ∧ S(x))`` is #P-hard via ``#Avoidance``.
+
+For a bipartite graph ``G = (U ⊔ V, E)``: one null ``⊥_t`` per node, with
+*non-uniform* domain ``dom(⊥_t) = E(t)`` (its incident edges, as
+constants); facts ``R(⊥_u)`` for ``u ∈ U`` and ``S(⊥_v)`` for ``v ∈ V``.
+The result is a Codd table, valuations are exactly the assignments of
+``G``, and ``ν(D) |= R(x) ∧ S(x)`` iff the assignment is *not* avoiding
+(two adjacent nodes pick the same edge — one from each side, since ``G``
+is bipartite).  Hence
+
+``#Avoidance(G) = #assignments(G) - #ValCd(R(x)∧S(x))(D_G)``.
+
+The chain behind it — Holant([1,1,0]|[0,1,0,0]) -> #Avoidance on 3-regular
+multigraphs (Prop. A.3, via merging) -> bipartite graphs (Prop. A.8, via
+subdivision) — lives in :mod:`repro.graphs.avoidance`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.patterns import PATTERN_SHARED
+from repro.core.query import BCQ
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.db.valuation import count_total_valuations
+from repro.exact.brute import count_valuations_brute
+from repro.graphs.graph import Graph
+
+#: The query of Prop. 3.5.
+QUERY: BCQ = PATTERN_SHARED
+
+Oracle = Callable[[IncompleteDatabase, BCQ], int]
+
+
+def build_avoidance_db(graph: Graph) -> IncompleteDatabase:
+    """The Codd table of Prop. 3.5 (non-uniform domains = incident edges).
+
+    Every node must have at least one incident edge (otherwise it has no
+    assignment and ``#Avoidance = 0``; we reject such inputs to keep the
+    domains non-empty, mirroring the proof's implicit assumption).
+    """
+    partition = graph.bipartition()
+    if partition is None:
+        raise ValueError("Prop. 3.5 reduces from bipartite graphs")
+    left, right = partition
+    if any(graph.degree(node) == 0 for node in graph.nodes):
+        raise ValueError("all nodes need an incident edge (assignments exist)")
+
+    facts = []
+    domains: dict[Null, list] = {}
+    for node in graph.nodes:
+        null = Null(("node", node))
+        incident = [
+            ("edge",) + tuple(sorted((node, neighbor), key=repr))
+            for neighbor in graph.neighbors(node)
+        ]
+        domains[null] = incident
+        relation = "R" if node in left else "S"
+        facts.append(Fact(relation, [null]))
+    return IncompleteDatabase(facts, dom=domains)
+
+
+def count_avoiding_assignments_via_valuations(
+    graph: Graph, oracle: Oracle = count_valuations_brute
+) -> int:
+    """``#Avoidance(G)`` recovered from a ``#ValCd(R(x)∧S(x))`` oracle."""
+    db = build_avoidance_db(graph)
+    total = count_total_valuations(db)
+    non_avoiding = oracle(db, QUERY)
+    return total - non_avoiding

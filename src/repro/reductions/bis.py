@@ -1,0 +1,133 @@
+"""Prop. 3.11: ``#ValuCd(R(x) ∧ S(x,y) ∧ T(y))`` is #P-hard via ``#BIS``.
+
+The most intricate reduction of the paper: a Turing reduction making
+``(n+1)²`` oracle calls and inverting a linear system.
+
+For a bipartite graph ``G = (X ⊔ Y, E)`` with ``|X| = |Y| = n`` and
+``0 <= a, b <= n``, the Codd table ``D_{a,b}`` has
+
+* ground facts ``S(a_i, a_j)`` for each edge ``(x_i, y_j)``,
+* ``R(⊥_1..⊥_a)`` and ``T(⊥'_1..⊥'_b)`` — Codd nulls with the uniform
+  domain ``{a_1..a_n}``.
+
+Writing ``C_{a,b}`` for the number of valuations of ``D_{a,b}``
+*falsifying* the query, and ``Z_{i,j}`` for the number of independent
+pairs ``(S1, S2)`` with ``|S1| = i``, ``|S2| = j``:
+
+``C_{a,b} = sum_{i,j} surj(a, i) * surj(b, j) * Z_{i,j}``
+
+— a linear system whose matrix is the Kronecker square of the triangular
+surjection matrix, hence invertible; solving it recovers the ``Z_{i,j}``
+and ``#BIS(G) = sum Z_{i,j}``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable
+
+from repro.core.patterns import PATTERN_PATH
+from repro.core.query import BCQ
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.db.valuation import count_total_valuations
+from repro.exact.brute import count_valuations_brute
+from repro.graphs.graph import Graph, Node
+from repro.util.combinatorics import surjections
+from repro.util.linear import solve_rational_system
+
+#: The query of Prop. 3.11.
+QUERY: BCQ = PATTERN_PATH
+
+Oracle = Callable[[IncompleteDatabase, BCQ], int]
+
+
+def _constant(index: int):
+    return ("a", index)
+
+
+def build_bis_db(
+    graph: Graph,
+    left: list[Node],
+    right: list[Node],
+    a: int,
+    b: int,
+) -> IncompleteDatabase:
+    """The Codd table ``D_{a,b}`` of Prop. 3.11 (parts must be equal-size)."""
+    n = len(left)
+    if len(right) != n:
+        raise ValueError("parts must have equal size (pad beforehand)")
+    left_index = {node: i + 1 for i, node in enumerate(left)}
+    right_index = {node: i + 1 for i, node in enumerate(right)}
+    facts = []
+    for u, v in graph.edges:
+        if u in left_index and v in right_index:
+            facts.append(Fact("S", [_constant(left_index[u]), _constant(right_index[v])]))
+        elif v in left_index and u in right_index:
+            facts.append(Fact("S", [_constant(left_index[v]), _constant(right_index[u])]))
+        else:
+            raise ValueError("edge %r does not cross the given parts" % ((u, v),))
+    for i in range(1, a + 1):
+        facts.append(Fact("R", [Null(("r", i))]))
+    for i in range(1, b + 1):
+        facts.append(Fact("T", [Null(("t", i))]))
+    domain = [_constant(i) for i in range(1, n + 1)]
+    return IncompleteDatabase.uniform(facts, domain)
+
+
+def count_bis_via_valuations(
+    graph: Graph, oracle: Oracle = count_valuations_brute
+) -> int:
+    """``#BIS(G)`` recovered from a ``#ValuCd`` oracle (Prop. 3.11).
+
+    Pads the smaller part with isolated nodes (each padding node doubles
+    the independent-set count, divided back out at the end), performs the
+    ``(n+1)²`` oracle calls, and solves the surjection system exactly over
+    the rationals.
+    """
+    partition = graph.bipartition()
+    if partition is None:
+        raise ValueError("#BIS requires a bipartite graph")
+    left = sorted(partition[0], key=repr)
+    right = sorted(partition[1], key=repr)
+    padding = abs(len(left) - len(right))
+    pad_side = left if len(left) < len(right) else right
+    for index in range(padding):
+        pad_side.append(("pad", index))
+    n = len(left)
+
+    if n == 0:
+        return 1  # the empty graph has exactly the empty independent set
+
+    # C[a][b]: valuations of D_{a,b} falsifying the query.
+    falsifying: dict[tuple[int, int], int] = {}
+    for a in range(n + 1):
+        for b in range(n + 1):
+            db = build_bis_db(graph, left, right, a, b)
+            total = count_total_valuations(db)
+            falsifying[(a, b)] = total - oracle(db, QUERY)
+
+    # Solve (A' ⊗ A') Z = C with A'[a][i] = surj(a, i).
+    pairs = [(i, j) for i in range(n + 1) for j in range(n + 1)]
+    matrix = [
+        [surjections(a, i) * surjections(b, j) for (i, j) in pairs]
+        for (a, b) in pairs
+    ]
+    rhs = [falsifying[pair] for pair in pairs]
+    solution = solve_rational_system(matrix, rhs)
+
+    total = Fraction(0)
+    for value in solution:
+        if value.denominator != 1 or value < 0:
+            raise ArithmeticError(
+                "recovered Z values must be non-negative integers; "
+                "got %r (oracle inconsistent?)" % (value,)
+            )
+        total += value
+    bis_padded = int(total)
+    # Each padding node is isolated: it doubles the count.
+    quotient, remainder = divmod(bis_padded, 2**padding)
+    if remainder:
+        raise ArithmeticError("padding correction failed; oracle inconsistent")
+    return quotient

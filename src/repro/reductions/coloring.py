@@ -1,0 +1,68 @@
+"""Prop. 3.4: ``#Valu(R(x,x))`` is #P-hard via counting 3-colorings.
+
+For a graph ``G = (V, E)``: one null ``⊥_v`` per node with shared domain
+``{1, 2, 3}`` (colors), and facts ``R(⊥_u, ⊥_v)``, ``R(⊥_v, ⊥_u)`` per
+edge.  A valuation falsifies ``∃x R(x,x)`` exactly when no edge is
+monochromatic, i.e. when it is a proper 3-coloring, so
+
+``#3COL(G) = 3^{|V|} - #Valu(R(x,x))(D_G)``.
+
+We expose the generalization to ``k`` colors (same argument; the paper
+fixes ``k = 3`` because #3COL is the classical #P-hard problem [31]).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.patterns import PATTERN_REPEAT
+from repro.core.query import BCQ
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.db.valuation import count_total_valuations
+from repro.exact.brute import count_valuations_brute
+from repro.graphs.graph import Graph
+
+#: The query of Prop. 3.4.
+QUERY: BCQ = PATTERN_REPEAT
+
+Oracle = Callable[[IncompleteDatabase, BCQ], int]
+
+
+def build_three_coloring_db(
+    graph: Graph, num_colors: int = 3
+) -> IncompleteDatabase:
+    """The uniform incomplete database of Prop. 3.4 (domain ``1..k``)."""
+    facts = []
+    node_null = {node: Null(("node", node)) for node in graph.nodes}
+    for u, v in graph.edges:
+        facts.append(Fact("R", [node_null[u], node_null[v]]))
+        facts.append(Fact("R", [node_null[v], node_null[u]]))
+    # Isolated nodes still carry a color choice; keep their nulls in play
+    # with a self-pair-free placeholder?  No: the paper's count only needs
+    # the nulls appearing in the table, so isolated nodes contribute a
+    # factor k handled by the caller.  We keep the table exactly as in the
+    # proof (edges only).
+    return IncompleteDatabase.uniform(
+        facts, range(1, num_colors + 1)
+    )
+
+
+def count_colorings_via_valuations(
+    graph: Graph,
+    num_colors: int = 3,
+    oracle: Oracle = count_valuations_brute,
+) -> int:
+    """``#kCOL(G)`` recovered from a ``#Valu(R(x,x))`` oracle (Prop. 3.4).
+
+    ``oracle`` defaults to brute force — i.e. we *run* the Turing reduction
+    of the proof; tests compare the result with the direct coloring
+    counter.
+    """
+    db = build_three_coloring_db(graph, num_colors)
+    total = count_total_valuations(db)
+    monochromatic = oracle(db, QUERY)
+    colorings_of_edge_nodes = total - monochromatic
+    isolated = sum(1 for node in graph.nodes if graph.degree(node) == 0)
+    return colorings_of_edge_nodes * num_colors**isolated

@@ -1,0 +1,91 @@
+"""Theorem 6.4: ``#Valu(q)`` SpanP-complete for a fixed query with NP model
+checking — via ``#HamSubgraphs``.
+
+For a graph ``G`` and ``k``, the uniform Codd table ``D_{G,k}`` holds
+
+* ``R(u, v)`` and ``R(v, u)`` for every edge (ground facts),
+* ``T(a_i, ⊥_i)`` for every node ``a_i`` (one null each, domain ``{0,1}``),
+* ``K(j)`` for ``1 <= j <= k``.
+
+The fixed Boolean query ``q_ESO`` of the proof asserts: letting
+``S = {v : T(v, 1)}``, the cardinality of ``S`` equals the number of
+``K``-elements and the subgraph of ``R`` induced by ``S`` is Hamiltonian.
+The paper expresses it in existential second-order logic (model checking in
+NP by Fagin's theorem); we implement the same fixed query as a
+:class:`~repro.core.query.CustomQuery` whose decision procedure is the
+exact Held-Karp Hamiltonicity test.  Valuations are in bijection with node
+subsets, so the reduction is parsimonious:
+
+``#HamSubgraphs(G, k) = #Valu(q_ESO)(D_{G,k})``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.query import CustomQuery
+from repro.db.database import Database
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.exact.brute import count_valuations_brute
+from repro.graphs.graph import Graph
+from repro.graphs.hamilton import is_hamiltonian
+
+
+def _decide_hamiltonian_query(database: Database) -> bool:
+    """Model checking for ``q_ESO`` on a complete database."""
+    chosen = set()
+    universe = set()
+    for fact in database.relation("T"):
+        node, flag = fact.terms
+        universe.add(node)
+        if flag == 1:
+            chosen.add(node)
+    k = len(database.relation("K"))
+    if len(chosen) != k:
+        return False
+    induced = Graph(nodes=chosen)
+    for fact in database.relation("R"):
+        u, v = fact.terms
+        if u in chosen and v in chosen and u != v:
+            induced.add_edge(u, v)
+    return is_hamiltonian(induced)
+
+
+def make_hamiltonian_query() -> CustomQuery:
+    """The fixed query ``q_ESO`` (model checking in NP)."""
+    return CustomQuery(
+        name="q_ESO[HamSubgraphs]",
+        relations=("R", "T", "K"),
+        decide=_decide_hamiltonian_query,
+        monotone=False,
+        minimal_model_bound=None,
+    )
+
+
+def build_hamiltonian_db(graph: Graph, k: int) -> IncompleteDatabase:
+    """The uniform Codd table ``D_{G,k}`` of Theorem 6.4."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    facts = []
+    for u, v in graph.edges:
+        facts.append(Fact("R", [("v", u), ("v", v)]))
+        facts.append(Fact("R", [("v", v), ("v", u)]))
+    for node in graph.nodes:
+        facts.append(Fact("T", [("v", node), Null(("node", node))]))
+    for j in range(1, k + 1):
+        facts.append(Fact("K", [("k", j)]))
+    return IncompleteDatabase.uniform(facts, (0, 1))
+
+
+def count_ham_subgraphs_via_valuations(
+    graph: Graph,
+    k: int,
+    oracle: Callable[[IncompleteDatabase, CustomQuery], int] = (
+        count_valuations_brute
+    ),
+) -> int:
+    """``#HamSubgraphs(G, k) = #Valu(q_ESO)(D_{G,k})`` — parsimonious."""
+    db = build_hamiltonian_db(graph, k)
+    return oracle(db, make_hamiltonian_query())

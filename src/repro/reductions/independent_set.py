@@ -1,0 +1,112 @@
+"""Props. 3.8 and 4.5(a): hardness via counting independent sets.
+
+Prop. 3.8 (valuations, uniform, naive): encode ``G`` in a binary relation
+``S`` (both edge directions) over node-nulls with domain ``{0, 1}``; a
+valuation picks the node subset ``S_ν = {v : ν(⊥_v) = 1}``:
+
+* with facts ``R(1)`` and ``T(1)``, the query ``R(x) ∧ S(x,y) ∧ T(y)``
+  holds iff some edge has both endpoints picked, so
+  ``#IS(G) = 2^{|V|} - #Valu(q)(D)``;
+* with the fact ``R2(1,1)``, the same bijection works for
+  ``R2(x,y) ∧ S(x,y)``.
+
+Prop. 4.5(a) (completions, uniform, naive): facts ``R(u, ⊥_u)`` pin every
+valuation to a distinct completion, the edge facts plus ``R(⊥,⊥)`` and the
+padding facts ``R(0,0), R(0,1), R(1,0)`` arrange exactly ``2^{|V|}``
+completions containing ``R(1,1)`` and ``#IS(G)`` completions without it:
+``#Compu(R(x,x))(D) = #Compu(R(x,y))(D) = 2^{|V|} + #IS(G)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.query import Atom, BCQ
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.exact.brute import count_completions_brute, count_valuations_brute
+from repro.graphs.graph import Graph
+
+#: Queries of Prop. 3.8.
+PATH_QUERY = BCQ([Atom("R", ["x"]), Atom("S", ["x", "y"]), Atom("T", ["y"])])
+DOUBLE_EDGE_QUERY = BCQ([Atom("R2", ["x", "y"]), Atom("S", ["x", "y"])])
+
+ValOracle = Callable[[IncompleteDatabase, BCQ], int]
+CompOracle = Callable[[IncompleteDatabase, BCQ], int]
+
+
+def _edge_facts(graph: Graph) -> tuple[list[Fact], dict]:
+    node_null = {node: Null(("node", node)) for node in graph.nodes}
+    facts = []
+    for u, v in graph.edges:
+        facts.append(Fact("S", [node_null[u], node_null[v]]))
+        facts.append(Fact("S", [node_null[v], node_null[u]]))
+    return facts, node_null
+
+
+def build_is_path_db(graph: Graph) -> IncompleteDatabase:
+    """Prop. 3.8 database for ``R(x) ∧ S(x,y) ∧ T(y)``."""
+    facts, _ = _edge_facts(graph)
+    facts.append(Fact("R", [1]))
+    facts.append(Fact("T", [1]))
+    return IncompleteDatabase.uniform(facts, (0, 1))
+
+
+def build_is_double_edge_db(graph: Graph) -> IncompleteDatabase:
+    """Prop. 3.8 database for ``R2(x,y) ∧ S(x,y)``."""
+    facts, _ = _edge_facts(graph)
+    facts.append(Fact("R2", [1, 1]))
+    return IncompleteDatabase.uniform(facts, (0, 1))
+
+
+def count_independent_sets_via_valuations(
+    graph: Graph,
+    query: BCQ = PATH_QUERY,
+    oracle: ValOracle = count_valuations_brute,
+) -> int:
+    """``#IS(G)`` recovered from a ``#Valu`` oracle (Prop. 3.8).
+
+    ``query`` selects which of the two hard patterns to exercise.
+    """
+    if query == PATH_QUERY:
+        db = build_is_path_db(graph)
+    elif query == DOUBLE_EDGE_QUERY:
+        db = build_is_double_edge_db(graph)
+    else:
+        raise ValueError("query must be one of the Prop. 3.8 queries")
+    nulls_in_play = len(db.nulls)
+    satisfying = oracle(db, query)
+    # Isolated nodes have no null in the table; they are unconstrained and
+    # double the independent-set count each.
+    isolated = graph.num_nodes - nulls_in_play
+    return (2**nulls_in_play - satisfying) * 2**isolated
+
+
+def build_is_completion_db(graph: Graph) -> IncompleteDatabase:
+    """Prop. 4.5(a) database over the single binary relation ``R``."""
+    node_null = {node: Null(("node", node)) for node in graph.nodes}
+    facts = [Fact("R", [("n", node), node_null[node]]) for node in graph.nodes]
+    for u, v in graph.edges:
+        facts.append(Fact("R", [node_null[u], node_null[v]]))
+        facts.append(Fact("R", [node_null[v], node_null[u]]))
+    facts.append(Fact("R", [0, 0]))
+    facts.append(Fact("R", [0, 1]))
+    facts.append(Fact("R", [1, 0]))
+    facts.append(Fact("R", [Null("extra"), Null("extra")]))
+    return IncompleteDatabase.uniform(facts, (0, 1))
+
+
+def count_independent_sets_via_completions(
+    graph: Graph,
+    oracle: CompOracle | None = None,
+) -> int:
+    """``#IS(G)`` recovered from a ``#Compu`` oracle (Prop. 4.5(a)):
+    ``#IS = #Compu(R(x,x))(D) - 2^{|V|}``."""
+    db = build_is_completion_db(graph)
+    query = BCQ([Atom("R", ["x", "x"])])
+    if oracle is None:
+        completions = count_completions_brute(db, query)
+    else:
+        completions = oracle(db, query)
+    return completions - 2**graph.num_nodes

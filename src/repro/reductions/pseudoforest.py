@@ -1,0 +1,83 @@
+"""Prop. 4.5(b): ``#CompuCd(R(x,x))`` / ``#CompuCd(R(x,y))`` are #P-hard
+via counting induced pseudoforests (``#PF``).
+
+For a bipartite graph ``G = (U ⊔ V, E)`` (edges oriented ``U -> V``), the
+uniform Codd table contains
+
+* the *complementary facts* ``R(t, t')`` for every ordered pair in
+  ``(U ∪ V)² \\ E``,
+* ``R(u, ⊥_u)`` for ``u ∈ U`` and ``R(⊥_v, v)`` for ``v ∈ V``,
+* ``R(f, f)`` for a fresh constant ``f`` (so both queries hold in every
+  completion),
+
+with uniform domain ``U ∪ V``.  A completion is determined by which edge
+facts ``R(u, v)``, ``(u,v) ∈ E``, it contains, and ``D_S`` is a completion
+iff ``G[S]`` admits an orientation of out-degree <= 1 — i.e. iff ``G[S]``
+is a pseudoforest (Lemma B.4).  Hence ``#CompuCd(D_G) = #PF(G)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.query import Atom, BCQ
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.exact.brute import count_completions_brute
+from repro.graphs.graph import Graph, Node
+
+#: Either Prop. 4.5 query works; the binary pattern is the default.
+QUERY = BCQ([Atom("R", ["x", "y"])])
+QUERY_LOOP = BCQ([Atom("R", ["x", "x"])])
+
+Oracle = Callable[[IncompleteDatabase, BCQ], int]
+
+FRESH = ("fresh", "f")
+
+
+def build_pseudoforest_db(
+    graph: Graph,
+    left: set[Node] | None = None,
+) -> IncompleteDatabase:
+    """The uniform Codd table of Prop. 4.5(b).
+
+    ``left`` fixes the bipartition side used to orient the edges (defaults
+    to the first side found by 2-coloring).
+    """
+    partition = graph.bipartition()
+    if partition is None:
+        raise ValueError("Prop. 4.5(b) reduces from bipartite graphs")
+    if left is None:
+        left = partition[0]
+    nodes = graph.nodes
+    node_constant = {node: ("v", node) for node in nodes}
+    edge_pairs = set()
+    for u, v in graph.edges:
+        source, target = (u, v) if u in left else (v, u)
+        edge_pairs.add((source, target))
+
+    facts = []
+    for t in nodes:
+        for t_prime in nodes:
+            if (t, t_prime) not in edge_pairs:
+                facts.append(
+                    Fact("R", [node_constant[t], node_constant[t_prime]])
+                )
+    for node in nodes:
+        null = Null(("node", node))
+        if node in left:
+            facts.append(Fact("R", [node_constant[node], null]))
+        else:
+            facts.append(Fact("R", [null, node_constant[node]]))
+    facts.append(Fact("R", [FRESH, FRESH]))
+    domain = [node_constant[node] for node in nodes]
+    return IncompleteDatabase.uniform(facts, domain)
+
+
+def count_pseudoforests_via_completions(
+    graph: Graph, oracle: Oracle = count_completions_brute
+) -> int:
+    """``#PF(G) = #CompuCd(R(x,y))(D_G)`` — parsimonious (Prop. 4.5(b))."""
+    db = build_pseudoforest_db(graph)
+    return oracle(db, QUERY)

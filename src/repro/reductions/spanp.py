@@ -1,0 +1,120 @@
+"""Theorem 6.3: ``#Compu(¬q)`` is SpanP-complete — via ``#k3SAT``.
+
+The fixed sjfBCQ (Eq. 8 of the paper) over the schema
+``σ = {S} ∪ {C_abc : (a,b,c) ∈ {0,1}³}`` is
+
+``q = S(u, v) ∧ ⋀_{(a,b,c)} C_abc(x, y, z)``
+
+(one shared triple ``x,y,z`` across the eight ``C`` atoms; all relations
+distinct, so ``q`` is self-join-free).
+
+For a 3-CNF ``F`` over ``x_1..x_n`` and ``1 <= k <= n``:
+
+* each relation ``C_abc`` holds the **seven** ground triples agreeing with
+  ``(a,b,c)`` in some coordinate;
+* each clause contributes the fact ``C_{a1a2a3}(⊥_{y1}, ⊥_{y2}, ⊥_{y3})``
+  where ``a_i = 1`` iff literal ``i`` is positive — the fact becomes the
+  missing eighth triple exactly when the clause is falsified;
+* ``S(i, ⊥_{x_i})`` for ``i <= k`` records the prefix;
+* uniform domain ``{0, 1}``.
+
+A completion falsifies ``q`` iff the underlying assignment satisfies ``F``,
+and two satisfying assignments yield the same completion iff they agree on
+``x_1..x_k`` — so the reduction is parsimonious:
+
+``#k3SAT(F, k) = #Compu(¬q)(D_{F,k})``.
+
+Lemma D.1 (used by Prop. 6.1) is also provided: padding every relation
+with a fresh-constant fact makes *every* completion satisfy ``q``, hence
+``#Compu(σ)(D) = #Compu(q)(D')`` parsimoniously.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable
+
+from repro.core.query import Atom, BCQ, Negation
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.exact.brute import count_completions_brute
+from repro.complexity.cnf import CNF3
+
+
+def _relation_name(bits: tuple[int, int, int]) -> str:
+    return "C%d%d%d" % bits
+
+
+def _make_spanp_query() -> BCQ:
+    atoms = [Atom("S", ["u", "v"])]
+    for bits in product((0, 1), repeat=3):
+        atoms.append(Atom(_relation_name(bits), ["x", "y", "z"]))
+    return BCQ(atoms)
+
+
+#: The fixed sjfBCQ of Eq. (8).
+SPANP_QUERY: BCQ = _make_spanp_query()
+
+#: The SpanP-complete counting query of Theorem 6.3.
+NEGATED_QUERY: Negation = Negation(SPANP_QUERY)
+
+Oracle = Callable[[IncompleteDatabase, Negation], int]
+
+
+def _agreeing_triples(bits: tuple[int, int, int]) -> list[tuple[int, int, int]]:
+    """The seven triples sharing at least one coordinate with ``bits``."""
+    return [
+        triple
+        for triple in product((0, 1), repeat=3)
+        if any(triple[i] == bits[i] for i in range(3))
+    ]
+
+
+def build_k3sat_db(formula: CNF3, k: int) -> IncompleteDatabase:
+    """The Theorem 6.3 database ``D_{F,k}`` (uniform domain ``{0,1}``)."""
+    if not 1 <= k <= formula.num_variables:
+        raise ValueError("k must satisfy 1 <= k <= n")
+    facts = []
+    for bits in product((0, 1), repeat=3):
+        for triple in _agreeing_triples(bits):
+            facts.append(Fact(_relation_name(bits), list(triple)))
+    variable_null = {
+        index: Null(("x", index))
+        for index in range(1, formula.num_variables + 1)
+    }
+    for clause in formula.clauses:
+        bits = clause.sign_tuple()
+        facts.append(
+            Fact(
+                _relation_name(bits),
+                [variable_null[v] for v in clause.variables],
+            )
+        )
+    for index in range(1, k + 1):
+        facts.append(Fact("S", [("i", index), variable_null[index]]))
+    return IncompleteDatabase.uniform(facts, (0, 1))
+
+
+def count_k3sat_via_completions(
+    formula: CNF3, k: int, oracle: Oracle = count_completions_brute
+) -> int:
+    """``#k3SAT(F, k) = #Compu(¬q)(D_{F,k})`` — parsimonious (Thm. 6.3)."""
+    db = build_k3sat_db(formula, k)
+    return oracle(db, NEGATED_QUERY)
+
+
+def pad_with_fresh_facts(db: IncompleteDatabase) -> IncompleteDatabase:
+    """The Lemma D.1 padding: add ``S(f,f)`` and ``C_abc(f,f,f)`` on a
+    fresh constant so every completion satisfies ``SPANP_QUERY``.
+
+    Then ``#Compu(σ)(db) = #Compu(q)(padded)`` parsimoniously, which is the
+    accounting step behind Prop. 6.1 (``#Compu(q)`` outside #P unless
+    NP ⊆ SPP).
+    """
+    fresh = ("fresh", "f")
+    facts = list(db.facts)
+    facts.append(Fact("S", [fresh, fresh]))
+    for bits in product((0, 1), repeat=3):
+        facts.append(Fact(_relation_name(bits), [fresh, fresh, fresh]))
+    return IncompleteDatabase.uniform(facts, db.uniform_domain)

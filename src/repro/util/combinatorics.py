@@ -1,0 +1,161 @@
+"""Exact combinatorial primitives used throughout the reproduction.
+
+The paper's tractable-case algorithms (Example 3.10, Prop. A.14, App. B.6)
+are built from binomials, multinomials and the surjection numbers
+``surj(n, m)`` (the number of surjective functions from an ``n``-element set
+onto an ``m``-element set).  All functions here return exact ``int`` values.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Iterable, Iterator, Sequence
+
+
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient ``C(n, k)``, zero outside ``0 <= k <= n``.
+
+    The paper uses the convention ``C(a, b) = 0`` when ``b > a`` (footnote 9),
+    which makes closed-form sums such as Eq. (3)-(5) valid without explicit
+    range guards; we adopt the same convention.
+    """
+    if k < 0 or n < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def falling_factorial(n: int, k: int) -> int:
+    """Falling factorial ``n * (n-1) * ... * (n-k+1)``; zero for ``k > n``."""
+    if k < 0:
+        raise ValueError("falling_factorial: k must be non-negative")
+    if k > n:
+        return 0
+    result = 1
+    for i in range(k):
+        result *= n - i
+    return result
+
+
+def multinomial(counts: Sequence[int]) -> int:
+    """Multinomial coefficient ``(sum counts)! / prod(count_i!)``.
+
+    Raises ``ValueError`` on negative parts (a negative part is always a bug
+    in the calling combinatorial argument, never a valid "zero ways" case).
+    """
+    total = 0
+    result = 1
+    for count in counts:
+        if count < 0:
+            raise ValueError("multinomial: negative part %r" % (count,))
+        total += count
+        result *= math.comb(total, count)
+    return result
+
+
+@lru_cache(maxsize=None)
+def surjections(n: int, m: int) -> int:
+    """Number ``surj(n, m)`` of surjections from ``[n]`` onto ``[m]``.
+
+    Computed by inclusion-exclusion exactly as in Section 3.2 of the paper:
+    ``surj(n, m) = sum_{i=0}^{m-1} (-1)^i C(m, i) (m - i)^n``.
+
+    Conventions (needed by the paper's sums, cf. footnote 3):
+
+    * ``surj(n, m) = 0`` whenever ``m > n``;
+    * ``surj(0, 0) = 1`` (the empty function is onto the empty set).
+    """
+    if n < 0 or m < 0:
+        raise ValueError("surjections: arguments must be non-negative")
+    if m > n:
+        return 0
+    if m == 0:
+        return 1 if n == 0 else 0
+    total = 0
+    for i in range(m):
+        term = math.comb(m, i) * (m - i) ** n
+        total += -term if i % 2 else term
+    return total
+
+
+@lru_cache(maxsize=None)
+def stirling2(n: int, k: int) -> int:
+    """Stirling number of the second kind ``S(n, k)``.
+
+    Related to surjections by ``surj(n, k) = k! * S(n, k)``; used as an
+    independent cross-check in the test suite.
+    """
+    if n < 0 or k < 0:
+        raise ValueError("stirling2: arguments must be non-negative")
+    if n == 0 and k == 0:
+        return 1
+    if n == 0 or k == 0:
+        return 0
+    if k > n:
+        return 0
+    return k * stirling2(n - 1, k) + stirling2(n - 1, k - 1)
+
+
+def compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """Yield all tuples of ``parts`` non-negative ints summing to ``total``.
+
+    Yields nothing when ``parts == 0`` and ``total > 0``; yields the empty
+    tuple when both are zero.
+    """
+    if parts < 0 or total < 0:
+        raise ValueError("compositions: arguments must be non-negative")
+    if parts == 0:
+        if total == 0:
+            yield ()
+        return
+    if parts == 1:
+        yield (total,)
+        return
+    for head in range(total + 1):
+        for tail in compositions(total - head, parts - 1):
+            yield (head,) + tail
+
+
+def bounded_compositions(
+    total: int, bounds: Iterable[int]
+) -> Iterator[tuple[int, ...]]:
+    """Yield tuples ``(x_1, ..., x_k)`` with ``0 <= x_i <= bounds[i]`` and
+    ``sum x_i == total``.
+
+    Used to enumerate how many values/constants of each class participate in
+    a combinatorial shape (App. B.6) without exceeding class sizes.
+    """
+    bounds = list(bounds)
+    if total < 0:
+        raise ValueError("bounded_compositions: total must be non-negative")
+    if not bounds:
+        if total == 0:
+            yield ()
+        return
+    head_bound = bounds[0]
+    remaining_capacity = sum(bounds[1:])
+    low = max(0, total - remaining_capacity)
+    high = min(head_bound, total)
+    for head in range(low, high + 1):
+        for tail in bounded_compositions(total - head, bounds[1:]):
+            yield (head,) + tail
+
+
+def bounded_vectors(bounds: Iterable[int]) -> Iterator[tuple[int, ...]]:
+    """Yield all integer vectors ``0 <= x_i <= bounds[i]`` (odometer order)."""
+    bounds = list(bounds)
+    if any(b < 0 for b in bounds):
+        raise ValueError("bounded_vectors: bounds must be non-negative")
+    if not bounds:
+        yield ()
+        return
+    vector = [0] * len(bounds)
+    while True:
+        yield tuple(vector)
+        position = len(bounds) - 1
+        while position >= 0 and vector[position] == bounds[position]:
+            vector[position] = 0
+            position -= 1
+        if position < 0:
+            return
+        vector[position] += 1

@@ -1,0 +1,93 @@
+"""Union-find with optional per-class payload merging.
+
+Used by the FPRAS event construction (Section 5.1 reproduction): unifying an
+embedding of query atoms into facts groups nulls into equivalence classes,
+each carrying the intersection of the involved null domains and at most one
+forced constant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, Iterable, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind(Generic[T]):
+    """Disjoint-set forest over hashable items with path compression.
+
+    Items are registered lazily on first use.  ``union`` returns the new root
+    so callers can maintain side tables keyed by representative.
+    """
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: dict[T, T] = {}
+        self._rank: dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        """Register ``item`` as a singleton class if it is new."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def find(self, item: T) -> T:
+        """Return the representative of ``item``'s class (registers it)."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left: T, right: T) -> T:
+        """Merge the classes of ``left`` and ``right``; return the new root."""
+        left_root = self.find(left)
+        right_root = self.find(right)
+        if left_root == right_root:
+            return left_root
+        if self._rank[left_root] < self._rank[right_root]:
+            left_root, right_root = right_root, left_root
+        self._parent[right_root] = left_root
+        if self._rank[left_root] == self._rank[right_root]:
+            self._rank[left_root] += 1
+        return left_root
+
+    def same(self, left: T, right: T) -> bool:
+        """True when both items are currently in the same class."""
+        return self.find(left) == self.find(right)
+
+    def classes(self) -> dict[T, list[T]]:
+        """Map each representative to the sorted-by-insertion members list."""
+        groups: dict[T, list[T]] = {}
+        for item in self._parent:
+            groups.setdefault(self.find(item), []).append(item)
+        return groups
+
+    def items(self) -> list[T]:
+        """All registered items."""
+        return list(self._parent)
+
+
+def merge_tables(
+    union_find: UnionFind[T],
+    table: dict[T, object],
+    combine: Callable[[object, object], object],
+) -> dict[T, object]:
+    """Re-key a per-item payload ``table`` by class representative.
+
+    Payloads of items falling in the same class are folded with ``combine``.
+    """
+    merged: dict[T, object] = {}
+    for item, payload in table.items():
+        root = union_find.find(item)
+        if root in merged:
+            merged[root] = combine(merged[root], payload)
+        else:
+            merged[root] = payload
+    return merged

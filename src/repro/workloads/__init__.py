@@ -1,0 +1,23 @@
+"""Instance generators for tests and the benchmark harness.
+
+Each Table-1 cell gets a parameterized instance family: the tractable side
+scales the data (domain size, null count) for polynomial-fit measurements,
+and the hard side produces the reduction databases whose brute-force
+counting exhibits the predicted exponential growth.
+"""
+
+from repro.workloads.generators import (
+    random_incomplete_db,
+    scaling_codd_instance,
+    scaling_single_occurrence_instance,
+    scaling_uniform_unary_comp_instance,
+    scaling_uniform_val_instance,
+)
+
+__all__ = [
+    "random_incomplete_db",
+    "scaling_codd_instance",
+    "scaling_single_occurrence_instance",
+    "scaling_uniform_unary_comp_instance",
+    "scaling_uniform_val_instance",
+]

@@ -1,0 +1,147 @@
+"""Random and scaling instance generators."""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from repro.core.query import Atom, BCQ
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+
+
+def random_incomplete_db(
+    schema: Mapping[str, int],
+    seed: int,
+    num_nulls: int = 3,
+    facts_per_relation: tuple[int, int] = (1, 3),
+    domain_size: int = 3,
+    uniform: bool = True,
+    codd: bool = False,
+    null_probability: float = 0.5,
+    extra_constants: int = 1,
+) -> IncompleteDatabase:
+    """A random incomplete database over ``schema`` (relation -> arity).
+
+    ``codd=True`` uses each null at most once (fresh nulls are drawn as
+    needed); otherwise nulls are shared across positions with probability
+    ``null_probability`` per position.  Constants are drawn from the
+    domain plus ``extra_constants`` out-of-domain values.
+    """
+    rng = random.Random(seed)
+    domain = ["v%d" % i for i in range(domain_size)]
+    constants = domain + ["out%d" % i for i in range(extra_constants)]
+    shared_nulls = [Null("n%d" % i) for i in range(max(num_nulls, 1))]
+    fresh_counter = [0]
+
+    def next_null() -> Null:
+        if codd:
+            fresh_counter[0] += 1
+            return Null("c%d" % fresh_counter[0])
+        return rng.choice(shared_nulls)
+
+    facts = []
+    used_nulls: set[Null] = set()
+    for relation in sorted(schema):
+        arity = schema[relation]
+        for _ in range(rng.randint(*facts_per_relation)):
+            terms = []
+            for _ in range(arity):
+                if rng.random() < null_probability:
+                    null = next_null()
+                    used_nulls.add(null)
+                    terms.append(null)
+                else:
+                    terms.append(rng.choice(constants))
+            facts.append(Fact(relation, terms))
+
+    if uniform:
+        return IncompleteDatabase.uniform(facts, domain)
+    non_uniform = {
+        null: rng.sample(domain, rng.randint(1, len(domain)))
+        for null in used_nulls
+    }
+    return IncompleteDatabase(facts, dom=non_uniform)
+
+
+def scaling_single_occurrence_instance(
+    size: int, seed: int = 0
+) -> tuple[IncompleteDatabase, BCQ]:
+    """Theorem 3.6 family: ``R(x,y) ∧ S(z)``, ``size`` facts/nulls each,
+    non-uniform domains."""
+    rng = random.Random(seed)
+    facts = []
+    dom: dict[Null, list[str]] = {}
+    pool = ["v%d" % i for i in range(max(4, size))]
+    for i in range(size):
+        r_null = Null(("r", i))
+        s_null = Null(("s", i))
+        dom[r_null] = rng.sample(pool, min(3, len(pool)))
+        dom[s_null] = rng.sample(pool, min(2, len(pool)))
+        facts.append(Fact("R", [r_null, rng.choice(pool)]))
+        facts.append(Fact("S", [s_null]))
+    query = BCQ([Atom("R", ["x", "y"]), Atom("S", ["z"])])
+    return IncompleteDatabase(facts, dom=dom), query
+
+
+def scaling_codd_instance(
+    size: int, seed: int = 0
+) -> tuple[IncompleteDatabase, BCQ]:
+    """Theorem 3.7 family: ``R(x,x) ∧ S(y,z)`` over a Codd table with
+    ``size`` facts per relation, non-uniform domains."""
+    rng = random.Random(seed)
+    facts = []
+    dom: dict[Null, list[str]] = {}
+    pool = ["v%d" % i for i in range(max(4, size // 2 + 2))]
+    counter = [0]
+
+    def fresh() -> Null:
+        counter[0] += 1
+        null = Null(counter[0])
+        dom[null] = rng.sample(pool, rng.randint(1, min(3, len(pool))))
+        return null
+
+    for _ in range(size):
+        facts.append(Fact("R", [fresh(), fresh()]))
+        facts.append(Fact("S", [fresh(), rng.choice(pool)]))
+    query = BCQ([Atom("R", ["x", "x"]), Atom("S", ["y", "z"])])
+    return IncompleteDatabase(facts, dom=dom), query
+
+
+def scaling_uniform_val_instance(
+    size: int, domain_size: int = 4, seed: int = 0
+) -> tuple[IncompleteDatabase, BCQ]:
+    """Theorem 3.9 family: ``R(x) ∧ S(x)`` over a naive uniform table with
+    ``size`` nulls per relation (some shared between R and S)."""
+    rng = random.Random(seed)
+    domain = ["v%d" % i for i in range(domain_size)]
+    facts = []
+    for i in range(size):
+        facts.append(Fact("R", [Null(("r", i))]))
+        facts.append(Fact("S", [Null(("s", i))]))
+        if i % 3 == 0:
+            shared = Null(("shared", i))
+            facts.append(Fact("R", [shared]))
+            facts.append(Fact("S", [shared]))
+    facts.append(Fact("R", [rng.choice(domain)]))
+    query = BCQ([Atom("R", ["x"]), Atom("S", ["x"])])
+    return IncompleteDatabase.uniform(facts, domain), query
+
+
+def scaling_uniform_unary_comp_instance(
+    num_nulls: int, domain_size: int = 6, seed: int = 0
+) -> tuple[IncompleteDatabase, BCQ]:
+    """Theorem 4.6 family: completions of a uniform table over unary
+    ``R, S`` with ``num_nulls`` nulls split across the relations."""
+    rng = random.Random(seed)
+    domain = ["v%d" % i for i in range(domain_size)]
+    facts = [Fact("R", [domain[0]])]
+    for i in range(num_nulls):
+        null = Null(("u", i))
+        target = "R" if i % 2 == 0 else "S"
+        facts.append(Fact(target, [null]))
+        if i % 4 == 0:  # some nulls occur in both relations (naive table)
+            facts.append(Fact("S", [null]))
+    query = BCQ([Atom("R", ["x"]), Atom("S", ["x"])])
+    return IncompleteDatabase.uniform(facts, domain), query

@@ -1,0 +1,110 @@
+"""Tests for the bag-semantics extension (Section 8 future work)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.query import Atom, BCQ
+from repro.db.bag_semantics import (
+    BagDatabase,
+    apply_valuation_bag,
+    count_bag_completions,
+    iter_bag_completions,
+)
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.exact.brute import count_completions_brute, count_valuations_brute
+
+from tests.conftest import small_incomplete_dbs
+
+
+class TestBagDatabase:
+    def test_multiplicities(self):
+        bag = BagDatabase([Fact("R", ["a"]), Fact("R", ["a"]), Fact("R", ["b"])])
+        assert bag.multiplicity(Fact("R", ["a"])) == 2
+        assert bag.multiplicity(Fact("R", ["z"])) == 0
+        assert len(bag) == 3
+        assert len(bag.to_set_database()) == 2
+
+    def test_rejects_nulls(self):
+        with pytest.raises(ValueError):
+            BagDatabase([Fact("R", [Null(1)])])
+
+    def test_equality_sees_multiplicity(self):
+        once = BagDatabase([Fact("R", ["a"])])
+        twice = BagDatabase([Fact("R", ["a"]), Fact("R", ["a"])])
+        assert once != twice
+        assert once.to_set_database() == twice.to_set_database()
+
+
+class TestBagCompletions:
+    def test_bag_distinguishes_collapsed_valuations(self):
+        """Example 2.1 revisited: ν2 collapses S(⊥1,⊥1), S(a,⊥2) to one
+        fact under set semantics, but the bag remembers both occurrences."""
+        db = IncompleteDatabase(
+            [Fact("S", [Null(1), Null(1)]), Fact("S", ["a", Null(2)])],
+            dom={Null(1): ["a", "b"], Null(2): ["a", "c"]},
+        )
+        bag = apply_valuation_bag(db, {Null(1): "a", Null(2): "a"})
+        assert bag.multiplicity(Fact("S", ["a", "a"])) == 2
+
+    def test_sandwich_inequality(self):
+        """#Comp <= #Comp_bag <= #Val on the Figure 1 database."""
+        db = IncompleteDatabase(
+            [
+                Fact("S", ["a", "b"]),
+                Fact("S", [Null(1), "a"]),
+                Fact("S", ["a", Null(2)]),
+            ],
+            dom={Null(1): ["a", "b", "c"], Null(2): ["a", "b"]},
+        )
+        query = BCQ([Atom("S", ["x", "x"])])
+        set_count = count_completions_brute(db, query)
+        bag_count = count_bag_completions(db, query)
+        val_count = count_valuations_brute(db, query)
+        assert set_count <= bag_count <= val_count
+        # Figure 1 concretely: 3 < 4 = 4 (distinct facts per valuation,
+        # so every satisfying valuation gives a distinct bag).
+        assert (set_count, bag_count, val_count) == (3, 4, 4)
+
+    def test_bag_can_still_collapse(self):
+        """Swapping two interchangeable nulls yields the same bag: bag
+        semantics does not always equal valuation counting."""
+        db = IncompleteDatabase.uniform(
+            [Fact("R", [Null(1)]), Fact("R", [Null(2)])], ["a", "b"]
+        )
+        bags = list(iter_bag_completions(db))
+        # valuations 4; bags: {a,a},{a,b},{b,b} as multisets = 3.
+        assert len(bags) == 3
+        assert count_bag_completions(db) == 3
+        assert count_completions_brute(db, None) == 3  # sets agree here
+
+    def test_strict_separation_from_sets(self):
+        """A case where sets < bags < valuations simultaneously."""
+        db = IncompleteDatabase.uniform(
+            [
+                Fact("R", [Null(1)]),
+                Fact("R", [Null(2)]),
+                Fact("R", ["a"]),
+            ],
+            ["a", "b"],
+        )
+        sets = count_completions_brute(db, None)
+        bags = count_bag_completions(db)
+        vals = 4
+        # sets: {a},{a,b} -> 2; bags: multiset over {a,b} with fixed 'a':
+        # (a,a,a),(a,a,b),(a,b,b) -> 3
+        assert (sets, bags, vals) == (2, 3, 4)
+
+    @given(small_incomplete_dbs())
+    @settings(max_examples=30, deadline=None)
+    def test_sandwich_property(self, db):
+        query = (
+            BCQ([Atom(r, ["x"] * a) for r, a in sorted(db.schema().items())])
+            if db.schema()
+            else BCQ([Atom("R", ["x"])])
+        )
+        sets = count_completions_brute(db, query)
+        bags = count_bag_completions(db, query)
+        vals = count_valuations_brute(db, query)
+        assert sets <= bags <= vals

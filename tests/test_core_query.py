@@ -1,0 +1,113 @@
+"""Tests for the query model (atoms, BCQ, UCQ, negation, custom)."""
+
+import pytest
+
+from repro.core.query import (
+    Atom,
+    BCQ,
+    Const,
+    CustomQuery,
+    Negation,
+    UCQ,
+    Var,
+    sjf_bcq,
+)
+from repro.db.database import Database
+from repro.db.fact import Fact
+
+
+class TestAtom:
+    def test_string_coercion(self):
+        atom = Atom("R", ["x", "y"])
+        assert atom.terms == (Var("x"), Var("y"))
+
+    def test_constants(self):
+        atom = Atom("R", ["x", Const(5)])
+        assert atom.variables() == [Var("x")]
+        assert not atom.is_variable_only()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Atom("R", [])
+        with pytest.raises(ValueError):
+            Atom("", ["x"])
+        with pytest.raises(TypeError):
+            Atom("R", [42])  # bare non-str constants must be wrapped
+
+    def test_occurrence_count(self):
+        atom = Atom("R", ["x", "y", "x"])
+        assert atom.occurrence_count(Var("x")) == 2
+        assert atom.occurrence_count(Var("z")) == 0
+        assert atom.has_repeated_variable()
+        assert not Atom("R", ["x", "y"]).has_repeated_variable()
+
+
+class TestBCQ:
+    def test_needs_one_atom(self):
+        with pytest.raises(ValueError):
+            BCQ([])
+
+    def test_self_join_detection(self):
+        query = BCQ([Atom("R", ["x"]), Atom("R", ["y"])])
+        assert not query.is_self_join_free
+        assert BCQ([Atom("R", ["x"]), Atom("S", ["y"])]).is_self_join_free
+
+    def test_variables_in_first_occurrence_order(self):
+        query = BCQ([Atom("R", ["y", "x"]), Atom("S", ["z", "x"])])
+        assert query.variables() == [Var("y"), Var("x"), Var("z")]
+        assert query.occurrence_count(Var("x")) == 2
+        assert [a.relation for a in query.atoms_containing(Var("x"))] == [
+            "R",
+            "S",
+        ]
+
+    def test_semantic_flags(self):
+        query = BCQ([Atom("R", ["x"]), Atom("S", ["x", "y"])])
+        assert query.is_monotone
+        assert query.minimal_model_bound == 2
+
+    def test_sjf_constructor_guards(self):
+        with pytest.raises(ValueError):
+            sjf_bcq([Atom("R", ["x"]), Atom("R", ["x"])])
+        with pytest.raises(ValueError):
+            sjf_bcq([Atom("R", [Const("a")])])
+        assert sjf_bcq([Atom("R", ["x"])]).is_self_join_free
+
+
+class TestUCQNegation:
+    def test_ucq_relations(self):
+        ucq = UCQ([BCQ([Atom("R", ["x"])]), BCQ([Atom("S", ["x"])])])
+        assert ucq.relations == {"R", "S"}
+        assert ucq.is_monotone
+        assert ucq.minimal_model_bound == 1
+
+    def test_ucq_needs_disjunct(self):
+        with pytest.raises(ValueError):
+            UCQ([])
+
+    def test_negation(self):
+        inner = BCQ([Atom("R", ["x"])])
+        negation = Negation(inner)
+        assert negation.relations == {"R"}
+        assert not negation.is_monotone
+        assert negation.inner is inner
+
+    def test_equality(self):
+        q1 = BCQ([Atom("R", ["x"])])
+        q2 = BCQ([Atom("R", ["x"])])
+        assert q1 == q2
+        assert Negation(q1) == Negation(q2)
+        assert UCQ([q1]) == UCQ([q2])
+
+
+class TestCustomQuery:
+    def test_decision_procedure(self):
+        query = CustomQuery(
+            "has-two-facts",
+            relations=("R",),
+            decide=lambda db: len(db) >= 2,
+        )
+        assert not query.decide(Database([Fact("R", ["a"])]))
+        assert query.decide(Database([Fact("R", ["a"]), Fact("R", ["b"])]))
+        assert query.relations == {"R"}
+        assert query.minimal_model_bound is None

@@ -1,0 +1,135 @@
+"""Tests for incomplete databases: domains, Codd detection, views."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+
+from tests.conftest import small_incomplete_dbs
+
+
+class TestConstruction:
+    def test_requires_exactly_one_domain_kind(self):
+        facts = [Fact("R", [Null("x")])]
+        with pytest.raises(ValueError):
+            IncompleteDatabase(facts)
+        with pytest.raises(ValueError):
+            IncompleteDatabase(
+                facts, dom={Null("x"): ["a"]}, uniform_domain=["a"]
+            )
+
+    def test_missing_domain_rejected(self):
+        with pytest.raises(ValueError):
+            IncompleteDatabase([Fact("R", [Null("x")])], dom={})
+
+    def test_null_inside_domain_rejected(self):
+        with pytest.raises(ValueError):
+            IncompleteDatabase(
+                [Fact("R", [Null("x")])], dom={Null("x"): [Null("y")]}
+            )
+        with pytest.raises(ValueError):
+            IncompleteDatabase.uniform([Fact("R", ["a"])], [Null("y")])
+
+    def test_irrelevant_domains_dropped(self):
+        db = IncompleteDatabase(
+            [Fact("R", [Null("x")])],
+            dom={Null("x"): ["a"], Null("unused"): ["b"]},
+        )
+        with pytest.raises(KeyError):
+            db.domain_of(Null("unused"))
+
+    def test_arity_consistency(self):
+        with pytest.raises(ValueError):
+            IncompleteDatabase.uniform(
+                [Fact("R", ["a"]), Fact("R", ["a", "b"])], ["a"]
+            )
+
+
+class TestCoddDetection:
+    def test_codd_table(self):
+        db = IncompleteDatabase.uniform(
+            [Fact("R", [Null(1), "a"]), Fact("S", [Null(2)])], ["a"]
+        )
+        assert db.is_codd
+
+    def test_repeat_across_facts_is_naive(self):
+        db = IncompleteDatabase.uniform(
+            [Fact("R", [Null(1)]), Fact("S", [Null(1)])], ["a"]
+        )
+        assert not db.is_codd
+
+    def test_repeat_within_fact_is_naive(self):
+        """Example 2.1's S(⊥1, ⊥1) violates the Codd condition."""
+        db = IncompleteDatabase.uniform(
+            [Fact("S", [Null(1), Null(1)])], ["a"]
+        )
+        assert not db.is_codd
+        assert db.null_occurrences()[Null(1)] == 2
+
+
+class TestViews:
+    def test_as_non_uniform_preserves_domains(self):
+        db = IncompleteDatabase.uniform(
+            [Fact("R", [Null(1), Null(2)])], ["a", "b"]
+        )
+        view = db.as_non_uniform()
+        assert not view.is_uniform
+        assert view.domain_of(Null(1)) == frozenset({"a", "b"})
+        assert view.facts == db.facts
+
+    def test_as_uniform_roundtrip(self):
+        db = IncompleteDatabase(
+            [Fact("R", [Null(1)]), Fact("S", [Null(2)])],
+            dom={Null(1): ["a", "b"], Null(2): ["b", "a"]},
+        )
+        uniform = db.as_uniform()
+        assert uniform.is_uniform
+        assert uniform.uniform_domain == frozenset({"a", "b"})
+
+    def test_as_uniform_rejects_differing_domains(self):
+        db = IncompleteDatabase(
+            [Fact("R", [Null(1)]), Fact("S", [Null(2)])],
+            dom={Null(1): ["a"], Null(2): ["b"]},
+        )
+        with pytest.raises(ValueError):
+            db.as_uniform()
+
+    def test_restrict_to_relations(self):
+        db = IncompleteDatabase.uniform(
+            [Fact("R", [Null(1)]), Fact("S", ["a"])], ["a"]
+        )
+        restricted = db.restrict_to_relations(["S"])
+        assert restricted.relations == {"S"}
+        assert restricted.is_uniform
+
+    def test_uniform_domain_accessor_guard(self):
+        db = IncompleteDatabase(
+            [Fact("R", [Null(1)])], dom={Null(1): ["a"]}
+        )
+        with pytest.raises(ValueError):
+            _ = db.uniform_domain
+
+
+class TestInspection:
+    def test_nulls_sorted_and_constants(self):
+        db = IncompleteDatabase.uniform(
+            [Fact("R", [Null("b"), "k"]), Fact("S", [Null("a")])], ["k"]
+        )
+        assert db.nulls == [Null("a"), Null("b")]
+        assert db.constants() == {"k"}
+        assert db.schema() == {"R": 2, "S": 1}
+
+    @given(small_incomplete_dbs())
+    @settings(max_examples=40)
+    def test_every_null_has_a_domain(self, db):
+        for null in db.nulls:
+            assert db.domain_of(null)  # non-empty by strategy construction
+
+    @given(small_incomplete_dbs(uniform=True))
+    @settings(max_examples=25)
+    def test_uniform_view_consistency(self, db):
+        assert db.is_uniform
+        for null in db.nulls:
+            assert db.domain_of(null) == db.uniform_domain

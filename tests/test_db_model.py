@@ -1,0 +1,100 @@
+"""Tests for terms, facts and complete databases."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.fact import Fact
+from repro.db.terms import Null, fresh_nulls, is_constant, is_null
+
+
+class TestNull:
+    def test_equality_by_label(self):
+        assert Null("x") == Null("x")
+        assert Null("x") != Null("y")
+        assert hash(Null("x")) == hash(Null("x"))
+
+    def test_null_never_equals_constant(self):
+        assert Null("a") != "a"
+        assert "a" != Null("a")
+
+    def test_predicates(self):
+        assert is_null(Null(1))
+        assert not is_null("a")
+        assert is_constant("a")
+        assert not is_constant(Null(1))
+
+    def test_repr(self):
+        assert repr(Null("n1")) == "⊥n1"
+
+    def test_fresh_nulls_distinct(self):
+        nulls = fresh_nulls(5, prefix="q")
+        assert len(set(nulls)) == 5
+
+    def test_ordering_is_deterministic(self):
+        assert sorted([Null("b"), Null("a")]) == [Null("a"), Null("b")]
+
+
+class TestFact:
+    def test_value_semantics(self):
+        assert Fact("R", ["a", 1]) == Fact("R", ["a", 1])
+        assert Fact("R", ["a"]) != Fact("S", ["a"])
+        assert len({Fact("R", ["a"]), Fact("R", ["a"])}) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Fact("R", [])
+        with pytest.raises(ValueError):
+            Fact("", ["a"])
+
+    def test_null_inspection(self):
+        fact = Fact("R", [Null("x"), "a", Null("x"), Null("y")])
+        assert fact.nulls() == {Null("x"), Null("y")}
+        assert fact.null_positions() == [0, 2, 3]
+        assert fact.constants() == {"a"}
+        assert not fact.is_ground()
+        assert Fact("R", ["a"]).is_ground()
+
+    def test_substitute(self):
+        fact = Fact("R", [Null("x"), "a"])
+        ground = fact.substitute({Null("x"): "b"})
+        assert ground == Fact("R", ["b", "a"])
+        # missing nulls stay in place
+        partial = Fact("R", [Null("x"), Null("y")]).substitute({Null("x"): "b"})
+        assert partial == Fact("R", ["b", Null("y")])
+
+
+class TestDatabase:
+    def test_set_semantics(self):
+        db = Database([Fact("R", ["a"]), Fact("R", ["a"])])
+        assert len(db) == 1
+
+    def test_rejects_nulls(self):
+        with pytest.raises(ValueError):
+            Database([Fact("R", [Null("x")])])
+
+    def test_rejects_inconsistent_arity(self):
+        with pytest.raises(ValueError):
+            Database([Fact("R", ["a"]), Fact("R", ["a", "b"])])
+
+    def test_relation_access(self):
+        db = Database([Fact("R", ["a"]), Fact("S", ["b", "c"])])
+        assert db.relations == {"R", "S"}
+        assert db.relation("R") == frozenset({Fact("R", ["a"])})
+        assert db.arity_of("S") == 2
+        assert db.arity_of("T") is None
+
+    def test_active_domain(self):
+        db = Database([Fact("R", ["a", "b"]), Fact("S", ["b"])])
+        assert db.active_domain() == {"a", "b"}
+
+    def test_subset_and_union(self):
+        small = Database([Fact("R", ["a"])])
+        big = small | Database([Fact("S", ["b"])])
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_equality_and_hash(self):
+        left = Database([Fact("R", ["a"]), Fact("R", ["b"])])
+        right = Database([Fact("R", ["b"]), Fact("R", ["a"])])
+        assert left == right
+        assert len({left, right}) == 1

@@ -1,0 +1,102 @@
+"""Tests for valuations and completions (the paper's Section 2 examples)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.db.database import Database
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.db.valuation import (
+    apply_valuation,
+    completions_with_multiplicity,
+    count_total_valuations,
+    iter_completions,
+    iter_valuations,
+)
+
+from tests.conftest import small_incomplete_dbs
+
+
+class TestExample21:
+    """Example 2.1 of the paper, verbatim."""
+
+    @pytest.fixture
+    def db(self):
+        facts = [Fact("S", [Null(1), Null(1)]), Fact("S", ["a", Null(2)])]
+        return IncompleteDatabase(
+            facts, dom={Null(1): ["a", "b"], Null(2): ["a", "c"]}
+        )
+
+    def test_valuation_nu1(self, db):
+        completion = apply_valuation(db, {Null(1): "b", Null(2): "c"})
+        assert completion == Database(
+            [Fact("S", ["b", "b"]), Fact("S", ["a", "c"])]
+        )
+
+    def test_valuation_nu2_collapses(self, db):
+        completion = apply_valuation(db, {Null(1): "a", Null(2): "a"})
+        assert completion == Database([Fact("S", ["a", "a"])])
+        assert len(completion) == 1
+
+    def test_out_of_domain_map_is_not_a_valuation(self, db):
+        with pytest.raises(ValueError):
+            apply_valuation(db, {Null(1): "b", Null(2): "b"})
+
+    def test_missing_null_rejected(self, db):
+        with pytest.raises(ValueError):
+            apply_valuation(db, {Null(1): "a"})
+
+
+class TestFigure1:
+    """Figure 1 / Example 2.2: all six valuations and their completions."""
+
+    def test_six_valuations(self, figure1_db):
+        assert count_total_valuations(figure1_db) == 6
+        assert sum(1 for _ in iter_valuations(figure1_db)) == 6
+
+    def test_five_distinct_completions(self, figure1_db):
+        # Reading Figure 1's completion row: the valuations (a,a) and (a,b)
+        # collapse to the same completion {S(a,b), S(a,a)}; the other four
+        # are pairwise distinct, so 5 distinct completions in total.
+        completions = list(iter_completions(figure1_db))
+        assert len(completions) == 5
+        histogram = completions_with_multiplicity(figure1_db)
+        assert sum(histogram.values()) == 6
+        assert sorted(histogram.values(), reverse=True) == [2, 1, 1, 1, 1]
+
+    def test_multiplicity_identity(self, figure1_db):
+        histogram = completions_with_multiplicity(figure1_db)
+        assert sum(histogram.values()) == count_total_valuations(figure1_db)
+
+
+class TestGeneralProperties:
+    def test_ground_table_has_one_valuation(self):
+        db = IncompleteDatabase.uniform([Fact("R", ["a"])], ["a", "b"])
+        assert count_total_valuations(db) == 1
+        assert list(iter_valuations(db)) == [{}]
+        assert list(iter_completions(db)) == [Database([Fact("R", ["a"])])]
+
+    def test_empty_domain_kills_valuations(self):
+        db = IncompleteDatabase([Fact("R", [Null(1)])], dom={Null(1): []})
+        assert count_total_valuations(db) == 0
+        assert list(iter_valuations(db)) == []
+
+    @given(small_incomplete_dbs())
+    @settings(max_examples=30, deadline=None)
+    def test_enumeration_matches_product(self, db):
+        assert sum(1 for _ in iter_valuations(db)) == count_total_valuations(db)
+
+    @given(small_incomplete_dbs())
+    @settings(max_examples=30, deadline=None)
+    def test_completions_are_deduplicated(self, db):
+        completions = list(iter_completions(db))
+        assert len(completions) == len(set(completions))
+        assert len(completions) <= max(count_total_valuations(db), 1)
+
+    @given(small_incomplete_dbs())
+    @settings(max_examples=30, deadline=None)
+    def test_completion_sizes_bounded_by_table(self, db):
+        """Set semantics can only shrink the fact count."""
+        for completion in iter_completions(db):
+            assert len(completion) <= len(db.facts)

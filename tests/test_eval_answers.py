@@ -1,0 +1,129 @@
+"""Tests for non-Boolean queries: answers, supports, best answers
+(the Section 7 / future-work extension)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.query import Atom, BCQ
+from repro.db.database import Database
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.eval.answers import (
+    ConjunctiveQuery,
+    answer_reports,
+    answers_by_support,
+    answers_on,
+    best_answers,
+    candidate_answers,
+    is_better_answer,
+)
+
+
+class TestConjunctiveQuery:
+    def test_free_variables_must_occur(self):
+        body = BCQ([Atom("R", ["x", "y"])])
+        with pytest.raises(ValueError):
+            ConjunctiveQuery.make(body, ["z"])
+        with pytest.raises(ValueError):
+            ConjunctiveQuery.make(body, ["x", "x"])
+        query = ConjunctiveQuery.make(body, ["x"])
+        assert [v.name for v in query.free] == ["x"]
+
+
+class TestAnswersOnCompleteDatabase:
+    def test_projection(self):
+        db = Database(
+            [Fact("R", ["a", "b"]), Fact("R", ["a", "c"]), Fact("S", ["b"])]
+        )
+        query = ConjunctiveQuery.make(
+            BCQ([Atom("R", ["x", "y"]), Atom("S", ["y"])]), ["x", "y"]
+        )
+        assert answers_on(query, db) == {("a", "b")}
+        head_only = ConjunctiveQuery.make(
+            BCQ([Atom("R", ["x", "y"])]), ["x"]
+        )
+        assert answers_on(head_only, db) == {("a",)}
+
+
+class TestSupports:
+    @pytest.fixture
+    def db(self):
+        # R(p, ⊥1), R(q, a): answer p supported only when ⊥1 lands right.
+        return IncompleteDatabase(
+            [Fact("Emp", ["p", Null(1)]), Fact("Emp", ["q", "dbs"])],
+            dom={Null(1): ["dbs", "ai", "os"]},
+        )
+
+    def _query(self):
+        from repro.core.query import Const
+
+        return ConjunctiveQuery.make(
+            BCQ([Atom("Emp", ["who", Const("dbs")])]), ["who"]
+        )
+
+    def test_candidate_answers(self, db):
+        assert candidate_answers(self._query(), db) == {("p",), ("q",)}
+
+    def test_reports(self, db):
+        reports = answer_reports(self._query(), db)
+        assert reports[("q",)].valuation_support == 3  # certain
+        assert reports[("p",)].valuation_support == 1
+        assert reports[("q",)].completion_support == 3
+        assert reports[("p",)].completion_support == 1
+
+    def test_better_answer_order(self, db):
+        reports = answer_reports(self._query(), db)
+        assert is_better_answer(reports[("q",)], reports[("p",)])
+        assert not is_better_answer(reports[("p",)], reports[("q",)])
+
+    def test_best_answers(self, db):
+        assert best_answers(self._query(), db) == [("q",)]
+
+    def test_ranking(self, db):
+        ranked = answers_by_support(self._query(), db)
+        assert ranked[0] == (("q",), Fraction(1))
+        assert ranked[1] == (("p",), Fraction(1, 3))
+        by_comp = answers_by_support(self._query(), db, by="completions")
+        assert by_comp[0][0] == ("q",)
+        with pytest.raises(ValueError):
+            answers_by_support(self._query(), db, by="nonsense")
+
+
+class TestBestAnswerVsSupport:
+    def test_incomparable_answers_are_both_best(self):
+        """Two answers with incomparable support sets are both best even
+        though their supports differ — the Section 7 point that best
+        answers ignore support *size*."""
+        null = Null(1)
+        db = IncompleteDatabase(
+            [Fact("R", ["a", null]), Fact("R", ["b", "v1"])],
+            dom={null: ["v1", "v2", "v3"]},
+        )
+        # answers: (a,) supported iff null = v1?  Let's ask who points at v1
+        from repro.core.query import Const
+
+        query = ConjunctiveQuery.make(
+            BCQ([Atom("R", ["who", Const("v1")])]), ["who"]
+        )
+        reports = answer_reports(query, db)
+        assert reports[("b",)].valuation_support == 3
+        assert reports[("a",)].valuation_support == 1
+        # (b,) dominates: it is supported everywhere
+        assert best_answers(query, db) == [("b",)]
+
+    def test_strictly_incomparable_pair(self):
+        n1 = Null(1)
+        db = IncompleteDatabase(
+            [Fact("R", ["a", n1]), Fact("R", ["b", n1])],
+            dom={n1: ["u", "v"]},
+        )
+        from repro.core.query import Const
+
+        # who maps to u?  'a' and 'b' are supported on exactly the same
+        # valuations (they share the null): both best.
+        query = ConjunctiveQuery.make(
+            BCQ([Atom("R", ["who", Const("u")])]), ["who"]
+        )
+        assert best_answers(query, db) == [("a",), ("b",)]

@@ -1,0 +1,76 @@
+"""Tests for the brute-force counters, anchored on the paper's Figure 1."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.query import Atom, BCQ, Negation
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.db.valuation import count_total_valuations
+from repro.exact.brute import (
+    BruteForceBudgetExceeded,
+    count_completions_brute,
+    count_valuations_brute,
+    valuation_completion_gap,
+)
+
+from tests.conftest import small_incomplete_dbs
+
+
+class TestFigure1:
+    """The worked example of Section 2: #Val = 4, #Comp = 3."""
+
+    def test_headline_counts(self, figure1_db, figure1_query):
+        assert count_valuations_brute(figure1_db, figure1_query) == 4
+        assert count_completions_brute(figure1_db, figure1_query) == 3
+
+    def test_gap_helper(self, figure1_db, figure1_query):
+        assert valuation_completion_gap(figure1_db, figure1_query) == (4, 3)
+
+    def test_total_completions(self, figure1_db):
+        assert count_completions_brute(figure1_db, None) == 5
+
+
+class TestBudget:
+    def test_budget_guard(self):
+        nulls = [Null(i) for i in range(8)]
+        db = IncompleteDatabase.uniform(
+            [Fact("R", [n]) for n in nulls], ["a", "b", "c"]
+        )
+        with pytest.raises(BruteForceBudgetExceeded):
+            count_valuations_brute(db, BCQ([Atom("R", ["x"])]), budget=100)
+        # None disables the guard
+        assert count_valuations_brute(
+            db, BCQ([Atom("R", ["x"])]), budget=None
+        ) == 3**8
+
+
+class TestInvariant:
+    @given(small_incomplete_dbs())
+    @settings(max_examples=40, deadline=None)
+    def test_comp_le_val_le_total(self, db):
+        """#Comp(q) <= #Val(q) <= total valuations, for any q."""
+        query = BCQ(
+            [Atom(r, ["x"] * a) for r, a in sorted(db.schema().items())]
+        ) if db.schema() else BCQ([Atom("R", ["x"])])
+        valuations = count_valuations_brute(db, query)
+        completions = count_completions_brute(db, query)
+        assert completions <= valuations <= count_total_valuations(db)
+
+    @given(small_incomplete_dbs())
+    @settings(max_examples=40, deadline=None)
+    def test_negation_complements(self, db):
+        """#Val(q) + #Val(¬q) = total; #Comp(q) + #Comp(¬q) = #Comp(all)."""
+        query = (
+            BCQ([Atom(r, ["x"] * a) for r, a in sorted(db.schema().items())])
+            if db.schema()
+            else BCQ([Atom("R", ["x"])])
+        )
+        negated = Negation(query)
+        assert count_valuations_brute(db, query) + count_valuations_brute(
+            db, negated
+        ) == count_total_valuations(db)
+        assert count_completions_brute(db, query) + count_completions_brute(
+            db, negated
+        ) == count_completions_brute(db, None)

@@ -1,0 +1,191 @@
+"""Theorem 4.6 completion counting + Lemma B.2 certificates + warm-ups."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.query import Atom, BCQ
+from repro.db.database import Database
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.db.valuation import iter_completions
+from repro.exact.brute import count_completions_brute
+from repro.exact.comp_uniform import (
+    applies_to,
+    count_completions_single_unary,
+    count_completions_uniform_unary,
+)
+from repro.exact.completion_check import is_completion_of_codd
+from repro.util.combinatorics import binomial
+
+from tests.conftest import small_incomplete_dbs
+
+
+class TestApplicability:
+    def test_unary_only(self):
+        assert applies_to(BCQ([Atom("R", ["x"]), Atom("S", ["x"])]))
+        assert not applies_to(BCQ([Atom("R", ["x", "y"])]))
+        assert not applies_to(BCQ([Atom("R", ["x", "x"])]))
+
+
+class TestWarmUps:
+    """The worked warm-up examples of Appendix B.6."""
+
+    def test_warmup1_no_constants(self):
+        """B.6.1: D = {R(⊥1..⊥n)}: sum_{1<=i<=n} C(d, i) completions."""
+        d, n = 5, 3
+        db = IncompleteDatabase.uniform(
+            [Fact("R", [Null(i)]) for i in range(n)], range(d)
+        )
+        expected = sum(binomial(d, i) for i in range(1, n + 1))
+        assert count_completions_single_unary(db) == expected
+        assert count_completions_uniform_unary(db, None) == expected
+        assert count_completions_brute(db, None) == expected
+
+    def test_warmup1_empty_table(self):
+        db = IncompleteDatabase.uniform([], ["a", "b"])
+        assert count_completions_uniform_unary(db, None) == 1
+
+    def test_warmup2_with_constants(self):
+        """B.6.2: c in-domain constants shift the sum to start at 0."""
+        d, c, n = 5, 2, 2
+        facts = [Fact("R", ["k%d" % i]) for i in range(c)]
+        facts += [Fact("R", [Null(i)]) for i in range(n)]
+        db = IncompleteDatabase.uniform(
+            facts, ["k0", "k1", "x0", "x1", "x2"]
+        )
+        expected = sum(binomial(d - c, i) for i in range(0, n + 1))
+        assert count_completions_single_unary(db) == expected
+        assert count_completions_brute(db, None) == expected
+
+    def test_out_of_domain_constants_dont_change_count(self):
+        base = IncompleteDatabase.uniform(
+            [Fact("R", [Null(0)])], ["a", "b"]
+        )
+        extended = IncompleteDatabase.uniform(
+            [Fact("R", [Null(0)]), Fact("R", ["zzz"])], ["a", "b"]
+        )
+        assert count_completions_single_unary(
+            base
+        ) == count_completions_single_unary(extended)
+
+    def test_single_unary_guards(self):
+        with pytest.raises(ValueError):
+            count_completions_single_unary(
+                IncompleteDatabase(
+                    [Fact("R", [Null(0)])], dom={Null(0): ["a"]}
+                )
+            )
+        with pytest.raises(ValueError):
+            count_completions_single_unary(
+                IncompleteDatabase.uniform(
+                    [Fact("R", ["a"]), Fact("S", ["a"])], ["a"]
+                )
+            )
+
+
+class TestUniformUnary:
+    QUERY = BCQ([Atom("R", ["x"]), Atom("S", ["x"])])
+
+    def test_rejects_binary_schema(self):
+        db = IncompleteDatabase.uniform([Fact("R", ["a", "b"])], ["a"])
+        with pytest.raises(ValueError):
+            count_completions_uniform_unary(db, None)
+
+    def test_rejects_hard_query(self):
+        db = IncompleteDatabase.uniform([Fact("R", ["a"])], ["a"])
+        with pytest.raises(ValueError):
+            count_completions_uniform_unary(
+                db, BCQ([Atom("R", ["x", "y"])])
+            )
+
+    def test_empty_query_relation_gives_zero(self):
+        db = IncompleteDatabase.uniform([Fact("R", ["a"])], ["a"])
+        assert count_completions_uniform_unary(db, self.QUERY) == 0
+
+    @given(
+        small_incomplete_dbs(schema={"R": 1, "S": 1}, uniform=True),
+        st.sampled_from(
+            [
+                None,
+                BCQ([Atom("R", ["x"]), Atom("S", ["x"])]),
+                BCQ([Atom("R", ["x"]), Atom("S", ["y"])]),
+                BCQ([Atom("R", ["x"])]),
+            ]
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_brute_force(self, db, query):
+        assert count_completions_uniform_unary(
+            db, query
+        ) == count_completions_brute(db, query)
+
+    def test_shared_nulls_across_relations(self):
+        """Naive-table case: one null occurring in both R and S."""
+        shared = Null("shared")
+        db = IncompleteDatabase.uniform(
+            [Fact("R", [shared]), Fact("S", [shared]), Fact("S", [Null(2)])],
+            ["a", "b", "c"],
+        )
+        assert count_completions_uniform_unary(
+            db, self.QUERY
+        ) == count_completions_brute(db, self.QUERY)
+
+
+class TestLemmaB2:
+    """Completion recognition for Codd tables via bipartite matching."""
+
+    @pytest.fixture
+    def db(self):
+        return IncompleteDatabase(
+            [Fact("R", [Null(1), "a"]), Fact("R", ["b", Null(2)])],
+            dom={Null(1): ["a", "b"], Null(2): ["a", "c"]},
+        )
+
+    def test_accepts_actual_completions(self, db):
+        for completion in iter_completions(db):
+            assert is_completion_of_codd(db, completion)
+
+    def test_rejects_non_completions(self, db):
+        # wrong fact entirely
+        assert not is_completion_of_codd(
+            db, Database([Fact("R", ["z", "z"])])
+        )
+        # subset of a completion is not a completion (facts can only merge)
+        assert not is_completion_of_codd(db, Database())
+        # superset with an unreachable fact
+        assert not is_completion_of_codd(
+            db,
+            Database(
+                [
+                    Fact("R", ["a", "a"]),
+                    Fact("R", ["b", "a"]),
+                    Fact("R", ["b", "c"]),
+                ]
+            ),
+        )
+
+    def test_requires_codd(self):
+        shared = Null(1)
+        naive = IncompleteDatabase.uniform(
+            [Fact("R", [shared]), Fact("S", [shared])], ["a"]
+        )
+        with pytest.raises(ValueError):
+            is_completion_of_codd(naive, Database())
+
+    @given(small_incomplete_dbs(codd=True))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_enumeration(self, db):
+        """The matching-based check accepts exactly the enumerated
+        completions (and rejects mutations of them)."""
+        completions = set(iter_completions(db))
+        for completion in completions:
+            assert is_completion_of_codd(db, completion)
+        # mutate: drop one fact from some completion
+        for completion in list(completions)[:3]:
+            facts = sorted(completion.facts)
+            if len(facts) >= 1:
+                mutated = Database(facts[1:])
+                assert is_completion_of_codd(db, mutated) == (
+                    mutated in completions
+                )

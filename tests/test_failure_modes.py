@@ -1,0 +1,115 @@
+"""Failure-injection tests: every public entry point must reject bad input
+with a clear error rather than return a wrong count."""
+
+import pytest
+
+from repro.core.query import Atom, BCQ
+from repro.core.patterns import is_pattern_of
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.exact.brute import (
+    BruteForceBudgetExceeded,
+    count_completions_brute,
+    count_valuations_brute,
+)
+from repro.exact.dispatch import count_completions, count_valuations
+from repro.exact.val_codd import count_valuations_codd
+from repro.approx.fpras import KarpLubyEstimator
+from repro.approx.montecarlo import naive_monte_carlo_valuations
+
+
+def _db():
+    return IncompleteDatabase(
+        [Fact("R", [Null(1), Null(1)])], dom={Null(1): ["a", "b"]}
+    )
+
+
+class TestPatternGuards:
+    def test_rejects_self_joins(self):
+        query = BCQ([Atom("R", ["x"]), Atom("R", ["y"])])
+        unary = BCQ([Atom("P", ["x"])])
+        with pytest.raises(ValueError):
+            is_pattern_of(unary, query)
+        with pytest.raises(ValueError):
+            is_pattern_of(query, unary)
+
+    def test_rejects_constants_in_patterns(self):
+        from repro.core.query import Const
+
+        with_constant = BCQ([Atom("R", ["x", Const("a")])])
+        unary = BCQ([Atom("P", ["x"])])
+        with pytest.raises(ValueError):
+            is_pattern_of(unary, with_constant)
+
+
+class TestAlgorithmPreconditions:
+    def test_codd_algorithm_rejects_naive_tables(self):
+        with pytest.raises(ValueError):
+            count_valuations_codd(_db(), BCQ([Atom("R", ["x", "x"])]))
+
+    def test_codd_algorithm_rejects_arity_mismatch(self):
+        db = IncompleteDatabase(
+            [Fact("R", [Null(1)])], dom={Null(1): ["a"]}
+        )
+        with pytest.raises(ValueError):
+            count_valuations_codd(db, BCQ([Atom("R", ["x", "y"])]))
+
+    def test_budget_exceeded_is_loud(self):
+        nulls = [Null(i) for i in range(25)]
+        db = IncompleteDatabase.uniform(
+            [Fact("R", [n]) for n in nulls], ["a", "b"]
+        )
+        query = BCQ([Atom("R", ["x"])])
+        with pytest.raises(BruteForceBudgetExceeded):
+            count_valuations_brute(db, query)
+        with pytest.raises(BruteForceBudgetExceeded):
+            count_completions_brute(db, query)
+        # The dispatcher only hits the budget when no polynomial algorithm
+        # applies: R(x) ∧ S(x) on a non-uniform *naive* table is such a cell
+        # (on Codd tables Thm 3.7 fails too, but a shared null is needed to
+        # dodge the Codd algorithm... it is not: the shared-variable pattern
+        # already rules it out; non-uniformity rules out Thm 3.9).
+        shared = Null("shared")
+        naive = IncompleteDatabase(
+            [Fact("R", [n]) for n in nulls]
+            + [Fact("R", [shared]), Fact("S", [shared])],
+            dom={n: ["a", "b"] for n in nulls} | {shared: ["a", "c"]},
+        )
+        hard_query = BCQ([Atom("R", ["x"]), Atom("S", ["x"])])
+        with pytest.raises(BruteForceBudgetExceeded):
+            count_valuations(naive, hard_query)
+
+    def test_dispatcher_rejects_unknown_methods(self):
+        query = BCQ([Atom("R", ["x", "x"])])
+        with pytest.raises(ValueError):
+            count_valuations(_db(), query, method="quantum")
+        with pytest.raises(ValueError):
+            count_completions(_db(), query, method="quantum")
+
+
+class TestApproximatorGuards:
+    def test_estimator_parameter_validation(self):
+        estimator = KarpLubyEstimator(
+            _db(), BCQ([Atom("R", ["x", "x"])]), seed=0
+        )
+        for bad_epsilon in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                estimator.sample_count(bad_epsilon)
+        with pytest.raises(ValueError):
+            estimator.sample_count(0.1, delta=0.0)
+
+    def test_monte_carlo_empty_domain_returns_zero(self):
+        """No valuations exist, so the (exactly known) count is 0.0 — the
+        estimator short-circuits before sampling would fail."""
+        db = IncompleteDatabase([Fact("R", [Null(1)])], dom={Null(1): []})
+        assert naive_monte_carlo_valuations(
+            db, BCQ([Atom("R", ["x"])]), samples=5
+        ) == 0.0
+
+    def test_empty_domain_counts_are_zero_not_errors(self):
+        """Exact counters treat an empty domain as zero valuations."""
+        db = IncompleteDatabase([Fact("R", [Null(1)])], dom={Null(1): []})
+        query = BCQ([Atom("R", ["x"])])
+        assert count_valuations_brute(db, query) == 0
+        assert count_completions_brute(db, query) == 0

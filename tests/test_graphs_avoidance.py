@@ -1,0 +1,122 @@
+"""Tests for avoiding assignments and the Appendix A.2 transformations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.avoidance import (
+    count_assignments,
+    count_avoiding_assignments,
+    merge_degree_two_nodes,
+    subdivide_edges,
+)
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.graph import Graph, Multigraph
+
+from tests.conftest import small_bipartite_graphs
+
+
+def _three_regular_multigraph() -> Multigraph:
+    """Two nodes joined by three parallel edges: the smallest 3-regular
+    multigraph."""
+    multigraph = Multigraph()
+    for _ in range(3):
+        multigraph.add_edge("u", "v")
+    return multigraph
+
+
+class TestAssignments:
+    def test_total_assignments(self):
+        multigraph = Multigraph.from_graph(path_graph(3))
+        # degrees 1, 2, 1
+        assert count_assignments(multigraph) == 2
+
+    def test_isolated_node_kills_assignments(self):
+        multigraph = Multigraph()
+        multigraph.add_node("lonely")
+        multigraph.add_edge("u", "v")
+        assert count_assignments(multigraph) == 0
+        assert count_avoiding_assignments(multigraph) == 0
+
+    def test_single_edge_has_no_avoiding_assignment(self):
+        multigraph = Multigraph()
+        multigraph.add_edge("u", "v")
+        # Both endpoints must pick the unique edge: never avoiding.
+        assert count_avoiding_assignments(multigraph) == 0
+
+    def test_parallel_pair(self):
+        multigraph = Multigraph()
+        multigraph.add_edge("u", "v")
+        multigraph.add_edge("u", "v")
+        # Each node picks one of the two parallel edges; avoid collisions.
+        assert count_assignments(multigraph) == 4
+        assert count_avoiding_assignments(multigraph) == 2
+
+    def test_triangle(self):
+        multigraph = Multigraph.from_graph(cycle_graph(3))
+        # Orientations of the triangle with out-degree exactly 1 per node
+        # that are injective on edges: the two rotations.
+        assert count_avoiding_assignments(multigraph) == 2
+
+    def test_figure2_object(self):
+        """Avoiding assignments exist on the 3-regular two-node multigraph."""
+        multigraph = _three_regular_multigraph()
+        assert count_assignments(multigraph) == 9
+        # u and v must pick different parallel edges: 3 * 2.
+        assert count_avoiding_assignments(multigraph) == 6
+
+
+class TestSubdivision:
+    def test_produces_bipartite(self):
+        multigraph = _three_regular_multigraph()
+        subdivided = subdivide_edges(multigraph)
+        assert subdivided.is_bipartite()
+        assert subdivided.num_nodes == 2 + 3
+        assert subdivided.num_edges == 6
+
+    def test_prop_a8_counting_identity(self):
+        """#Avoidance(G') = 2^{|E|-|V|} * #Avoidance(G) for 3-regular G."""
+        multigraph = _three_regular_multigraph()
+        subdivided = subdivide_edges(multigraph)
+        sub_multi = Multigraph.from_graph(subdivided)
+        expected = 2 ** (
+            multigraph.num_edges - multigraph.num_nodes
+        ) * count_avoiding_assignments(multigraph)
+        assert count_avoiding_assignments(sub_multi) == expected
+
+    def test_prop_a8_on_k4_subdivision(self):
+        """The identity again on another 3-regular multigraph: K4."""
+        from repro.graphs.generators import complete_graph
+
+        k4 = Multigraph.from_graph(complete_graph(4))
+        assert k4.is_regular(3)
+        subdivided = subdivide_edges(k4)
+        expected = 2 ** (k4.num_edges - k4.num_nodes) * (
+            count_avoiding_assignments(k4)
+        )
+        assert count_avoiding_assignments(
+            Multigraph.from_graph(subdivided)
+        ) == expected
+
+
+class TestMerging:
+    def test_merging_inverts_subdivision(self):
+        multigraph = _three_regular_multigraph()
+        subdivided = subdivide_edges(multigraph)
+        merged = merge_degree_two_nodes(subdivided)
+        assert merged.num_nodes == multigraph.num_nodes
+        assert merged.num_edges == multigraph.num_edges
+        assert merged.is_regular(3)
+
+    def test_rejects_non_bipartite(self):
+        with pytest.raises(ValueError):
+            merge_degree_two_nodes(cycle_graph(5))
+
+    def test_merging_preserves_avoidance_count(self):
+        """The proof of Prop. A.3 equates avoiding assignments of the
+        merging with the Holant value; at minimum the merging of a
+        subdivision must recover the original count."""
+        multigraph = _three_regular_multigraph()
+        merged = merge_degree_two_nodes(subdivide_edges(multigraph))
+        assert count_avoiding_assignments(
+            merged
+        ) == count_avoiding_assignments(multigraph)

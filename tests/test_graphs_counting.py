@@ -1,0 +1,125 @@
+"""Tests for the exact graph counters (the reduction oracles)."""
+
+from hypothesis import given, settings
+
+from repro.graphs.counting import (
+    count_bipartite_independent_sets,
+    count_colorings,
+    count_independent_pairs_by_size,
+    count_independent_sets,
+    count_independent_sets_naive,
+    count_vertex_covers,
+    is_colorable,
+    is_independent_set,
+    is_vertex_cover,
+)
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+
+from tests.conftest import small_bipartite_graphs, small_graphs
+
+
+class TestIndependentSets:
+    def test_known_counts(self):
+        # Independent sets of a path are Fibonacci-counted.
+        assert count_independent_sets(path_graph(1)) == 2
+        assert count_independent_sets(path_graph(2)) == 3
+        assert count_independent_sets(path_graph(3)) == 5
+        assert count_independent_sets(path_graph(4)) == 8
+        # K_n: empty set plus n singletons.
+        assert count_independent_sets(complete_graph(4)) == 5
+        # Empty graph: all subsets.
+        assert count_independent_sets(Graph(nodes=range(4))) == 16
+
+    def test_cycle_counts_are_lucas_numbers(self):
+        assert count_independent_sets(cycle_graph(3)) == 4
+        assert count_independent_sets(cycle_graph(4)) == 7
+        assert count_independent_sets(cycle_graph(5)) == 11
+        assert count_independent_sets(cycle_graph(6)) == 18
+
+    @given(small_graphs())
+    @settings(max_examples=40)
+    def test_matches_naive_scan(self, graph):
+        assert count_independent_sets(graph) == count_independent_sets_naive(
+            graph
+        )
+
+    def test_is_independent_set_predicate(self):
+        graph = path_graph(3)
+        assert is_independent_set(graph, [0, 2])
+        assert not is_independent_set(graph, [0, 1])
+        assert is_independent_set(graph, [])
+
+
+class TestVertexCovers:
+    @given(small_graphs())
+    @settings(max_examples=30)
+    def test_complementation_bijection(self, graph):
+        """S independent iff V \\ S is a cover (used by Theorem 5.5)."""
+        from itertools import combinations
+
+        nodes = graph.nodes
+        direct = 0
+        for size in range(len(nodes) + 1):
+            for subset in combinations(nodes, size):
+                if is_vertex_cover(graph, subset):
+                    direct += 1
+        assert count_vertex_covers(graph) == direct
+
+    def test_predicate(self):
+        graph = path_graph(3)
+        assert is_vertex_cover(graph, [1])
+        assert not is_vertex_cover(graph, [0])
+
+
+class TestColorings:
+    def test_known_chromatic_values(self):
+        assert count_colorings(complete_graph(3), 3) == 6
+        assert count_colorings(complete_graph(4), 3) == 0
+        # Proper k-colorings of a path of n nodes: k * (k-1)^(n-1).
+        assert count_colorings(path_graph(4), 3) == 3 * 2**3
+        # Cycle: (k-1)^n + (-1)^n (k-1).
+        assert count_colorings(cycle_graph(5), 3) == 2**5 - 2
+        assert count_colorings(cycle_graph(4), 3) == 2**4 + 2
+
+    def test_zero_colors(self):
+        assert count_colorings(Graph(nodes=[1]), 0) == 0
+        assert count_colorings(Graph(), 0) == 1  # empty product
+
+    def test_is_colorable(self):
+        assert is_colorable(cycle_graph(5), 3)
+        assert not is_colorable(cycle_graph(5), 2)
+        assert is_colorable(cycle_graph(4), 2)
+
+    @given(small_graphs(max_nodes=5))
+    @settings(max_examples=25)
+    def test_monotone_in_colors(self, graph):
+        assert count_colorings(graph, 2) <= count_colorings(graph, 3)
+
+
+class TestBipartiteCounters:
+    def test_independent_pairs_by_size(self):
+        graph = complete_bipartite_graph(2, 2)
+        left = [("a", 0), ("a", 1)]
+        right = [("b", 0), ("b", 1)]
+        z = count_independent_pairs_by_size(graph, left, right)
+        # In K_{2,2} an independent pair has S1 or S2 empty.
+        assert z[(0, 0)] == 1
+        assert z[(1, 0)] == 2 and z[(0, 1)] == 2
+        assert z[(1, 1)] == 0
+        assert sum(z.values()) == count_independent_sets(graph)
+
+    @given(small_bipartite_graphs())
+    @settings(max_examples=30)
+    def test_pair_counts_sum_to_bis(self, graph):
+        """Claim (*) of Prop. 3.11: #BIS = sum Z_{i,j}."""
+        left = sorted(n for n in graph.nodes if n[0] == "a")
+        right = sorted(n for n in graph.nodes if n[0] == "b")
+        z = count_independent_pairs_by_size(graph, left, right)
+        assert sum(z.values()) == count_bipartite_independent_sets(graph)

@@ -1,0 +1,132 @@
+"""Tests for the Graph / Multigraph substrate."""
+
+import pytest
+from hypothesis import given
+
+from repro.graphs.graph import Graph, Multigraph
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_graph,
+    star_graph,
+)
+
+from tests.conftest import small_graphs
+
+
+class TestGraph:
+    def test_no_self_loops(self):
+        graph = Graph()
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+
+    def test_edges_deduplicate(self):
+        graph = Graph(edges=[(1, 2), (2, 1)])
+        assert graph.num_edges == 1
+        assert graph.has_edge(2, 1)
+
+    def test_neighbors_and_degree(self):
+        graph = star_graph(3)
+        assert graph.degree(0) == 3
+        assert graph.neighbors(1) == {0}
+
+    def test_connected_components(self):
+        graph = Graph(edges=[(1, 2), (3, 4)])
+        graph.add_node(5)
+        components = sorted(map(sorted, graph.connected_components()))
+        assert components == [[1, 2], [3, 4], [5]]
+
+    def test_bipartition(self):
+        assert cycle_graph(4).is_bipartite()
+        assert not cycle_graph(5).is_bipartite()
+        assert not complete_graph(3).is_bipartite()
+        left, right = complete_bipartite_graph(2, 3).bipartition()
+        assert {len(left), len(right)} == {2, 3}
+
+    def test_induced_subgraph(self):
+        graph = complete_graph(4)
+        sub = graph.induced_subgraph([0, 1, 2])
+        assert sub.num_nodes == 3 and sub.num_edges == 3
+        with pytest.raises(ValueError):
+            graph.induced_subgraph([9])
+
+    def test_subgraph_of_edges(self):
+        graph = path_graph(4)
+        sub = graph.subgraph_of_edges([(0, 1)])
+        assert sub.num_nodes == 2 and sub.num_edges == 1
+        with pytest.raises(ValueError):
+            graph.subgraph_of_edges([(0, 3)])
+
+    @given(small_graphs())
+    def test_handshake_lemma(self, graph):
+        assert sum(graph.degree(v) for v in graph.nodes) == 2 * graph.num_edges
+
+    @given(small_graphs())
+    def test_components_partition_nodes(self, graph):
+        components = graph.connected_components()
+        union = set()
+        for component in components:
+            assert not (union & component)
+            union |= component
+        assert union == set(graph.nodes)
+
+
+class TestGenerators:
+    def test_sizes(self):
+        assert path_graph(5).num_edges == 4
+        assert cycle_graph(5).num_edges == 5
+        assert complete_graph(5).num_edges == 10
+        assert star_graph(4).num_edges == 4
+        assert complete_bipartite_graph(2, 3).num_edges == 6
+
+    def test_cycle_needs_three_nodes(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_random_graph_deterministic(self):
+        first = random_graph(6, 0.5, seed=42)
+        second = random_graph(6, 0.5, seed=42)
+        assert first.edges == second.edges
+
+    def test_random_graph_probability_bounds(self):
+        assert random_graph(5, 0.0, seed=1).num_edges == 0
+        assert random_graph(5, 1.0, seed=1).num_edges == 10
+        with pytest.raises(ValueError):
+            random_graph(3, 1.5, seed=0)
+
+
+class TestMultigraph:
+    def test_parallel_edges(self):
+        multigraph = Multigraph()
+        multigraph.add_edge("u", "v")
+        multigraph.add_edge("u", "v")
+        assert multigraph.num_edges == 2
+        assert multigraph.degree("u") == 2
+        classes = multigraph.parallel_classes()
+        assert len(classes) == 1
+        assert len(next(iter(classes.values()))) == 2
+
+    def test_no_self_loops(self):
+        multigraph = Multigraph()
+        with pytest.raises(ValueError):
+            multigraph.add_edge("u", "u")
+
+    def test_duplicate_edge_id_rejected(self):
+        multigraph = Multigraph()
+        multigraph.add_edge("u", "v", edge_id="e")
+        with pytest.raises(ValueError):
+            multigraph.add_edge("v", "w", edge_id="e")
+
+    def test_from_graph(self):
+        multigraph = Multigraph.from_graph(cycle_graph(4))
+        assert multigraph.num_edges == 4
+        assert multigraph.is_regular(2)
+
+    def test_incident_edges(self):
+        multigraph = Multigraph()
+        e1 = multigraph.add_edge("u", "v")
+        e2 = multigraph.add_edge("u", "w")
+        assert multigraph.incident_edges("u") == {e1, e2}
+        assert multigraph.endpoints(e1) == ("u", "v")

@@ -1,0 +1,98 @@
+"""Tests for Hamiltonicity and #HamSubgraphs (Theorem 6.4 substrate)."""
+
+from itertools import combinations, permutations
+
+from hypothesis import given, settings
+
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.hamilton import (
+    count_hamiltonian_induced_subgraphs,
+    hamiltonian_subsets,
+    is_hamiltonian,
+)
+
+from tests.conftest import small_graphs
+
+
+def _hamiltonian_by_permutations(graph: Graph) -> bool:
+    nodes = graph.nodes
+    if len(nodes) < 3:
+        return False
+    first, rest = nodes[0], nodes[1:]
+    for order in permutations(rest):
+        cycle = [first, *order, first]
+        if all(graph.has_edge(a, b) for a, b in zip(cycle, cycle[1:])):
+            return True
+    return False
+
+
+class TestIsHamiltonian:
+    def test_known_graphs(self):
+        assert is_hamiltonian(cycle_graph(3))
+        assert is_hamiltonian(cycle_graph(6))
+        assert is_hamiltonian(complete_graph(5))
+        assert not is_hamiltonian(path_graph(4))
+        assert not is_hamiltonian(star_graph(3))
+
+    def test_small_conventions(self):
+        assert not is_hamiltonian(Graph())
+        assert not is_hamiltonian(Graph(nodes=[1]))
+        assert not is_hamiltonian(Graph(edges=[(1, 2)]))
+
+    def test_balanced_bipartite(self):
+        assert is_hamiltonian(complete_bipartite_graph(3, 3))
+        assert not is_hamiltonian(complete_bipartite_graph(2, 3))
+
+    @given(small_graphs(max_nodes=6))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_permutation_search(self, graph):
+        assert is_hamiltonian(graph) == _hamiltonian_by_permutations(graph)
+
+
+class TestCountHamSubgraphs:
+    def test_cycle(self):
+        graph = cycle_graph(5)
+        # Only the full cycle induces a Hamiltonian subgraph.
+        assert count_hamiltonian_induced_subgraphs(graph, 5) == 1
+        assert count_hamiltonian_induced_subgraphs(graph, 4) == 0
+        assert count_hamiltonian_induced_subgraphs(graph, 3) == 0
+
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        from math import comb
+
+        for k in (3, 4, 5):
+            assert count_hamiltonian_induced_subgraphs(graph, k) == comb(5, k)
+
+    def test_out_of_range(self):
+        graph = cycle_graph(4)
+        assert count_hamiltonian_induced_subgraphs(graph, 9) == 0
+        import pytest
+
+        with pytest.raises(ValueError):
+            count_hamiltonian_induced_subgraphs(graph, -1)
+
+    def test_witnesses_are_consistent(self):
+        graph = complete_graph(4)
+        subsets = hamiltonian_subsets(graph, 3)
+        assert len(subsets) == count_hamiltonian_induced_subgraphs(graph, 3)
+        for subset in subsets:
+            assert is_hamiltonian(graph.induced_subgraph(subset))
+
+    @given(small_graphs(max_nodes=5))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_direct_enumeration(self, graph):
+        for k in range(min(graph.num_nodes, 4) + 1):
+            direct = sum(
+                1
+                for subset in combinations(graph.nodes, k)
+                if _hamiltonian_by_permutations(graph.induced_subgraph(subset))
+            )
+            assert count_hamiltonian_induced_subgraphs(graph, k) == direct

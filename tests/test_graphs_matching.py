@@ -1,0 +1,67 @@
+"""Tests for Hopcroft-Karp maximum bipartite matching (Lemma B.2 engine)."""
+
+from itertools import permutations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.matching import (
+    has_perfect_left_matching,
+    hopcroft_karp,
+    maximum_matching_size,
+)
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        adjacency = {0: ["a", "b"], 1: ["a"], 2: ["b", "c"]}
+        matching = hopcroft_karp([0, 1, 2], adjacency)
+        assert len(matching) == 3
+        assert len(set(matching.values())) == 3
+        for left, right in matching.items():
+            assert right in adjacency[left]
+
+    def test_bottleneck(self):
+        adjacency = {0: ["a"], 1: ["a"], 2: ["a"]}
+        assert maximum_matching_size([0, 1, 2], adjacency) == 1
+        assert not has_perfect_left_matching([0, 1, 2], adjacency)
+
+    def test_empty(self):
+        assert maximum_matching_size([], {}) == 0
+        assert has_perfect_left_matching([], {})
+
+    def test_isolated_left_node(self):
+        assert maximum_matching_size([0, 1], {0: ["a"], 1: []}) == 1
+
+    @given(
+        st.integers(1, 5),
+        st.integers(1, 5),
+        st.integers(0, 2**25 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, m, n, bits):
+        adjacency = {
+            i: [j for j in range(n) if (bits >> (i * n + j)) & 1]
+            for i in range(m)
+        }
+
+        def brute_force() -> int:
+            best = 0
+            rights = list(range(n))
+            for k in range(min(m, n), 0, -1):
+                from itertools import combinations
+
+                for lefts in combinations(range(m), k):
+                    for assignment in permutations(rights, k):
+                        if all(
+                            assignment[p] in adjacency[lefts[p]]
+                            for p in range(k)
+                        ):
+                            return k
+            return best
+
+        assert maximum_matching_size(list(range(m)), adjacency) == brute_force()
+
+    @given(st.integers(1, 6))
+    def test_complete_bipartite(self, n):
+        adjacency = {i: list(range(n)) for i in range(n)}
+        assert maximum_matching_size(list(range(n)), adjacency) == n

@@ -1,0 +1,78 @@
+"""Tests for bicircular matroids and the Tutte-polynomial identities that
+power the #PF hardness transfer (Appendix B.5)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.graphs.avoidance import k_stretch
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph
+from repro.graphs.matroid import BicircularMatroid, independence_axioms_hold
+from repro.graphs.pseudoforest import (
+    count_induced_pseudoforests,
+    maximal_pseudoforest_size,
+)
+
+from tests.conftest import small_graphs
+
+
+class TestMatroidAxioms:
+    @given(small_graphs(max_nodes=5))
+    @settings(max_examples=15, deadline=None)
+    def test_bicircular_is_a_matroid(self, graph):
+        """Definition B.9 claims (E, pseudoforests) is a matroid; check the
+        three axioms of Definition B.6 exhaustively on small graphs."""
+        if graph.num_edges > 6:
+            return
+        assert independence_axioms_hold(BicircularMatroid(graph))
+
+
+class TestTutte:
+    def test_observation_b8(self):
+        """T(B(G); 2, 1) counts independent sets, i.e. equals #PF(G)."""
+        for graph in (path_graph(4), cycle_graph(4), complete_graph(4)):
+            matroid = BicircularMatroid(graph)
+            assert matroid.tutte_polynomial(2, 1) == Fraction(
+                count_induced_pseudoforests(graph)
+            )
+            assert matroid.tutte_polynomial(2, 1) == Fraction(
+                matroid.count_independent_sets()
+            )
+
+    def test_rank_accessors(self):
+        matroid = BicircularMatroid(complete_graph(4))
+        assert matroid.full_rank == 4
+        assert matroid.rank([]) == 0
+        assert matroid.is_independent([])
+
+    def test_k_stretch_identity(self):
+        """The Brylawski identity of Appendix B.5:
+
+        T(B(s_k(G)); 2, 1) = (2^k - 1)^{|E| - rk(E)} * T(B(G); 2^k, 1).
+        """
+        for graph in (cycle_graph(3), complete_graph(3)):
+            edges = graph.num_edges
+            rank = maximal_pseudoforest_size(graph)
+            base = BicircularMatroid(graph)
+            for k in (2, 3):
+                stretched = k_stretch(graph, k)
+                stretched_value = BicircularMatroid(
+                    stretched
+                ).tutte_polynomial(2, 1)
+                predicted = (2**k - 1) ** (edges - rank) * base.tutte_polynomial(
+                    2**k, 1
+                )
+                assert stretched_value == predicted
+
+    def test_even_stretch_is_bipartite(self):
+        """The final step of Prop. B.5: s_k(G) is bipartite for even k."""
+        for graph in (complete_graph(4), cycle_graph(5)):
+            assert k_stretch(graph, 2).is_bipartite()
+            assert k_stretch(graph, 4).is_bipartite()
+
+    def test_one_stretch_is_identity(self):
+        graph = cycle_graph(4)
+        stretched = k_stretch(graph, 1)
+        assert sorted(map(sorted, stretched.edges)) == sorted(
+            map(sorted, graph.edges)
+        )

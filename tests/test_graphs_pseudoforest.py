@@ -1,0 +1,118 @@
+"""Tests for pseudoforests, orientations and bicircular ranks (App. B.4-5)."""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.pseudoforest import (
+    bicircular_rank,
+    count_induced_pseudoforests,
+    has_outdegree_one_orientation,
+    is_pseudoforest_edge_set,
+    maximal_pseudoforest_size,
+)
+
+from tests.conftest import small_graphs
+
+
+class TestPseudoforestRecognition:
+    def test_forests_are_pseudoforests(self):
+        assert is_pseudoforest_edge_set(path_graph(5).edges)
+        assert is_pseudoforest_edge_set(star_graph(4).edges)
+        assert is_pseudoforest_edge_set([])
+
+    def test_single_cycle_is_pseudoforest(self):
+        assert is_pseudoforest_edge_set(cycle_graph(4).edges)
+
+    def test_two_cycles_in_one_component_is_not(self):
+        theta = Graph(
+            edges=[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]
+        )
+        assert not is_pseudoforest_edge_set(theta.edges)
+        assert not is_pseudoforest_edge_set(complete_graph(4).edges)
+
+    def test_disjoint_cycles_are_pseudoforest(self):
+        two_triangles = Graph(
+            edges=[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+        )
+        assert is_pseudoforest_edge_set(two_triangles.edges)
+
+    @given(small_graphs(max_nodes=5))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma_b4_orientation_criterion(self, graph):
+        """Lemma B.4: pseudoforest iff an out-degree-<=1 orientation exists
+        — two fully independent implementations must agree on every edge
+        subset."""
+        edges = graph.edges
+        for size in range(len(edges) + 1):
+            for subset in combinations(edges, size):
+                assert is_pseudoforest_edge_set(subset) == (
+                    has_outdegree_one_orientation(subset)
+                )
+
+
+class TestCountPseudoforests:
+    def test_small_graphs(self):
+        # Every subset of a tree's edges is a pseudoforest.
+        assert count_induced_pseudoforests(path_graph(4)) == 8
+        assert count_induced_pseudoforests(star_graph(3)) == 8
+        # All subsets of a single cycle work too.
+        assert count_induced_pseudoforests(cycle_graph(3)) == 8
+
+    def test_k4(self):
+        graph = complete_graph(4)
+        by_definition = sum(
+            1
+            for size in range(graph.num_edges + 1)
+            for subset in combinations(graph.edges, size)
+            if is_pseudoforest_edge_set(subset)
+        )
+        assert count_induced_pseudoforests(graph) == by_definition
+
+
+class TestBicircularRank:
+    def test_rank_of_tree_is_edge_count(self):
+        graph = path_graph(5)
+        assert bicircular_rank(graph, graph.edges) == 4
+
+    def test_rank_caps_at_nodes_per_component(self):
+        graph = complete_graph(4)  # one component, 4 nodes, 6 edges
+        assert bicircular_rank(graph, graph.edges) == 4
+        assert maximal_pseudoforest_size(graph) == 4
+
+    def test_rank_of_subset(self):
+        graph = complete_graph(4)
+        subset = [graph.edges[0]]
+        assert bicircular_rank(graph, subset) == 1
+        assert bicircular_rank(graph, []) == 0
+
+    def test_rejects_foreign_edges(self):
+        graph = path_graph(3)
+        import pytest
+
+        with pytest.raises(ValueError):
+            bicircular_rank(graph, [(0, 2)])
+
+    @given(small_graphs(max_nodes=5))
+    @settings(max_examples=30, deadline=None)
+    def test_rank_equals_max_independent_subset(self, graph):
+        """rk(A) = size of the largest pseudoforest inside A."""
+        edges = graph.edges
+        for size in range(min(3, len(edges)) + 1):
+            for subset in combinations(edges, size):
+                best = 0
+                for inner_size in range(len(subset), -1, -1):
+                    if any(
+                        is_pseudoforest_edge_set(inner)
+                        for inner in combinations(subset, inner_size)
+                    ):
+                        best = inner_size
+                        break
+                assert bicircular_rank(graph, subset) == best

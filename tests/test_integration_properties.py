@@ -1,0 +1,142 @@
+"""Cross-cutting integration properties tying the paper's claims together."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.classify import Tractability, classify
+from repro.core.problems import (
+    COMP_UNIFORM,
+    VAL,
+    VAL_CODD,
+    VAL_UNIFORM,
+)
+from repro.core.query import Atom, BCQ
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.exact.brute import count_completions_brute, count_valuations_brute
+from repro.exact.dispatch import (
+    count_completions,
+    count_valuations,
+    select_completion_algorithm,
+    select_valuation_algorithm,
+)
+from repro.workloads.generators import random_incomplete_db
+
+from tests.conftest import small_incomplete_dbs
+
+
+QUERIES = [
+    BCQ([Atom("R", ["x", "x"])]),
+    BCQ([Atom("R", ["x", "y"])]),
+    BCQ([Atom("R", ["x", "y"]), Atom("S", ["y"])]),
+    BCQ([Atom("R", ["x", "x"]), Atom("S", ["y"])]),
+]
+
+UNARY_QUERIES = [
+    BCQ([Atom("R", ["x"])]),
+    BCQ([Atom("R", ["x"]), Atom("S", ["x"])]),
+    BCQ([Atom("R", ["x"]), Atom("S", ["y"])]),
+]
+
+
+class TestUniformIsSpecialCaseOfNonUniform:
+    """The paper treats uniform databases as non-uniform ones with equal
+    domains; counts must agree under the embedding."""
+
+    @given(st.sampled_from(QUERIES), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_val_counts_agree(self, query, data):
+        schema = {a.relation: a.arity for a in query.atoms}
+        db = data.draw(small_incomplete_dbs(schema=schema, uniform=True))
+        view = db.as_non_uniform()
+        assert count_valuations_brute(db, query) == count_valuations_brute(
+            view, query
+        )
+
+    @given(st.sampled_from(UNARY_QUERIES), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_comp_counts_agree(self, query, data):
+        schema = {a.relation: a.arity for a in query.atoms}
+        db = data.draw(small_incomplete_dbs(schema=schema, uniform=True))
+        view = db.as_non_uniform()
+        assert count_completions_brute(db, query) == count_completions_brute(
+            view, query
+        )
+
+
+class TestClassifierConsistentWithDispatcher:
+    """If the classifier says FP for the variant matching the instance, the
+    dispatcher must actually have a polynomial algorithm (and vice versa
+    the poly methods never disagree with brute force)."""
+
+    @given(st.sampled_from(QUERIES + UNARY_QUERIES), st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_fp_cells_have_algorithms(self, query, seed):
+        schema = {a.relation: a.arity for a in query.atoms}
+        db = random_incomplete_db(schema, seed=seed, domain_size=2)
+        report = classify(query)
+        if db.is_uniform and not db.is_codd:
+            val_variant, comp_variant = VAL_UNIFORM, COMP_UNIFORM
+        elif not db.is_uniform and db.is_codd:
+            val_variant, comp_variant = VAL_CODD, None
+        else:
+            val_variant, comp_variant = VAL, None
+        if report.entry(val_variant).tractability is Tractability.FP:
+            assert select_valuation_algorithm(db, query) is not None
+        if (
+            comp_variant is not None
+            and report.entry(comp_variant).tractability is Tractability.FP
+            and all(f.arity == 1 for f in db.facts)
+        ):
+            assert select_completion_algorithm(db, query) is not None
+
+    @given(st.sampled_from(QUERIES + UNARY_QUERIES), st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_dispatcher_matches_brute(self, query, seed):
+        schema = {a.relation: a.arity for a in query.atoms}
+        for uniform in (True, False):
+            for codd in (True, False):
+                db = random_incomplete_db(
+                    schema,
+                    seed=seed,
+                    uniform=uniform,
+                    codd=codd,
+                    domain_size=2,
+                    num_nulls=2,
+                )
+                assert count_valuations(db, query) == (
+                    count_valuations_brute(db, query)
+                )
+                if all(f.arity == 1 for f in db.facts):
+                    assert count_completions(db, query) == (
+                        count_completions_brute(db, query)
+                    )
+
+
+class TestValCompRelationship:
+    """#Comp(q) <= #Val(q), with equality exactly when no two satisfying
+    valuations collide — the Example 2.2 phenomenon."""
+
+    @given(st.sampled_from(QUERIES), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_inequality(self, query, data):
+        schema = {a.relation: a.arity for a in query.atoms}
+        db = data.draw(small_incomplete_dbs(schema=schema))
+        assert count_completions_brute(db, query) <= count_valuations_brute(
+            db, query
+        )
+
+    def test_codd_with_distinct_constants_collapses_nothing(self):
+        """On a Codd table whose facts all carry a distinguishing constant,
+        valuations are injective on completions: #Val = #Comp."""
+        db = IncompleteDatabase.uniform(
+            [
+                Fact("R", ["row1", Null(1)]),
+                Fact("R", ["row2", Null(2)]),
+            ],
+            ["a", "b"],
+        )
+        query = BCQ([Atom("R", ["x", "y"])])
+        assert count_valuations_brute(db, query) == count_completions_brute(
+            db, query
+        ) == 4

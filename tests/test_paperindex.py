@@ -1,0 +1,69 @@
+"""Tests for the paper-result index (traceability layer)."""
+
+import importlib
+import pathlib
+
+import pytest
+
+from repro.paperindex import all_results, find_results, format_result
+
+
+class TestIndexIntegrity:
+    def test_identifiers_unique(self):
+        identifiers = [r.identifier for r in all_results()]
+        assert len(set(identifiers)) == len(identifiers)
+
+    def test_every_result_has_implementation_and_verification(self):
+        for result in all_results():
+            assert result.implemented_by
+            assert result.verified_by
+
+    def test_implementing_modules_importable(self):
+        """Every `implemented_by` entry must resolve to a real module or a
+        real attribute of one — the index cannot rot silently."""
+        for result in all_results():
+            for target in result.implemented_by:
+                module_name, attribute = target, None
+                try:
+                    importlib.import_module(module_name)
+                    continue
+                except ImportError:
+                    module_name, _, attribute = target.rpartition(".")
+                module = importlib.import_module(module_name)
+                assert hasattr(module, attribute), target
+
+    def test_verifying_files_exist(self):
+        root = pathlib.Path(__file__).resolve().parent.parent
+        for result in all_results():
+            for target in result.verified_by:
+                assert (root / target).exists(), target
+
+    def test_headline_results_present(self):
+        identifiers = " | ".join(r.identifier for r in all_results())
+        for needle in (
+            "Theorem 3.6", "Theorem 3.7", "Theorem 3.9",
+            "Theorems 4.3", "Theorems 4.6", "Corollary 5.3",
+            "Theorem 6.3", "Theorem 6.4", "Table 1", "Figure 1",
+        ):
+            assert needle in identifiers
+
+
+class TestSearch:
+    def test_find_by_identifier_fragment(self):
+        assert len(find_results("6.3")) == 1
+        assert find_results("6.3")[0].identifier == "Theorem 6.3"
+
+    def test_find_by_statement_fragment(self):
+        hits = find_results("fpras")
+        assert any("5.3" in r.identifier for r in hits)
+
+    def test_find_is_case_insensitive(self):
+        assert find_results("TABLE 1")
+
+    def test_no_match(self):
+        assert find_results("nonexistent theorem 99") == []
+
+    def test_format_contains_sections(self):
+        text = format_result(all_results()[0])
+        assert "implemented by:" in text
+        assert "verified by:" in text

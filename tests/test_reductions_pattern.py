@@ -1,0 +1,130 @@
+"""Tests for the executable pattern reductions (Lemmas 3.3 and 4.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.patterns import PATTERN_REPEAT, PATTERN_SHARED
+from repro.core.query import Atom, BCQ
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.db.valuation import count_total_valuations
+from repro.exact.brute import count_completions_brute, count_valuations_brute
+from repro.reductions.pattern import transfer_database
+
+
+CASES = [
+    (BCQ([Atom("P1", ["x"])]), BCQ([Atom("R", ["x", "y"])])),
+    (
+        BCQ([Atom("P1", ["x"]), Atom("P2", ["x"])]),
+        BCQ([Atom("R", ["x", "y"]), Atom("S", ["x"]), Atom("T", ["z"])]),
+    ),
+    (BCQ([Atom("P1", ["x", "x"])]), BCQ([Atom("R", ["x", "u", "x"])])),
+    (BCQ([Atom("P1", ["x", "y"])]), BCQ([Atom("R", ["y", "x", "z"])])),
+    (
+        BCQ([Atom("P1", ["x", "y"]), Atom("P2", ["y"])]),
+        BCQ([Atom("R", ["a", "x", "y"]), Atom("S", ["y", "b"])]),
+    ),
+]
+
+
+@st.composite
+def pattern_db(draw, pattern):
+    constants = ["a", "b", "c"]
+    nulls = [Null("n%d" % i) for i in range(draw(st.integers(1, 3)))]
+    facts = []
+    for atom in pattern.atoms:
+        for _ in range(draw(st.integers(1, 2))):
+            terms = [
+                draw(st.sampled_from(nulls))
+                if draw(st.booleans())
+                else draw(st.sampled_from(constants))
+                for _ in range(atom.arity)
+            ]
+            facts.append(Fact(atom.relation, terms))
+    used = set()
+    for fact in facts:
+        used |= fact.nulls()
+    if draw(st.booleans()):
+        return IncompleteDatabase.uniform(facts, constants)
+    dom = {
+        null: constants[: draw(st.integers(1, 3))] for null in sorted(used)
+    }
+    return IncompleteDatabase(facts, dom=dom)
+
+
+class TestLemma33:
+    @given(st.sampled_from(CASES), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_valuation_count_preserved(self, case, data):
+        pattern, query = case
+        source = data.draw(pattern_db(pattern))
+        target = transfer_database(pattern, query, source)
+        assert count_valuations_brute(
+            source, pattern
+        ) == count_valuations_brute(target, query)
+
+    @given(st.sampled_from(CASES), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_same_nulls_and_domains(self, case, data):
+        """The construction keeps the nulls and domains of D' untouched."""
+        pattern, query = case
+        source = data.draw(pattern_db(pattern))
+        target = transfer_database(pattern, query, source)
+        assert set(target.nulls) == set(source.nulls)
+        assert count_total_valuations(target) == count_total_valuations(
+            source
+        )
+        for null in source.nulls:
+            assert target.domain_of(null) == source.domain_of(null)
+
+
+class TestLemma41:
+    @given(st.sampled_from(CASES), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_completion_count_preserved(self, case, data):
+        pattern, query = case
+        source = data.draw(pattern_db(pattern))
+        target = transfer_database(pattern, query, source)
+        assert count_completions_brute(
+            source, pattern
+        ) == count_completions_brute(target, query)
+
+
+class TestGuards:
+    def test_rejects_non_pattern(self):
+        with pytest.raises(ValueError):
+            transfer_database(
+                PATTERN_REPEAT,
+                BCQ([Atom("R", ["x", "y"])]),
+                IncompleteDatabase.uniform(
+                    [Fact("P1", [Null(1), Null(1)])], ["a"]
+                ),
+            )
+
+    def test_rejects_stray_relations(self):
+        source = IncompleteDatabase.uniform(
+            [Fact("P1", [Null(1)]), Fact("ZZ", ["a"])], ["a"]
+        )
+        with pytest.raises(ValueError):
+            transfer_database(
+                BCQ([Atom("P1", ["x"])]),
+                BCQ([Atom("R", ["x", "y"])]),
+                source,
+            )
+
+    def test_hardness_transfer_composition(self):
+        """Prop. 3.4 + Lemma 3.3 in one pipeline: 3-coloring hardness lifts
+        from R(x,x) to any query containing it, e.g. R(x,x) ∧ S(u)."""
+        from repro.graphs.counting import count_colorings
+        from repro.graphs.generators import cycle_graph
+        from repro.reductions.coloring import build_three_coloring_db
+
+        graph = cycle_graph(4)
+        base_db = build_three_coloring_db(graph)
+        pattern = BCQ([Atom("R", ["x", "x"])])
+        query = BCQ([Atom("R", ["x", "x"]), Atom("S", ["u"])])
+        lifted = transfer_database(pattern, query, base_db)
+        total = count_total_valuations(lifted)
+        satisfying = count_valuations_brute(lifted, query)
+        assert total - satisfying == count_colorings(graph, 3)

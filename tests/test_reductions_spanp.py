@@ -1,0 +1,164 @@
+"""Tests for the Section 6 reductions (SpanP) and the CNF substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.complexity.cnf import CNF3, Clause, count_k3sat, count_sat
+from repro.complexity.classes import (
+    CLASSES,
+    inclusion_chain,
+    is_known_subclass,
+)
+from repro.exact.brute import count_completions_brute, count_valuations_brute
+from repro.graphs.counting import count_independent_sets
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph
+from repro.graphs.hamilton import count_hamiltonian_induced_subgraphs
+from repro.reductions.hamiltonian import (
+    build_hamiltonian_db,
+    count_ham_subgraphs_via_valuations,
+    make_hamiltonian_query,
+)
+from repro.reductions.spanp import (
+    NEGATED_QUERY,
+    SPANP_QUERY,
+    build_k3sat_db,
+    count_k3sat_via_completions,
+    pad_with_fresh_facts,
+)
+
+
+class TestCNF:
+    def test_clause_semantics(self):
+        clause = Clause((1, 2, 3), (True, False, True))
+        assert clause.satisfied_by([True, True, False])
+        assert not clause.satisfied_by([False, True, False])
+        assert clause.sign_tuple() == (1, 0, 1)
+
+    def test_clause_guards(self):
+        with pytest.raises(ValueError):
+            Clause((0, 1, 2), (True, True, True))
+
+    def test_from_literals(self):
+        formula = CNF3.from_literals(3, [(1, -2, 3)])
+        assert formula.clauses[0].signs == (True, False, True)
+        with pytest.raises(ValueError):
+            CNF3.from_literals(3, [(1, 2)])
+        with pytest.raises(ValueError):
+            CNF3.from_literals(2, [(1, 2, 3)])
+
+    def test_count_sat(self):
+        # x1 ∨ x1 ∨ x1: half the assignments
+        formula = CNF3.from_literals(2, [(1, 1, 1)])
+        assert count_sat(formula) == 2
+        # unsatisfiable pair
+        formula = CNF3.from_literals(
+            1, [(1, 1, 1), (-1, -1, -1)]
+        )
+        assert count_sat(formula) == 0
+
+    def test_count_k3sat_projects(self):
+        # F = x2 (as a padded clause): satisfying assignments project onto
+        # both values of x1.
+        formula = CNF3.from_literals(2, [(2, 2, 2)])
+        assert count_k3sat(formula, 1) == 2
+        assert count_k3sat(formula, 2) == 2
+        with pytest.raises(ValueError):
+            count_k3sat(formula, 0)
+
+
+class TestTheorem63:
+    def test_query_shape(self):
+        assert SPANP_QUERY.is_self_join_free
+        assert len(SPANP_QUERY.atoms) == 9  # S plus the eight C_abc
+        assert NEGATED_QUERY.inner is SPANP_QUERY
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 3), st.integers(1, 3), st.integers(1, 3),
+                st.booleans(), st.booleans(), st.booleans(),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_parsimonious_identity(self, raw_clauses, k):
+        clauses = [
+            Clause((a, b, c), (sa, sb, sc))
+            for a, b, c, sa, sb, sc in raw_clauses
+        ]
+        formula = CNF3(3, clauses)
+        assert count_k3sat_via_completions(formula, k) == count_k3sat(
+            formula, k
+        )
+
+    def test_unsatisfiable_formula(self):
+        formula = CNF3.from_literals(2, [(1, 1, 1), (-1, -1, -1)])
+        assert count_k3sat_via_completions(formula, 1) == 0
+
+    def test_relations_start_with_seven_triples(self):
+        formula = CNF3.from_literals(3, [(1, 2, 3)])
+        db = build_k3sat_db(formula, 1)
+        # C111 has 7 ground triples + the clause fact on nulls
+        assert len(db.relation("C111")) == 8
+        assert len(db.relation("C000")) == 7
+
+    def test_lemma_d1_padding(self):
+        """#Compu(all)(D) = #Compu(q)(pad(D)) — the Prop. 6.1 accounting."""
+        formula = CNF3.from_literals(2, [(1, -2, 2)])
+        db = build_k3sat_db(formula, 2)
+        padded = pad_with_fresh_facts(db)
+        total = count_completions_brute(db, None)
+        via_query = count_completions_brute(padded, SPANP_QUERY)
+        assert total == via_query
+
+
+class TestTheorem64:
+    def test_query_model_checking(self):
+        query = make_hamiltonian_query()
+        db = build_hamiltonian_db(cycle_graph(3), k=3)
+        from repro.db.valuation import apply_valuation, iter_valuations
+        from repro.eval.evaluate import evaluate
+
+        satisfied = sum(
+            1
+            for valuation in iter_valuations(db)
+            if evaluate(query, apply_valuation(db, valuation))
+        )
+        assert satisfied == 1  # only the all-ones valuation
+
+    def test_parsimonious_identity(self):
+        for graph, k in [
+            (cycle_graph(4), 4),
+            (cycle_graph(4), 3),
+            (complete_graph(4), 3),
+            (path_graph(4), 3),
+        ]:
+            assert count_ham_subgraphs_via_valuations(
+                graph, k
+            ) == count_hamiltonian_induced_subgraphs(graph, k)
+
+    def test_k_guard(self):
+        with pytest.raises(ValueError):
+            build_hamiltonian_db(cycle_graph(3), k=0)
+
+
+class TestComplexityTaxonomy:
+    def test_chain(self):
+        assert inclusion_chain() == ["FP", "SpanL", "#P", "SpanP"]
+
+    def test_transitive_inclusions(self):
+        assert is_known_subclass("FP", "SpanP")
+        assert is_known_subclass("SpanL", "#P")
+        assert not is_known_subclass("SpanP", "FP")
+        assert not is_known_subclass("SpanP", "#P")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError):
+            is_known_subclass("FP", "NPO")
+
+    def test_collapse_conditions_recorded(self):
+        spanp = CLASSES["SpanP"]
+        assert any("NP = UP" in cond for cond in spanp.collapse_conditions)

@@ -1,0 +1,109 @@
+"""Tests for the bounded integer-feasibility solver (Lemma B.19 backend)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.ilp import IntegerFeasibilityProblem, is_feasible
+
+
+def _make_problem(bounds, constraints):
+    problem = IntegerFeasibilityProblem()
+    for low, high in bounds:
+        problem.add_variable(low, high)
+    for coeffs, sense, rhs in constraints:
+        problem.add_constraint(coeffs, sense, rhs)
+    return problem
+
+
+class TestBasics:
+    def test_empty_problem_feasible(self):
+        assert is_feasible(IntegerFeasibilityProblem())
+
+    def test_constant_constraints(self):
+        problem = IntegerFeasibilityProblem()
+        problem.constraints = []
+        assert is_feasible(problem)
+
+    def test_simple_feasible(self):
+        problem = _make_problem(
+            [(0, 3), (0, 3)], [([1, 1], "==", 4), ([1, -1], "<=", 0)]
+        )
+        assert is_feasible(problem, backend="python")
+
+    def test_simple_infeasible(self):
+        problem = _make_problem([(0, 3), (0, 3)], [([1, 1], "==", 7)])
+        assert not is_feasible(problem, backend="python")
+
+    def test_rejects_bad_bounds(self):
+        problem = IntegerFeasibilityProblem()
+        with pytest.raises(ValueError):
+            problem.add_variable(3, 1)
+
+    def test_rejects_bad_sense(self):
+        problem = _make_problem([(0, 1)], [])
+        with pytest.raises(ValueError):
+            problem.add_constraint([1], ">", 0)
+
+    def test_rejects_arity_mismatch(self):
+        problem = _make_problem([(0, 1)], [])
+        with pytest.raises(ValueError):
+            problem.add_constraint([1, 2], "<=", 0)
+
+    def test_negative_bounds(self):
+        problem = _make_problem([(-3, -1)], [([1], ">=", -2)])
+        assert is_feasible(problem, backend="python")
+        problem = _make_problem([(-3, -1)], [([1], ">=", 0)])
+        assert not is_feasible(problem, backend="python")
+
+
+@st.composite
+def random_problems(draw):
+    num_vars = draw(st.integers(1, 4))
+    bounds = [
+        (0, draw(st.integers(0, 4))) for _ in range(num_vars)
+    ]
+    constraints = []
+    for _ in range(draw(st.integers(0, 3))):
+        coeffs = [draw(st.integers(-3, 3)) for _ in range(num_vars)]
+        sense = draw(st.sampled_from(["<=", ">=", "=="]))
+        rhs = draw(st.integers(-6, 10))
+        constraints.append((coeffs, sense, rhs))
+    return _make_problem(bounds, constraints)
+
+
+def _feasible_by_enumeration(problem) -> bool:
+    from itertools import product
+
+    ranges = [range(low, high + 1) for low, high in problem.bounds]
+    for point in product(*ranges):
+        ok = True
+        for constraint in problem.constraints:
+            value = sum(c * x for c, x in zip(constraint.coeffs, point))
+            if constraint.sense == "<=" and not value <= constraint.rhs:
+                ok = False
+            elif constraint.sense == ">=" and not value >= constraint.rhs:
+                ok = False
+            elif constraint.sense == "==" and value != constraint.rhs:
+                ok = False
+            if not ok:
+                break
+        if ok:
+            return True
+    return False
+
+
+class TestAgainstEnumeration:
+    @given(random_problems())
+    @settings(max_examples=60, deadline=None)
+    def test_python_backend_exact(self, problem):
+        assert is_feasible(problem, backend="python") == (
+            _feasible_by_enumeration(problem)
+        )
+
+    @given(random_problems())
+    @settings(max_examples=20, deadline=None)
+    def test_scipy_backend_agrees(self, problem):
+        pytest.importorskip("scipy")
+        assert is_feasible(problem, backend="scipy") == is_feasible(
+            problem, backend="python"
+        )

@@ -1,0 +1,96 @@
+"""Tests for the exact rational linear solver (Prop. 3.11 machinery)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.combinatorics import surjections
+from repro.util.linear import (
+    SingularMatrixError,
+    invert_rational_matrix,
+    kronecker_product,
+    solve_rational_system,
+)
+
+
+class TestSolve:
+    def test_simple_system(self):
+        solution = solve_rational_system([[2, 1], [1, 3]], [5, 10])
+        assert solution == [Fraction(1), Fraction(3)]
+
+    def test_rational_solution(self):
+        solution = solve_rational_system([[2]], [1])
+        assert solution == [Fraction(1, 2)]
+
+    def test_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            solve_rational_system([[1, 2], [2, 4]], [1, 2])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            solve_rational_system([[1, 2]], [1])
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-5, 5), min_size=3, max_size=3),
+            min_size=3,
+            max_size=3,
+        ),
+        st.lists(st.integers(-5, 5), min_size=3, max_size=3),
+    )
+    def test_solution_satisfies_system(self, matrix, rhs):
+        try:
+            solution = solve_rational_system(matrix, rhs)
+        except SingularMatrixError:
+            return
+        for row, target in zip(matrix, rhs):
+            assert sum(
+                Fraction(a) * x for a, x in zip(row, solution)
+            ) == Fraction(target)
+
+
+class TestInverse:
+    def test_identity(self):
+        inverse = invert_rational_matrix([[1, 0], [0, 1]])
+        assert inverse == [[1, 0], [0, 1]]
+
+    def test_inverse_multiplies_to_identity(self):
+        matrix = [[2, 1], [5, 3]]
+        inverse = invert_rational_matrix(matrix)
+        for i in range(2):
+            for j in range(2):
+                entry = sum(
+                    Fraction(matrix[i][k]) * inverse[k][j] for k in range(2)
+                )
+                assert entry == (1 if i == j else 0)
+
+
+class TestSurjectionMatrix:
+    """The structure Prop. 3.11 relies on."""
+
+    def test_triangular_with_nonzero_diagonal(self):
+        n = 4
+        matrix = [
+            [surjections(a, i) for i in range(n + 1)] for a in range(n + 1)
+        ]
+        for a in range(n + 1):
+            assert matrix[a][a] != 0  # a! on the diagonal
+            for i in range(a + 1, n + 1):
+                assert matrix[a][i] == 0  # upper triangle vanishes
+
+    def test_kronecker_square_is_invertible(self):
+        n = 2
+        base = [
+            [surjections(a, i) for i in range(n + 1)] for a in range(n + 1)
+        ]
+        square = kronecker_product(base, base)
+        inverse = invert_rational_matrix(square)
+        size = (n + 1) ** 2
+        for i in range(size):
+            entry = sum(square[i][k] * inverse[k][i] for k in range(size))
+            assert entry == 1
+
+    def test_kronecker_entries(self):
+        product = kronecker_product([[1, 2]], [[3], [4]])
+        assert product == [[3, 6], [4, 8]]

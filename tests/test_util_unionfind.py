@@ -1,0 +1,65 @@
+"""Tests for the union-find structure."""
+
+from hypothesis import given, strategies as st
+
+from repro.util.unionfind import UnionFind, merge_tables
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind(["a", "b"])
+        assert uf.find("a") == "a"
+        assert not uf.same("a", "b")
+
+    def test_union_links(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.same("a", "c")
+        assert not uf.same("a", "d")
+
+    def test_lazy_registration(self):
+        uf = UnionFind()
+        assert "x" not in uf
+        uf.find("x")
+        assert "x" in uf
+
+    def test_classes(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        uf.add(5)
+        groups = {frozenset(v) for v in uf.classes().values()}
+        assert groups == {frozenset({1, 2}), frozenset({3, 4}), frozenset({5})}
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=20
+        )
+    )
+    def test_matches_naive_partition(self, unions):
+        """Union-find agrees with a naive connected-components refinement."""
+        uf = UnionFind(range(10))
+        parent = {i: {i} for i in range(10)}
+        lookup = {i: i for i in range(10)}
+        for a, b in unions:
+            uf.union(a, b)
+            ra, rb = lookup[a], lookup[b]
+            if ra != rb:
+                parent[ra] |= parent[rb]
+                for member in parent[rb]:
+                    lookup[member] = ra
+                del parent[rb]
+        for i in range(10):
+            for j in range(10):
+                assert uf.same(i, j) == (lookup[i] == lookup[j])
+
+
+class TestMergeTables:
+    def test_combines_payloads(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        table = {"a": {1}, "b": {2}, "c": {3}}
+        merged = merge_tables(uf, table, lambda x, y: x | y)
+        values = sorted(map(sorted, merged.values()))
+        assert values == [[1, 2], [3]]
