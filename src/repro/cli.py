@@ -5,6 +5,8 @@ Examples::
     repro-count classify "R(x,x)"
     repro-count count --mode val --query "R(x), S(x)" --db instance.idb
     repro-count count --mode comp --db instance.idb          # all completions
+    repro-count count --mode val --query "R(x,x)" --db instance.idb \
+        --method lineage --json                              # machine-readable
     repro-count approx --query "R(x,y)" --db instance.idb --epsilon 0.05
     repro-count show --db instance.idb
 
@@ -14,12 +16,20 @@ Database files use the :mod:`repro.io.databases` text format.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
+from repro import __version__
 from repro.core.classify import classify
 from repro.core.query import BCQ
 from repro.db.valuation import count_total_valuations
-from repro.exact.dispatch import count_completions, count_valuations
+from repro.exact.dispatch import (
+    count_completions,
+    count_valuations,
+    resolve_completion_method,
+    resolve_valuation_method,
+)
 from repro.io.databases import parse_database
 from repro.io.queries import parse_query
 
@@ -41,13 +51,31 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 def _cmd_count(args: argparse.Namespace) -> int:
     db = _load_db(args.db)
     query = parse_query(args.query) if args.query else None
+    started = time.perf_counter()
     if args.mode == "val":
         if query is None:
-            print(count_total_valuations(db))
-            return 0
-        print(count_valuations(db, query, method=args.method, budget=args.budget))
-        return 0
-    print(count_completions(db, query, method=args.method, budget=args.budget))
+            resolved = "total"
+            count = count_total_valuations(db)
+        else:
+            resolved = resolve_valuation_method(db, query, args.method)
+            count = count_valuations(db, query, method=resolved, budget=args.budget)
+    else:
+        resolved = resolve_completion_method(db, query, args.method)
+        count = count_completions(db, query, method=resolved, budget=args.budget)
+    elapsed = time.perf_counter() - started
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "mode": args.mode,
+                    "count": count,
+                    "method": resolved,
+                    "seconds": round(elapsed, 6),
+                }
+            )
+        )
+    else:
+        print(count)
     return 0
 
 
@@ -56,8 +84,25 @@ def _cmd_approx(args: argparse.Namespace) -> int:
 
     db = _load_db(args.db)
     query = parse_query(args.query)
+    started = time.perf_counter()
     estimator = KarpLubyEstimator(db, query, seed=args.seed)
     report = estimator.estimate(args.epsilon, args.delta)
+    elapsed = time.perf_counter() - started
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "estimate": report.estimate,
+                    "method": "karp-luby",
+                    "epsilon": args.epsilon,
+                    "delta": args.delta,
+                    "events": report.num_events,
+                    "samples": report.samples,
+                    "seconds": round(elapsed, 6),
+                }
+            )
+        )
+        return 0
     print(
         "%.6g  (events=%d, samples=%d, weight-bound=%d)"
         % (
@@ -96,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Counting problems over incomplete databases "
         "(Arenas, Barcelo, Monet; PODS 2020)",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version="repro-count %s" % __version__,
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_classify = sub.add_parser(
@@ -111,13 +161,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.add_argument(
         "--method",
         default="auto",
-        help="auto | poly | brute | algorithm name",
+        help="auto | poly | lineage | brute | algorithm name",
     )
     p_count.add_argument(
         "--budget",
         type=int,
         default=2_000_000,
         help="max valuations for brute force",
+    )
+    p_count.add_argument(
+        "--json",
+        action="store_true",
+        help="emit {mode, count, method, seconds} as JSON",
     )
     p_count.set_defaults(func=_cmd_count)
 
@@ -127,6 +182,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_approx.add_argument("--epsilon", type=float, default=0.1)
     p_approx.add_argument("--delta", type=float, default=0.25)
     p_approx.add_argument("--seed", type=int, default=None)
+    p_approx.add_argument(
+        "--json",
+        action="store_true",
+        help="emit {estimate, method, epsilon, delta, events, samples, "
+        "seconds} as JSON",
+    )
     p_approx.set_defaults(func=_cmd_approx)
 
     p_cite = sub.add_parser(

@@ -1,14 +1,23 @@
 """Complexity-theory substrate for Section 6 of the paper.
 
-* :mod:`repro.complexity.cnf` — 3-CNF formulas and the SpanP-complete
-  source problem ``#k3SAT`` (count assignments of the first ``k`` variables
-  extendable to satisfying assignments; Def. D.2).
+* :mod:`repro.complexity.cnf` — the shared general :class:`CNF`
+  representation (emitted by the lineage compiler :mod:`repro.compile`,
+  consumed by its exact model counter) plus the 3-CNF formulas of the
+  SpanP-complete source problem ``#k3SAT`` (count assignments of the first
+  ``k`` variables extendable to satisfying assignments; Def. D.2).
 * :mod:`repro.complexity.classes` — the counting-class taxonomy the paper
   situates its problems in (FP ⊆ SpanL ⊆ #P ⊆ SpanP, GapP, SPP) with the
   known inclusions/collapse conditions as queryable data.
 """
 
-from repro.complexity.cnf import CNF3, Clause, count_k3sat, count_sat
+from repro.complexity.cnf import (
+    CNF,
+    CNF3,
+    Clause,
+    count_k3sat,
+    count_models_brute,
+    count_sat,
+)
 from repro.complexity.classes import (
     CLASSES,
     ComplexityClass,
@@ -17,9 +26,11 @@ from repro.complexity.classes import (
 )
 
 __all__ = [
+    "CNF",
     "CNF3",
     "Clause",
     "count_k3sat",
+    "count_models_brute",
     "count_sat",
     "CLASSES",
     "ComplexityClass",

@@ -1,16 +1,162 @@
-"""3-CNF formulas and the ``#k3SAT`` counting problem (Definition D.2).
+"""CNF formulas: the general representation and the 3-CNF special case.
 
-``#k3SAT`` — given a 3-CNF ``F`` over ``x_1..x_n`` and ``1 <= k <= n``,
-count the assignments of ``x_1..x_k`` extendable to satisfying assignments
-of ``F`` — is SpanP-complete under parsimonious reductions (Köbler,
-Schöning, Torán; Prop. D.3), and is the source of Theorem 6.3.
+Two layers live here:
+
+* :class:`CNF` — general CNF over DIMACS-style signed integer literals.
+  This is the shared formula representation that the lineage compiler
+  (:mod:`repro.compile`) emits and the exact model counter
+  (:mod:`repro.compile.sharpsat`) consumes.
+* :class:`CNF3` / :class:`Clause` — the 3-CNF formulas of the ``#k3SAT``
+  counting problem (Definition D.2): given a 3-CNF ``F`` over ``x_1..x_n``
+  and ``1 <= k <= n``, count the assignments of ``x_1..x_k`` extendable to
+  satisfying assignments of ``F``.  ``#k3SAT`` is SpanP-complete under
+  parsimonious reductions (Köbler, Schöning, Torán; Prop. D.3), and is the
+  source of Theorem 6.3.  :meth:`CNF3.to_cnf` bridges into the general
+  representation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
-from typing import Iterable, Sequence
+from itertools import combinations, product
+from typing import Iterable, Iterator, Sequence
+
+
+class CNF:
+    """A general CNF formula over variables ``1..num_variables``.
+
+    Literals are nonzero integers in DIMACS convention: ``v`` is the
+    positive literal of variable ``v``, ``-v`` its negation.  Clauses are
+    stored as sorted tuples with duplicate literals removed; tautological
+    clauses (containing ``v`` and ``-v``) are dropped on insertion.  The
+    empty clause is allowed and makes the formula unsatisfiable.
+
+    The class is an incremental builder: the lineage compiler allocates
+    variables with :meth:`new_variable` and appends clauses as it walks the
+    database, then hands the finished formula to the model counter.
+    """
+
+    def __init__(
+        self,
+        num_variables: int = 0,
+        clauses: Iterable[Sequence[int]] = (),
+    ) -> None:
+        if num_variables < 0:
+            raise ValueError("num_variables must be >= 0")
+        self._num_variables = num_variables
+        self._clauses: list[tuple[int, ...]] = []
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # -- construction ------------------------------------------------------
+
+    def new_variable(self) -> int:
+        """Allocate and return a fresh variable index."""
+        self._num_variables += 1
+        return self._num_variables
+
+    def new_variables(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh variable indices."""
+        return [self.new_variable() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Append a clause (any iterable of nonzero literals).
+
+        Duplicate literals collapse; a tautology is silently dropped; an
+        empty clause is recorded as-is (falsum).
+        """
+        seen = set()
+        for literal in literals:
+            if not isinstance(literal, int) or literal == 0:
+                raise ValueError("literals are nonzero integers; got %r" % (literal,))
+            if abs(literal) > self._num_variables:
+                raise ValueError(
+                    "literal %d uses a variable beyond %d; allocate it "
+                    "with new_variable() first" % (literal, self._num_variables)
+                )
+            seen.add(literal)
+        if any(-literal in seen for literal in seen):
+            return  # tautology
+        self._clauses.append(tuple(sorted(seen, key=abs)))
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def add_exactly_one(self, variables: Sequence[int]) -> None:
+        """Exactly one of ``variables`` is true: one at-least-one clause
+        plus pairwise at-most-one clauses.
+
+        This is the domain constraint of the lineage encoding: models of
+        the exactly-one block over a null's indicator variables are in
+        bijection with the choices of a value from its domain.
+        """
+        self.add_clause(variables)
+        for left, right in combinations(variables, 2):
+            self.add_clause((-left, -right))
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return self._num_variables
+
+    @property
+    def clauses(self) -> tuple[tuple[int, ...], ...]:
+        return tuple(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._clauses)
+
+    def satisfied_by(self, assignment: Sequence[bool]) -> bool:
+        """``assignment[v-1]`` is the value of variable ``v``."""
+        if len(assignment) < self._num_variables:
+            raise ValueError(
+                "assignment covers %d of %d variables"
+                % (len(assignment), self._num_variables)
+            )
+        return all(
+            any(
+                assignment[abs(literal) - 1] == (literal > 0)
+                for literal in clause
+            )
+            for clause in self._clauses
+        )
+
+    def __repr__(self) -> str:
+        return "CNF(n=%d, clauses=%d)" % (
+            self._num_variables,
+            len(self._clauses),
+        )
+
+
+def count_models_brute(
+    cnf: CNF, projection: Iterable[int] | None = None
+) -> int:
+    """Model count of a general CNF by exhaustive enumeration.
+
+    With ``projection`` (a set of variables), counts the *distinct
+    restrictions to the projection variables* of satisfying assignments —
+    the projected model count.  Exponential; this is the ground truth the
+    :mod:`repro.compile.sharpsat` engine is tested against.
+    """
+    if projection is None:
+        return sum(
+            1
+            for bits in product((False, True), repeat=cnf.num_variables)
+            if cnf.satisfied_by(bits)
+        )
+    show = sorted(set(projection))
+    if any(v < 1 or v > cnf.num_variables for v in show):
+        raise ValueError("projection variables must be in 1..num_variables")
+    seen: set[tuple[bool, ...]] = set()
+    for bits in product((False, True), repeat=cnf.num_variables):
+        if cnf.satisfied_by(bits):
+            seen.add(tuple(bits[v - 1] for v in show))
+    return len(seen)
 
 
 @dataclass(frozen=True)
@@ -86,6 +232,16 @@ class CNF3:
                 )
             )
         return cls(num_variables, clauses)
+
+    def to_cnf(self) -> CNF:
+        """The same formula as a general :class:`CNF` (shared representation)."""
+        general = CNF(self._num_variables)
+        for clause in self._clauses:
+            general.add_clause(
+                variable if sign else -variable
+                for variable, sign in zip(clause.variables, clause.signs)
+            )
+        return general
 
     def __repr__(self) -> str:
         return "CNF3(n=%d, clauses=%d)" % (

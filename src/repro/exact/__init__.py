@@ -11,7 +11,9 @@
 * :mod:`repro.exact.completion_check` — Lemma B.2 certificate check for
   Codd tables (bipartite matching).
 * :mod:`repro.exact.dispatch` — ``count_valuations`` / ``count_completions``
-  front doors that pick the best applicable algorithm.
+  front doors that pick the best applicable algorithm; on hard cells they
+  now prefer the lineage-compilation backend (:mod:`repro.compile`) over
+  brute force for (U)CQs.
 """
 
 from repro.exact.brute import (
@@ -31,6 +33,8 @@ from repro.exact.dispatch import (
     NoPolynomialAlgorithm,
     count_completions,
     count_valuations,
+    resolve_completion_method,
+    resolve_valuation_method,
 )
 
 __all__ = [
@@ -46,4 +50,6 @@ __all__ = [
     "NoPolynomialAlgorithm",
     "count_completions",
     "count_valuations",
+    "resolve_completion_method",
+    "resolve_valuation_method",
 ]

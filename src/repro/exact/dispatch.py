@@ -2,14 +2,55 @@
 
 ``count_valuations`` / ``count_completions`` inspect the query (via the
 pattern detectors) and the database (Codd? uniform? unary?) and route to the
-fastest *exact* algorithm the dichotomies provide, falling back to
-brute-force enumeration — with an explicit opt-in budget — on the provably
-hard cells.  ``method`` forces a specific algorithm (useful for tests and
-benchmarks).
+fastest *exact* algorithm available.  ``method`` forces a specific
+algorithm (useful for tests and benchmarks).
+
+Method table (``#Val``):
+
+=================== ======================================================
+``auto``            polynomial algorithm if one applies, else ``lineage``
+                    for (U)CQs, else ``brute``
+``poly``            polynomial algorithm or :class:`NoPolynomialAlgorithm`
+``single-occurrence`` Theorem 3.6 closed formula (pattern-free sjfBCQs)
+``codd``            Theorem 3.7 per-null independence (Codd tables)
+``uniform``         Theorem 3.9 algorithm (uniform naive tables)
+``lineage``         compile to CNF, exact #SAT with component caching
+                    (:mod:`repro.compile`) — exact on *every* (U)CQ cell,
+                    exponential only in the lineage's treewidth
+``brute``           enumerate all valuations (opt-in ``budget``)
+=================== ======================================================
+
+Method table (``#Comp``):
+
+=================== ======================================================
+``auto``            ``uniform-unary`` if it applies, else ``lineage`` for
+                    (U)CQs / no query, else ``brute``
+``poly``            polynomial algorithm or :class:`NoPolynomialAlgorithm`
+``uniform-unary``   Theorem 4.6 closed form (uniform, unary schema)
+``lineage``         canonical-fact encoding + *projected* exact model
+                    counting (:mod:`repro.compile`)
+``brute``           enumerate valuations, deduplicate completions
+=================== ======================================================
+
+On the #P-hard cells of Table 1 ``auto`` therefore no longer falls off an
+exponential cliff at ``prod |dom(⊥)|`` ≈ 10^6: the lineage backend routinely
+handles instances with 10^30+ valuations when the lineage has moderate
+treewidth (see ``benchmarks/bench_lineage.py``).
+
+Note that ``budget`` bounds *enumeration* and hence only applies to
+``brute``: the lineage backend, like any exact #SAT solver, runs to
+completion, and its worst case (high-treewidth lineage) is time- and
+memory-bound by the search rather than by a valuation count.  For hard
+work that must stay budgeted, force ``method='brute'``.
 """
 
 from __future__ import annotations
 
+from repro.compile.backend import (
+    count_completions_lineage,
+    count_valuations_lineage,
+    lineage_supports,
+)
 from repro.core.query import BCQ, BooleanQuery
 from repro.db.incomplete import IncompleteDatabase
 from repro.exact import brute
@@ -24,8 +65,16 @@ class NoPolynomialAlgorithm(ValueError):
     i.e. the instance sits in a #P-hard cell of Table 1."""
 
 
-_VAL_METHODS = ("auto", "poly", "brute", "single-occurrence", "codd", "uniform")
-_COMP_METHODS = ("auto", "poly", "brute", "uniform-unary")
+_VAL_METHODS = (
+    "auto",
+    "poly",
+    "brute",
+    "lineage",
+    "single-occurrence",
+    "codd",
+    "uniform",
+)
+_COMP_METHODS = ("auto", "poly", "brute", "lineage", "uniform-unary")
 
 
 def select_valuation_algorithm(
@@ -50,6 +99,37 @@ def select_valuation_algorithm(
     return None
 
 
+def resolve_valuation_method(
+    db: IncompleteDatabase, query: BooleanQuery, method: str = "auto"
+) -> str:
+    """The concrete algorithm ``count_valuations`` will run.
+
+    ``auto`` resolves to the best applicable algorithm (polynomial if one
+    exists, else ``lineage`` on (U)CQs, else ``brute``); ``poly`` raises
+    :class:`NoPolynomialAlgorithm` on hard cells; other names resolve to
+    themselves.
+    """
+    if method not in _VAL_METHODS:
+        raise ValueError("unknown method %r (one of %s)" % (method, _VAL_METHODS))
+    if method not in ("auto", "poly"):
+        return method
+    selected = (
+        select_valuation_algorithm(db, query)
+        if isinstance(query, BCQ)
+        else None
+    )
+    if selected is not None:
+        return selected
+    if method == "poly":
+        raise NoPolynomialAlgorithm(
+            "no polynomial-time algorithm for %r on this instance; "
+            "the dichotomies place it in a #P-hard cell" % (query,)
+        )
+    if lineage_supports(query):
+        return "lineage"
+    return "brute"
+
+
 def count_valuations(
     db: IncompleteDatabase,
     query: BooleanQuery,
@@ -58,38 +138,22 @@ def count_valuations(
 ) -> int:
     """``#Val(q)(D)`` with automatic algorithm selection.
 
-    ``method='poly'`` refuses to fall back to enumeration (raises
-    :class:`NoPolynomialAlgorithm` on hard cells); explicit method names
-    force one algorithm.
+    ``method='poly'`` refuses to fall back to an exponential-worst-case
+    algorithm (raises :class:`NoPolynomialAlgorithm` on hard cells);
+    explicit method names force one algorithm.  ``budget`` only limits
+    ``brute``.
     """
-    if method not in _VAL_METHODS:
-        raise ValueError("unknown method %r (one of %s)" % (method, _VAL_METHODS))
-    if method == "brute":
+    resolved = resolve_valuation_method(db, query, method)
+    if resolved == "brute":
         return brute.count_valuations_brute(db, query, budget=budget)
-    if method == "single-occurrence":
+    if resolved == "lineage":
+        return count_valuations_lineage(db, query)
+    if resolved == "single-occurrence":
         return _val_nonuniform.count_valuations_single_occurrence(db, query)
-    if method == "codd":
+    if resolved == "codd":
         return _val_codd.count_valuations_codd(db, query)
-    if method == "uniform":
-        return _val_uniform.count_valuations_uniform(db, query)
-
-    selected = (
-        select_valuation_algorithm(db, query)
-        if isinstance(query, BCQ)
-        else None
-    )
-    if selected == "single-occurrence":
-        return _val_nonuniform.count_valuations_single_occurrence(db, query)
-    if selected == "codd":
-        return _val_codd.count_valuations_codd(db, query)
-    if selected == "uniform":
-        return _val_uniform.count_valuations_uniform(db, query)
-    if method == "poly":
-        raise NoPolynomialAlgorithm(
-            "no polynomial-time algorithm for %r on this instance; "
-            "the dichotomies place it in a #P-hard cell" % (query,)
-        )
-    return brute.count_valuations_brute(db, query, budget=budget)
+    assert resolved == "uniform"
+    return _val_uniform.count_valuations_uniform(db, query)
 
 
 def select_completion_algorithm(
@@ -107,6 +171,32 @@ def select_completion_algorithm(
     return "uniform-unary"
 
 
+def resolve_completion_method(
+    db: IncompleteDatabase,
+    query: BooleanQuery | None = None,
+    method: str = "auto",
+) -> str:
+    """The concrete algorithm ``count_completions`` will run."""
+    if method not in _COMP_METHODS:
+        raise ValueError("unknown method %r (one of %s)" % (method, _COMP_METHODS))
+    if method not in ("auto", "poly"):
+        return method
+    bcq = query if isinstance(query, BCQ) or query is None else False
+    selected = (
+        select_completion_algorithm(db, bcq) if bcq is not False else None
+    )
+    if selected is not None:
+        return selected
+    if method == "poly":
+        raise NoPolynomialAlgorithm(
+            "no polynomial-time algorithm for counting completions on this "
+            "instance; the dichotomies place it in a #P-hard cell"
+        )
+    if lineage_supports(query):
+        return "lineage"
+    return "brute"
+
+
 def count_completions(
     db: IncompleteDatabase,
     query: BooleanQuery | None = None,
@@ -114,23 +204,12 @@ def count_completions(
     budget: int | None = brute.DEFAULT_BUDGET,
 ) -> int:
     """``#Comp(q)(D)`` (or the total number of completions for
-    ``query=None``) with automatic algorithm selection."""
-    if method not in _COMP_METHODS:
-        raise ValueError("unknown method %r (one of %s)" % (method, _COMP_METHODS))
-    if method == "brute":
+    ``query=None``) with automatic algorithm selection.  ``budget`` only
+    limits ``brute``."""
+    resolved = resolve_completion_method(db, query, method)
+    if resolved == "brute":
         return brute.count_completions_brute(db, query, budget=budget)
-    if method == "uniform-unary":
-        return _comp_uniform.count_completions_uniform_unary(db, query)
-
-    bcq = query if isinstance(query, BCQ) or query is None else False
-    selected = (
-        select_completion_algorithm(db, bcq) if bcq is not False else None
-    )
-    if selected == "uniform-unary":
-        return _comp_uniform.count_completions_uniform_unary(db, query)
-    if method == "poly":
-        raise NoPolynomialAlgorithm(
-            "no polynomial-time algorithm for counting completions on this "
-            "instance; the dichotomies place it in a #P-hard cell"
-        )
-    return brute.count_completions_brute(db, query, budget=budget)
+    if resolved == "lineage":
+        return count_completions_lineage(db, query)
+    assert resolved == "uniform-unary"
+    return _comp_uniform.count_completions_uniform_unary(db, query)

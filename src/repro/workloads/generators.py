@@ -129,6 +129,64 @@ def scaling_uniform_val_instance(
     return IncompleteDatabase.uniform(facts, domain), query
 
 
+def scaling_hard_val_instance(
+    size: int, num_colors: int = 3, chord_probability: float = 0.0,
+    seed: int = 0,
+) -> tuple[IncompleteDatabase, BCQ]:
+    """Hard-cell ``#Val`` family (Prop. 3.4 shape): ``R(x,x)`` over the
+    coloring database of a ``size``-cycle.
+
+    ``#Val`` here counts improperly-colored assignments — #P-hard in
+    general, and brute force costs ``num_colors^size``.  The cycle keeps
+    the lineage treewidth tiny, so the ``lineage`` backend stays
+    polynomial; ``chord_probability`` adds random chords to thicken the
+    instance (seeded, reproducible).
+    """
+    rng = random.Random(seed)
+    node_null = {v: Null(("node", v)) for v in range(size)}
+    edges = [(v, (v + 1) % size) for v in range(size)]
+    for u in range(size):
+        for v in range(u + 2, size):
+            if (u, v) not in edges and rng.random() < chord_probability:
+                edges.append((u, v))
+    facts = []
+    for u, v in edges:
+        facts.append(Fact("R", [node_null[u], node_null[v]]))
+        facts.append(Fact("R", [node_null[v], node_null[u]]))
+    query = BCQ([Atom("R", ["x", "x"])])
+    domain = ["c%d" % i for i in range(num_colors)]
+    return IncompleteDatabase.uniform(facts, domain), query
+
+
+def scaling_hard_comp_instance(
+    size: int, overlap: int = 2, seed: int = 0
+) -> tuple[IncompleteDatabase, BCQ]:
+    """Hard-cell ``#Comp`` family (Prop. 4.2 shape): completions of a
+    non-uniform *unary* table whose null domains overlap along a path.
+
+    Facts ``R(⊥_i)`` with ``dom(⊥_i) = {v_i, ..., v_{i+overlap-1}}``:
+    distinct valuations collapse heavily, so counting distinct completions
+    is the hard part (brute force enumerates ``overlap^size`` valuations).
+    The path-shaped overlap keeps the projected counting decomposable.
+    Returned with the ``R(x) ∧ S(x)`` intersection query (plus ground
+    ``S`` facts over a random half of the values) for the
+    query-constrained variant; pass ``query=None`` downstream to count
+    all completions.
+    """
+    rng = random.Random(seed)
+    facts = []
+    dom: dict[Null, list[str]] = {}
+    for i in range(size):
+        null = Null(("u", i))
+        dom[null] = ["v%d" % (i + j) for j in range(overlap)]
+        facts.append(Fact("R", [null]))
+    values = sorted({value for choices in dom.values() for value in choices})
+    for value in rng.sample(values, max(1, len(values) // 2)):
+        facts.append(Fact("S", [value]))
+    query = BCQ([Atom("R", ["x"]), Atom("S", ["x"])])
+    return IncompleteDatabase(facts, dom=dom), query
+
+
 def scaling_uniform_unary_comp_instance(
     num_nulls: int, domain_size: int = 6, seed: int = 0
 ) -> tuple[IncompleteDatabase, BCQ]:

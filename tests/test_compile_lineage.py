@@ -1,0 +1,204 @@
+"""Tests for lineage compilation and the CNF encodings of #Val / #Comp."""
+
+import pytest
+
+from repro.compile import (
+    LineageUnsupportedQuery,
+    compile_completion_cnf,
+    compile_valuation_cnf,
+    count_completions_lineage,
+    count_valuations_lineage,
+    enumerate_valuation_matches,
+    explain_completions,
+    explain_valuations,
+)
+from repro.compile.variables import instantiations
+from repro.core.query import Atom, BCQ, Const, CustomQuery, Negation, UCQ
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.exact.brute import count_completions_brute, count_valuations_brute
+
+
+def _figure1_db():
+    n1, n2 = Null(1), Null(2)
+    facts = [Fact("S", ["a", "b"]), Fact("S", [n1, "a"]), Fact("S", ["a", n2])]
+    return IncompleteDatabase(facts, dom={n1: ["a", "b", "c"], n2: ["a", "b"]})
+
+
+class TestValuationMatches:
+    def test_single_atom_matches(self):
+        n1 = Null(1)
+        db = IncompleteDatabase([Fact("R", [n1])], dom={n1: ["a", "b"]})
+        matches = enumerate_valuation_matches(db, BCQ([Atom("R", ["x"])]))
+        assert set(matches) == {
+            frozenset({(n1, "a")}),
+            frozenset({(n1, "b")}),
+        }
+
+    def test_ground_witness_collapses_to_true(self):
+        n1 = Null(1)
+        db = IncompleteDatabase(
+            [Fact("R", ["a"]), Fact("R", [n1])], dom={n1: ["a", "b"]}
+        )
+        # R(x) is witnessed by the ground fact under every valuation.
+        assert enumerate_valuation_matches(db, BCQ([Atom("R", ["x"])])) == [
+            frozenset()
+        ]
+
+    def test_repeated_variable_requires_equal_values(self):
+        n1, n2 = Null(1), Null(2)
+        db = IncompleteDatabase(
+            [Fact("R", [n1, n2])], dom={n1: ["a", "b"], n2: ["b", "c"]}
+        )
+        matches = enumerate_valuation_matches(db, BCQ([Atom("R", ["x", "x"])]))
+        assert matches == [frozenset({(n1, "b"), (n2, "b")})]
+
+    def test_constant_in_query_restricts_domain(self):
+        n1 = Null(1)
+        db = IncompleteDatabase([Fact("R", [n1])], dom={n1: ["a", "b"]})
+        matches = enumerate_valuation_matches(
+            db, BCQ([Atom("R", [Const("a")])])
+        )
+        assert matches == [frozenset({(n1, "a")})]
+
+    def test_out_of_domain_constant_has_no_match(self):
+        n1 = Null(1)
+        db = IncompleteDatabase([Fact("R", [n1])], dom={n1: ["a", "b"]})
+        assert enumerate_valuation_matches(
+            db, BCQ([Atom("R", [Const("z")])])
+        ) == []
+
+    def test_absorption_drops_redundant_matches(self):
+        n1, n2 = Null(1), Null(2)
+        db = IncompleteDatabase(
+            [Fact("R", [n1]), Fact("R", [n2]), Fact("S", [n1])],
+            dom={n1: ["a"], n2: ["a", "b"]},
+        )
+        # R(x) matches via n1 with the single condition n1=a, which absorbs
+        # every larger match; S(y) adds nothing new (n1=a again).
+        matches = enumerate_valuation_matches(
+            db, BCQ([Atom("R", ["x"]), Atom("S", ["y"])])
+        )
+        assert matches == [frozenset({(n1, "a")})]
+
+    def test_unsupported_queries_raise(self):
+        db = _figure1_db()
+        with pytest.raises(LineageUnsupportedQuery):
+            enumerate_valuation_matches(db, Negation(BCQ([Atom("S", ["x", "y"])])))
+        with pytest.raises(LineageUnsupportedQuery):
+            count_valuations_lineage(
+                db, CustomQuery("always", ["S"], lambda _db: True)
+            )
+
+
+class TestValuationEncoding:
+    def test_figure1_example(self):
+        db = _figure1_db()
+        query = BCQ([Atom("S", ["x", "x"])])
+        assert count_valuations_lineage(db, query) == (
+            count_valuations_brute(db, query)
+        )
+
+    def test_trivially_true_query(self):
+        n1 = Null(1)
+        db = IncompleteDatabase(
+            [Fact("R", ["a", "b"]), Fact("R", [n1, "c"])],
+            dom={n1: ["a", "b"]},
+        )
+        query = BCQ([Atom("R", ["x", "y"])])
+        encoding = compile_valuation_cnf(db, query)
+        assert encoding.trivially_true
+        assert count_valuations_lineage(db, query) == 2
+
+    def test_unsatisfiable_query_counts_zero(self):
+        n1 = Null(1)
+        db = IncompleteDatabase([Fact("R", [n1])], dom={n1: ["a"]})
+        assert count_valuations_lineage(db, BCQ([Atom("T", ["x"])])) == 0
+        # arity mismatch can never match either
+        assert count_valuations_lineage(db, BCQ([Atom("R", ["x", "y"])])) == 0
+
+    def test_ground_database(self):
+        db = IncompleteDatabase.uniform([Fact("R", ["a"])], ["a", "b"])
+        assert count_valuations_lineage(db, BCQ([Atom("R", ["x"])])) == 1
+        assert count_valuations_lineage(db, BCQ([Atom("S", ["x"])])) == 0
+
+    def test_empty_domain_counts_zero(self):
+        n1 = Null(1)
+        db = IncompleteDatabase([Fact("R", [n1])], dom={n1: []})
+        assert count_valuations_lineage(db, BCQ([Atom("R", ["x"])])) == 0
+
+    def test_ucq_and_self_join(self):
+        n1, n2 = Null(1), Null(2)
+        db = IncompleteDatabase(
+            [Fact("R", [n1, n2]), Fact("R", [n2, "a"])],
+            dom={n1: ["a", "b"], n2: ["a", "b", "c"]},
+        )
+        for query in (
+            UCQ([BCQ([Atom("R", ["x", "x"])]), BCQ([Atom("R", ["x", "a"])])]),
+            BCQ([Atom("R", ["x", "y"]), Atom("R", ["y", "z"])]),
+        ):
+            assert count_valuations_lineage(db, query) == (
+                count_valuations_brute(db, query)
+            )
+
+    def test_explain_reports_sizes(self):
+        db = _figure1_db()
+        report = explain_valuations(db, BCQ([Atom("S", ["x", "x"])]))
+        assert report.mode == "val"
+        assert report.count == count_valuations_brute(
+            db, BCQ([Atom("S", ["x", "x"])])
+        )
+        assert report.num_variables == 5  # |dom(n1)| + |dom(n2)|
+        assert report.num_clauses > 0
+
+
+class TestCompletionEncoding:
+    def test_potential_fact_instantiations(self):
+        n1 = Null(1)
+        fact = Fact("R", [n1, n1, "c"])
+        db = IncompleteDatabase([fact], dom={n1: ["a", "b"]})
+        grounded = dict(instantiations(fact, db))
+        # The repeated null is substituted consistently.
+        assert set(grounded) == {
+            Fact("R", ["a", "a", "c"]),
+            Fact("R", ["b", "b", "c"]),
+        }
+
+    def test_figure1_completions(self):
+        db = _figure1_db()
+        query = BCQ([Atom("S", ["x", "x"])])
+        assert count_completions_lineage(db, None) == (
+            count_completions_brute(db, None)
+        )
+        assert count_completions_lineage(db, query) == (
+            count_completions_brute(db, query)
+        )
+
+    def test_collapsing_valuations_counted_once(self):
+        # Two nulls over the same unary relation and domain: 4 valuations
+        # but only 3 distinct completions ({a}, {b}, {a,b}).
+        n1, n2 = Null(1), Null(2)
+        db = IncompleteDatabase(
+            [Fact("R", [n1]), Fact("R", [n2])],
+            dom={n1: ["a", "b"], n2: ["a", "b"]},
+        )
+        assert count_completions_lineage(db, None) == 3
+
+    def test_ground_database_has_one_completion(self):
+        db = IncompleteDatabase.uniform([Fact("R", ["a"])], ["a", "b"])
+        assert count_completions_lineage(db, None) == 1
+        assert count_completions_lineage(db, BCQ([Atom("R", ["x"])])) == 1
+        assert count_completions_lineage(db, BCQ([Atom("S", ["x"])])) == 0
+
+    def test_projection_is_over_fact_variables(self):
+        db = _figure1_db()
+        encoding = compile_completion_cnf(db, None)
+        assert encoding.projection == frozenset(encoding.facts.variables())
+        assert len(encoding.facts) > 0
+
+    def test_explain_reports_projected_mode(self):
+        db = _figure1_db()
+        report = explain_completions(db, None)
+        assert report.mode == "comp"
+        assert report.count == count_completions_brute(db, None)

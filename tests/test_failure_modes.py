@@ -65,11 +65,10 @@ class TestAlgorithmPreconditions:
             count_valuations_brute(db, query)
         with pytest.raises(BruteForceBudgetExceeded):
             count_completions_brute(db, query)
-        # The dispatcher only hits the budget when no polynomial algorithm
-        # applies: R(x) ∧ S(x) on a non-uniform *naive* table is such a cell
-        # (on Codd tables Thm 3.7 fails too, but a shared null is needed to
-        # dodge the Codd algorithm... it is not: the shared-variable pattern
-        # already rules it out; non-uniformity rules out Thm 3.9).
+        # Forcing brute force on a hard cell still hits the budget loudly:
+        # R(x) ∧ S(x) on a non-uniform *naive* table is such a cell
+        # (the shared-variable pattern rules out Thms 3.6/3.7;
+        # non-uniformity rules out Thm 3.9).
         shared = Null("shared")
         naive = IncompleteDatabase(
             [Fact("R", [n]) for n in nulls]
@@ -78,7 +77,12 @@ class TestAlgorithmPreconditions:
         )
         hard_query = BCQ([Atom("R", ["x"]), Atom("S", ["x"])])
         with pytest.raises(BruteForceBudgetExceeded):
-            count_valuations(naive, hard_query)
+            count_valuations(naive, hard_query, method="brute")
+        # ... but `auto` no longer falls off the cliff: it routes the hard
+        # cell to the lineage backend, which handles the 2^26 valuations
+        # exactly (every valuation satisfies q: R(shared)/S(shared) always
+        # share the shared null's value).
+        assert count_valuations(naive, hard_query) == 2**25 * 2
 
     def test_dispatcher_rejects_unknown_methods(self):
         query = BCQ([Atom("R", ["x", "x"])])
