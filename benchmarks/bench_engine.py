@@ -1,0 +1,79 @@
+"""E-engine — the batch counting engine vs the serial per-instance loop.
+
+The engine's two levers are cross-job memoization (canonical-fingerprint
+cache, so repeated and isomorphic instances are solved once) and
+shared-nothing multiprocessing fan-out.  This benchmark runs the harness's
+mixed workload both ways, asserts the counts agree job for job, and emits
+the speedup and cache hit rate as a machine-readable paper row.
+
+``benchmarks/harness.py`` tracks the same workload for the CI perf gate;
+this file keeps it visible in the pytest-benchmark suite.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.engine import BatchEngine, execute_job
+
+from benchmarks.harness import mixed_workload
+
+
+def test_engine_matches_and_beats_serial_loop(emit):
+    jobs = mixed_workload(quick=True)
+
+    started = time.perf_counter()
+    serial = [execute_job(job) for job in jobs]
+    serial_seconds = time.perf_counter() - started
+
+    engine = BatchEngine()
+    started = time.perf_counter()
+    batched = engine.run(jobs)
+    engine_seconds = time.perf_counter() - started
+
+    assert [result.count for result in serial] == [
+        result.count for result in batched
+    ]
+    assert all(result.ok for result in batched)
+
+    speedup = serial_seconds / max(engine_seconds, 1e-9)
+    emit(
+        "batch engine vs serial loop, mixed workload",
+        json=json.dumps(
+            {
+                "jobs": len(jobs),
+                "unique_solved": engine.cache.misses,
+                "serial_seconds": round(serial_seconds, 4),
+                "engine_seconds": round(engine_seconds, 4),
+                "speedup": round(speedup, 2),
+                "cache_hit_rate": round(engine.cache.hit_rate, 4),
+                "workers": engine.workers,
+            }
+        ),
+    )
+    # The dedup layer alone guarantees a healthy margin: each unique
+    # instance appears four times in the workload.
+    assert speedup >= 2.0
+    assert engine.cache.hit_rate >= 0.5
+
+
+def test_cache_hits_are_free(emit):
+    jobs = mixed_workload(quick=True)
+    engine = BatchEngine(workers=0)
+    engine.run(jobs)
+
+    started = time.perf_counter()
+    rerun = engine.run(jobs)
+    warm_seconds = time.perf_counter() - started
+
+    assert all(result.cache_hit for result in rerun)
+    emit(
+        "warm rerun, mixed workload",
+        json=json.dumps(
+            {
+                "jobs": len(jobs),
+                "warm_seconds": round(warm_seconds, 4),
+            }
+        ),
+    )

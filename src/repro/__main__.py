@@ -4,4 +4,7 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+# The guard matters: `repro batch` fans out to a multiprocessing pool, and
+# spawn-based platforms (macOS, Windows) re-import __main__ in each worker.
+if __name__ == "__main__":
+    sys.exit(main())

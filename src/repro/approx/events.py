@@ -50,6 +50,12 @@ class EmbeddingEvent:
         for nulls, _allowed in classes:
             constrained |= nulls
         self._free = [null for null in db.nulls if null not in constrained]
+        # Sorted choice lists, built on first sample: estimators draw from
+        # each event thousands of times, so sorting per draw is a hot path.
+        self._choices: tuple[
+            list[tuple[tuple[Null, ...], list[Term]]],
+            list[tuple[Null, list[Term]]],
+        ] | None = None
 
     @property
     def weight(self) -> int:
@@ -61,17 +67,35 @@ class EmbeddingEvent:
             total *= len(self._db.domain_of(null))
         return total
 
+    def _materialize(
+        self,
+    ) -> tuple[
+        list[tuple[tuple[Null, ...], list[Term]]],
+        list[tuple[Null, list[Term]]],
+    ]:
+        if self._choices is None:
+            self._choices = (
+                [
+                    (tuple(nulls), sorted(allowed, key=repr))
+                    for nulls, allowed in self._classes
+                ],
+                [
+                    (null, sorted(self._db.domain_of(null), key=repr))
+                    for null in self._free
+                ],
+            )
+        return self._choices
+
     def sample(self, rng: random.Random) -> dict[Null, Term]:
         """A uniform valuation from the event (weight must be positive)."""
+        class_choices, free_choices = self._materialize()
         valuation: dict[Null, Term] = {}
-        for nulls, allowed in self._classes:
-            value = rng.choice(sorted(allowed, key=repr))
+        for nulls, allowed in class_choices:
+            value = rng.choice(allowed)
             for null in nulls:
                 valuation[null] = value
-        for null in self._free:
-            valuation[null] = rng.choice(
-                sorted(self._db.domain_of(null), key=repr)
-            )
+        for null, domain in free_choices:
+            valuation[null] = rng.choice(domain)
         return valuation
 
     def contains(self, valuation: dict[Null, Term]) -> bool:

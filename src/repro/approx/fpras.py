@@ -12,17 +12,40 @@ error ``ε`` with confidence ``1 - δ`` after
 ``1/ε`` because ``m <= |D|^{|atoms|}`` for a fixed query.  That matches the
 FPRAS definition of Section 5 (whose fixed confidence is 3/4; we expose
 ``δ``).
+
+Randomness is always explicit: pass ``seed`` (an int) or ``rng`` (a
+``random.Random``) — never the global ``random`` state — so batch runs
+through :mod:`repro.engine` are reproducible job by job.  Samples are
+evaluated in batches against choice structures precomputed once per
+estimator (cumulative weights for event selection, sorted domains inside
+each event), which is what makes many-sample batch jobs cheap.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.core.query import BCQ, UCQ
 from repro.db.incomplete import IncompleteDatabase
 from repro.approx.events import EmbeddingEvent, enumerate_events
+
+
+def resolve_rng(
+    seed: int | None = None, rng: random.Random | None = None
+) -> random.Random:
+    """An explicit generator from either a seed or a caller-owned ``rng``.
+
+    Passing both is an error — silently preferring one would make batch
+    reproducibility depend on an invisible precedence rule.
+    """
+    if rng is not None:
+        if seed is not None:
+            raise ValueError("pass either seed or rng, not both")
+        return rng
+    return random.Random(seed)
 
 
 @dataclass(frozen=True)
@@ -43,13 +66,14 @@ class KarpLubyEstimator:
         db: IncompleteDatabase,
         query: BCQ | UCQ,
         seed: int | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         self._db = db
         self._query = query
         self._events: list[EmbeddingEvent] = enumerate_events(db, query)
         self._weights = [event.weight for event in self._events]
         self._total_weight = sum(self._weights)
-        self._rng = random.Random(seed)
+        self._rng = resolve_rng(seed, rng)
         # cumulative weights for O(log m) event sampling
         self._cumulative: list[int] = []
         acc = 0
@@ -69,14 +93,8 @@ class KarpLubyEstimator:
     def _draw(self) -> float:
         """One coverage sample ``X = 1/#{j : ν ∈ E_j}``."""
         target = self._rng.randrange(self._total_weight)
-        low, high = 0, len(self._cumulative) - 1
-        while low < high:
-            mid = (low + high) // 2
-            if self._cumulative[mid] > target:
-                high = mid
-            else:
-                low = mid + 1
-        valuation = self._events[low].sample(self._rng)
+        index = bisect_right(self._cumulative, target)
+        valuation = self._events[index].sample(self._rng)
         containing = sum(
             1 for event in self._events if event.contains(valuation)
         )
@@ -100,15 +118,16 @@ class KarpLubyEstimator:
         return self.estimate_with_samples(self.sample_count(epsilon, delta))
 
     def estimate_with_samples(self, samples: int) -> EstimateReport:
-        """Coverage estimate from an explicit number of samples."""
+        """Coverage estimate from one batch of ``samples`` draws."""
         if samples <= 0:
             raise ValueError("need at least one sample")
         if self._total_weight == 0:
             # No event: no valuation can satisfy the query.
             return EstimateReport(0.0, samples, 0, 0)
+        draw = self._draw
         acc = 0.0
         for _ in range(samples):
-            acc += self._draw()
+            acc += draw()
         mean = acc / samples
         return EstimateReport(
             estimate=mean * self._total_weight,
@@ -124,7 +143,8 @@ def fpras_count_valuations(
     epsilon: float = 0.1,
     delta: float = 0.25,
     seed: int | None = None,
+    rng: random.Random | None = None,
 ) -> float:
     """One-shot FPRAS estimate of ``#Val(q)(D)`` (Corollary 5.3)."""
-    estimator = KarpLubyEstimator(db, query, seed=seed)
+    estimator = KarpLubyEstimator(db, query, seed=seed, rng=rng)
     return estimator.estimate(epsilon, delta).estimate

@@ -6,12 +6,18 @@ total valuation count is unbiased but is *not* an FPRAS: when
 polynomially many samples see no accepting valuation at all.  The benchmark
 suite contrasts this estimator with the Karp-Luby FPRAS on exactly such
 instances.
+
+Like :mod:`repro.approx.fpras`, randomness is explicit (``seed`` or
+``rng``, never the global ``random`` state) and the whole sample batch is
+evaluated against null domains sorted once up front, so batch runs through
+:mod:`repro.engine` are reproducible and don't pay a per-sample sort.
 """
 
 from __future__ import annotations
 
 import random
 
+from repro.approx.fpras import resolve_rng
 from repro.core.query import BooleanQuery
 from repro.db.incomplete import IncompleteDatabase
 from repro.db.terms import Null, Term
@@ -19,17 +25,22 @@ from repro.db.valuation import apply_valuation, count_total_valuations
 from repro.eval.evaluate import evaluate
 
 
-def sample_valuation(
-    db: IncompleteDatabase, rng: random.Random
-) -> dict[Null, Term]:
-    """One uniform valuation of ``db``."""
-    valuation: dict[Null, Term] = {}
+def _sorted_domains(db: IncompleteDatabase) -> list[tuple[Null, list[Term]]]:
+    """Each null with its domain in a deterministic sampling order."""
+    domains: list[tuple[Null, list[Term]]] = []
     for null in db.nulls:
         domain = sorted(db.domain_of(null), key=repr)
         if not domain:
             raise ValueError("null %r has an empty domain" % (null,))
-        valuation[null] = rng.choice(domain)
-    return valuation
+        domains.append((null, domain))
+    return domains
+
+
+def sample_valuation(
+    db: IncompleteDatabase, rng: random.Random
+) -> dict[Null, Term]:
+    """One uniform valuation of ``db``."""
+    return {null: rng.choice(domain) for null, domain in _sorted_domains(db)}
 
 
 def naive_monte_carlo_valuations(
@@ -37,17 +48,21 @@ def naive_monte_carlo_valuations(
     query: BooleanQuery,
     samples: int,
     seed: int | None = None,
+    rng: random.Random | None = None,
 ) -> float:
     """Unbiased (but non-FPRAS) estimate of ``#Val(q)(D)``."""
     if samples <= 0:
         raise ValueError("need at least one sample")
-    rng = random.Random(seed)
+    generator = resolve_rng(seed, rng)
     total = count_total_valuations(db)
     if total == 0:
         return 0.0
+    domains = _sorted_domains(db)
     hits = 0
     for _ in range(samples):
-        valuation = sample_valuation(db, rng)
+        valuation = {
+            null: generator.choice(domain) for null, domain in domains
+        }
         if evaluate(query, apply_valuation(db, valuation)):
             hits += 1
     return total * hits / samples

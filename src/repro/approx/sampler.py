@@ -23,6 +23,7 @@ from repro.core.query import BCQ, UCQ
 from repro.db.incomplete import IncompleteDatabase
 from repro.db.terms import Null, Term
 from repro.approx.events import EmbeddingEvent, enumerate_events
+from repro.approx.fpras import resolve_rng
 
 
 class NoSatisfyingValuation(RuntimeError):
@@ -37,12 +38,13 @@ class SatisfyingValuationSampler:
         db: IncompleteDatabase,
         query: BCQ | UCQ,
         seed: int | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         self._db = db
         self._events: list[EmbeddingEvent] = enumerate_events(db, query)
         self._weights = [event.weight for event in self._events]
         self._total = sum(self._weights)
-        self._rng = random.Random(seed)
+        self._rng = resolve_rng(seed, rng)
         self._cumulative: list[int] = []
         acc = 0
         for weight in self._weights:

@@ -8,15 +8,18 @@ Examples::
     repro-count count --mode val --query "R(x,x)" --db instance.idb \
         --method lineage --json                              # machine-readable
     repro-count approx --query "R(x,y)" --db instance.idb --epsilon 0.05
+    repro-count batch --jobs jobs.jsonl --workers 4 --out results.jsonl
     repro-count show --db instance.idb
 
-Database files use the :mod:`repro.io.databases` text format.
+Database files use the :mod:`repro.io.databases` text format; batch job
+files use the JSONL format of :mod:`repro.engine.jsonl`.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -115,6 +118,45 @@ def _cmd_approx(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.engine import BatchEngine
+    from repro.engine.jsonl import read_jobs
+
+    base_dir = os.path.dirname(os.path.abspath(args.jobs))
+    with open(args.jobs, "r", encoding="utf-8") as handle:
+        jobs = list(read_jobs(handle, base_dir=base_dir))
+    if not jobs:
+        print("no jobs in %s" % args.jobs, file=sys.stderr)
+        return 2
+
+    engine = BatchEngine(workers=args.workers)
+    started = time.perf_counter()
+    results = engine.run(jobs)
+    elapsed = time.perf_counter() - started
+
+    lines = "".join(
+        json.dumps(result.to_dict()) + "\n" for result in results
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(lines)
+    else:
+        sys.stdout.write(lines)
+
+    errors = sum(1 for result in results if not result.ok)
+    print(
+        "batch: %d jobs, %d errors, cache hit rate %.1f%%, %.3fs wall"
+        % (
+            len(results),
+            errors,
+            100.0 * engine.cache.hit_rate,
+            elapsed,
+        ),
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
+
+
 def _cmd_cite(args: argparse.Namespace) -> int:
     from repro.paperindex import all_results, find_results, format_result
 
@@ -189,6 +231,23 @@ def build_parser() -> argparse.ArgumentParser:
         "seconds} as JSON",
     )
     p_approx.set_defaults(func=_cmd_approx)
+
+    p_batch = sub.add_parser(
+        "batch", help="run a JSONL job stream through the batch engine"
+    )
+    p_batch.add_argument(
+        "--jobs", required=True,
+        help="JSONL job file (see repro.engine.jsonl for the format)",
+    )
+    p_batch.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per CPU; 0/1 = in-process)",
+    )
+    p_batch.add_argument(
+        "--out", default=None,
+        help="write result JSONL here instead of stdout",
+    )
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_cite = sub.add_parser(
         "cite", help="map a paper result to the code implementing it"

@@ -56,6 +56,7 @@ class ModelCounter:
             v < 1 or v > cnf.num_variables for v in self._projection
         ):
             raise ValueError("projection variables must be in 1..num_variables")
+        self.width: int | None
         if order is None:
             order, width = branching_order(cnf)
             self.width = width
@@ -93,16 +94,16 @@ class ModelCounter:
         )
         if conflict:
             return 0
-        constrained = {abs(l) for c in self._cnf.clauses for l in c}
+        constrained = {abs(lit) for c in self._cnf.clauses for lit in c}
         free = self._countable(
             set(range(1, self._cnf.num_variables + 1))
             - constrained
-            - {abs(l) for l in assigned}
+            - {abs(lit) for lit in assigned}
         )
         eliminated = self._countable(
             constrained
             - _variables_of(clauses)
-            - {abs(l) for l in assigned}
+            - {abs(lit) for lit in assigned}
         )
         return (1 << (free + eliminated)) * self._count(clauses)
 
@@ -149,7 +150,7 @@ class ModelCounter:
                 eliminated = self._countable(
                     _variables_of(clauses)
                     - _variables_of(reduced)
-                    - {abs(l) for l in assigned}
+                    - {abs(lit) for lit in assigned}
                 )
                 result += (1 << eliminated) * self._count(reduced)
         self._cache[clauses] = result
@@ -223,31 +224,57 @@ def _propagate(
     Returns ``(reduced clauses, all literals assigned, conflict)``.
     Satisfied clauses are dropped and false literals removed; the reduced
     set never contains a unit clause.
+
+    Clauses are indexed by variable once per call, so each propagated
+    literal touches only the clauses that actually contain its variable,
+    and untouched clause tuples are carried over by reference instead of
+    being rebuilt on every branch.
     """
-    assignment: set[int] = set()
     pending = list(decisions)
-    current = clauses
-    while True:
-        for literal in pending:
-            if -literal in assignment:
-                return frozenset(), tuple(assignment), True
-            assignment.add(literal)
-        pending = []
-        reduced: set[tuple[int, ...]] = set()
-        for clause in current:
-            if any(literal in assignment for literal in clause):
+    if not pending and not any(len(clause) == 1 for clause in clauses):
+        return clauses, (), False
+
+    occurs: dict[int, list[tuple[int, ...]]] = {}
+    for clause in clauses:
+        if len(clause) == 1 and clause[0] not in pending:
+            pending.append(clause[0])
+        for literal in clause:
+            occurs.setdefault(abs(literal), []).append(clause)
+
+    assignment: set[int] = set()
+    # Original clause -> its current reduced form (None = satisfied).
+    # Untouched clauses have no entry and keep their original tuple.
+    live: dict[tuple[int, ...], tuple[int, ...] | None] = {}
+    cursor = 0
+    while cursor < len(pending):
+        literal = pending[cursor]
+        cursor += 1
+        if literal in assignment:
+            continue
+        if -literal in assignment:
+            return frozenset(), tuple(assignment), True
+        assignment.add(literal)
+        for clause in occurs.get(abs(literal), ()):
+            current = live.get(clause, clause)
+            if current is None:
                 continue
-            filtered = tuple(
-                literal for literal in clause if -literal not in assignment
-            )
+            if literal in current:
+                live[clause] = None
+                continue
+            if -literal not in current:
+                continue
+            filtered = tuple(x for x in current if x != -literal)
             if not filtered:
                 return frozenset(), tuple(assignment), True
-            if len(filtered) == 1 and filtered[0] not in pending:
+            live[clause] = filtered
+            if len(filtered) == 1:
                 pending.append(filtered[0])
-            reduced.add(filtered)
-        current = frozenset(reduced)
-        if not pending:
-            return current, tuple(assignment), False
+    reduced = frozenset(
+        current
+        for current in (live.get(clause, clause) for clause in clauses)
+        if current is not None
+    )
+    return reduced, tuple(assignment), False
 
 
 def _split_components(clauses: Clauses) -> list[Clauses]:

@@ -1,0 +1,27 @@
+"""Batch counting engine: job descriptions, memoization, worker pool.
+
+The engine turns the per-instance counting API of :mod:`repro.exact` and
+:mod:`repro.approx` into a *service*: a stream of ``(database, query,
+problem)`` jobs is deduplicated through a canonical-fingerprint cache
+(:mod:`repro.engine.fingerprint`, :mod:`repro.engine.cache`) and the cache
+misses are fanned out to a shared-nothing multiprocessing pool
+(:mod:`repro.engine.pool`).  ``repro-count batch`` (the CLI) and
+``benchmarks/harness.py`` are the two front doors.
+"""
+
+from repro.engine.cache import CountCache
+from repro.engine.fingerprint import fingerprint_db, fingerprint_job, fingerprint_query
+from repro.engine.jobs import CountJob, JobResult, execute_job
+from repro.engine.pool import BatchEngine, run_batch
+
+__all__ = [
+    "BatchEngine",
+    "CountCache",
+    "CountJob",
+    "JobResult",
+    "execute_job",
+    "fingerprint_db",
+    "fingerprint_job",
+    "fingerprint_query",
+    "run_batch",
+]

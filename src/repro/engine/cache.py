@@ -1,0 +1,68 @@
+"""Cross-job memoization keyed on canonical instance fingerprints.
+
+The cache stores *answers* — ``(count, resolved method)`` pairs — never
+databases or queries, so it stays small even for huge instances.  An
+optional ``max_entries`` bound turns it into an LRU; the default is
+unbounded, which suits benchmark batches where the working set is the whole
+workload.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class CountCache:
+    """LRU map from fingerprint to ``(count, method)`` with hit statistics."""
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None)")
+        self._entries: OrderedDict[str, tuple[int | float, str]] = OrderedDict()
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, fingerprint: str) -> tuple[int | float, str] | None:
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        return entry
+
+    def put(
+        self, fingerprint: str, count: int | float, method: str
+    ) -> None:
+        self._entries[fingerprint] = (count, method)
+        self._entries.move_to_end(fingerprint)
+        if (
+            self._max_entries is not None
+            and len(self._entries) > self._max_entries
+        ):
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def __repr__(self) -> str:
+        return "CountCache(%d entries, %d hits, %d misses)" % (
+            len(self._entries),
+            self.hits,
+            self.misses,
+        )

@@ -1,0 +1,160 @@
+"""Canonical instance fingerprints for cross-job memoization.
+
+Two counting jobs with the same fingerprint are guaranteed to have the same
+answer, so the engine can solve one and serve the other from cache.  The
+fingerprint is a SHA-256 digest of a *canonical form* of the instance that
+is invariant under the renamings that provably preserve counts:
+
+* **query variables** are bound, so any bijective renaming (and any
+  reordering of atoms / disjuncts) leaves ``#Val`` and ``#Comp`` unchanged;
+* **nulls** are relabeled by a signature-refinement pass (domain, then
+  occurrence structure), so structurally identical databases that differ
+  only in null labels usually collapse to one cache entry.
+
+Soundness does not depend on the refinement being a perfect canonical
+labeling: the canonical form *is* a faithful description of the instance up
+to renaming, so equal forms always describe isomorphic instances.  A
+missed isomorphism merely costs a cache miss.
+
+Queries carrying opaque decision procedures (:class:`CustomQuery`) have no
+syntactic canonical form; :func:`fingerprint_job` returns ``None`` for them
+and the engine solves such jobs without caching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+from repro.core.query import BCQ, BooleanQuery, Const, Negation, UCQ
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null, Term, is_null
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.jobs import CountJob
+
+Canonical = object
+
+
+def _constant_key(value: Term) -> tuple[str, str, str]:
+    # Type name + repr keeps int 1 and str "1" (and any other well-behaved
+    # hashable constants) in disjoint namespaces.
+    return ("c", type(value).__name__, repr(value))
+
+
+def _canonical_bcq(query: BCQ) -> Canonical:
+    def skeleton(atom) -> tuple:
+        # Variable-name-independent shape: constants verbatim, variables by
+        # their local equality pattern within the atom.
+        local: dict = {}
+        pattern = []
+        for term in atom.terms:
+            if isinstance(term, Const):
+                pattern.append(_constant_key(term.value))
+            else:
+                pattern.append(("v", local.setdefault(term, len(local))))
+        return (atom.relation, tuple(pattern))
+
+    ordered = sorted(query.atoms, key=skeleton)
+    ids: dict = {}
+    atoms = []
+    for atom in ordered:
+        terms: list[tuple] = []
+        for term in atom.terms:
+            if isinstance(term, Const):
+                terms.append(_constant_key(term.value))
+            else:
+                terms.append(("v", ids.setdefault(term, len(ids))))
+        atoms.append((atom.relation, tuple(terms)))
+    return ("bcq", tuple(atoms))
+
+
+def fingerprint_query(query: BooleanQuery | None) -> Canonical | None:
+    """Canonical form of a query, or ``None`` when it has no syntax.
+
+    Invariant under variable renaming and atom/disjunct reordering.
+    """
+    if query is None:
+        return ("none",)
+    if isinstance(query, BCQ):
+        return _canonical_bcq(query)
+    if isinstance(query, UCQ):
+        parts = sorted(repr(_canonical_bcq(d)) for d in query.disjuncts)
+        return ("ucq", tuple(parts))
+    if isinstance(query, Negation):
+        inner = fingerprint_query(query.inner)
+        return None if inner is None else ("neg", inner)
+    return None  # CustomQuery and anything else opaque
+
+
+def fingerprint_db(db: IncompleteDatabase) -> Canonical:
+    """Canonical form of an incomplete database.
+
+    Nulls are relabeled ``0..k-1`` by a two-round signature refinement
+    (domain first, then occurrence structure), with the original label as a
+    deterministic tie-break.  The result describes ``D`` exactly up to a
+    bijective null renaming — which preserves both ``#Val`` and ``#Comp``.
+    """
+    nulls = db.nulls
+    signature: dict[Null, str] = {
+        null: repr(tuple(sorted(repr(v) for v in db.domain_of(null))))
+        for null in nulls
+    }
+    for _ in range(2):
+        occurrences: dict[Null, list[str]] = {null: [] for null in nulls}
+        for fact in db.facts:
+            shape = (
+                fact.relation,
+                tuple(
+                    ("n", signature[t]) if is_null(t) else _constant_key(t)
+                    for t in fact.terms
+                ),
+            )
+            for position, term in enumerate(fact.terms):
+                if is_null(term):
+                    occurrences[term].append(repr((position, shape)))
+        signature = {
+            null: repr((signature[null], tuple(sorted(occurrences[null]))))
+            for null in nulls
+        }
+
+    ordered = sorted(nulls, key=lambda n: (signature[n], repr(n.label)))
+    index = {null: i for i, null in enumerate(ordered)}
+    facts = tuple(
+        sorted(
+            (
+                fact.relation,
+                tuple(
+                    ("n", index[t]) if is_null(t) else _constant_key(t)
+                    for t in fact.terms
+                ),
+            )
+            for fact in db.facts
+        )
+    )
+    domains = tuple(
+        tuple(sorted(repr(v) for v in db.domain_of(null))) for null in ordered
+    )
+    return ("db", db.is_uniform, facts, domains)
+
+
+def fingerprint_job(job: "CountJob") -> str | None:
+    """Hex digest identifying the job's *answer*, or ``None`` (uncacheable).
+
+    Exact jobs share a fingerprint across ``method`` choices — every exact
+    algorithm returns the same count by definition.  Approximate jobs are
+    randomized, so their sampling parameters (``epsilon``, ``delta``,
+    ``seed``) are part of the key; an unseeded approximate job is not
+    reproducible and therefore not cacheable.
+    """
+    query_form = fingerprint_query(job.query)
+    if query_form is None:
+        return None
+    if job.problem == "approx-val":
+        if job.seed is None:
+            return None
+        extras: tuple = (job.epsilon, job.delta, job.seed)
+    else:
+        extras = ()
+    payload = repr((job.problem, extras, query_form, fingerprint_db(job.db)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,150 @@
+"""Job and result records for the batch counting engine.
+
+A :class:`CountJob` is one self-contained counting instance — database,
+query, problem kind, and the knobs the underlying solver takes.  Jobs are
+immutable values so they can be fingerprinted, pickled to worker processes,
+and replayed.  :func:`execute_job` is the single entry point both the
+serial path and the pool workers run; it never raises, reporting solver
+failures in :attr:`JobResult.error` instead so one poisoned instance cannot
+take down a batch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.query import BooleanQuery
+from repro.db.incomplete import IncompleteDatabase
+from repro.exact.brute import DEFAULT_BUDGET
+
+#: Problem kinds the engine understands.
+PROBLEMS = ("val", "comp", "approx-val")
+
+
+@dataclass(frozen=True)
+class CountJob:
+    """One counting instance: ``(problem, D, q)`` plus solver knobs.
+
+    ``problem`` is ``'val'`` (``#Val``), ``'comp'`` (``#Comp``; ``query``
+    may be ``None`` to count all completions) or ``'approx-val'`` (the
+    Karp-Luby FPRAS; ``epsilon``/``delta``/``seed`` apply).  ``method`` and
+    ``budget`` are forwarded to :mod:`repro.exact.dispatch` for the exact
+    problems.
+    """
+
+    problem: str
+    db: IncompleteDatabase
+    query: BooleanQuery | None = None
+    method: str = "auto"
+    budget: int | None = DEFAULT_BUDGET
+    epsilon: float = 0.1
+    delta: float = 0.25
+    seed: int | None = 0
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.problem not in PROBLEMS:
+            raise ValueError(
+                "unknown problem %r (one of %s)" % (self.problem, PROBLEMS)
+            )
+        if self.problem != "comp" and self.query is None:
+            raise ValueError(
+                "problem %r needs a query (only 'comp' allows query=None)"
+                % self.problem
+            )
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: a count or an error, plus provenance.
+
+    ``method`` is the *resolved* algorithm that produced the count (e.g.
+    ``'lineage'`` for an ``'auto'`` job), ``seconds`` the solve wall time
+    (``0.0`` for cache hits), ``cache_hit`` whether the memo layer answered.
+    """
+
+    problem: str
+    count: int | float | None
+    method: str | None
+    seconds: float
+    label: str | None = None
+    cache_hit: bool = False
+    error: str | None = None
+    fingerprint: str | None = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (used by the ``repro-count batch`` CLI)."""
+        return {
+            "label": self.label,
+            "problem": self.problem,
+            "count": self.count,
+            "method": self.method,
+            "seconds": round(self.seconds, 6),
+            "cache_hit": self.cache_hit,
+            "error": self.error,
+        }
+
+
+def execute_job(job: CountJob) -> JobResult:
+    """Solve one job, catching solver errors into the result record."""
+    started = time.perf_counter()
+    try:
+        count, method = _solve(job)
+        error = None
+    except Exception as exc:  # noqa: BLE001 - batch isolation by design
+        count, method = None, None
+        error = "%s: %s" % (type(exc).__name__, exc)
+    return JobResult(
+        problem=job.problem,
+        count=count,
+        method=method,
+        seconds=time.perf_counter() - started,
+        label=job.label,
+        error=error,
+    )
+
+
+def _solve(job: CountJob) -> tuple[int | float, str]:
+    # Imported lazily: dispatch offers batch wrappers built on the engine,
+    # so a module-level import would be circular.
+    from repro.exact.dispatch import (
+        count_completions,
+        count_valuations,
+        resolve_completion_method,
+        resolve_valuation_method,
+    )
+
+    if job.problem == "val":
+        assert job.query is not None
+        resolved = resolve_valuation_method(job.db, job.query, job.method)
+        return (
+            count_valuations(
+                job.db, job.query, method=resolved, budget=job.budget
+            ),
+            resolved,
+        )
+    if job.problem == "comp":
+        resolved = resolve_completion_method(job.db, job.query, job.method)
+        return (
+            count_completions(
+                job.db, job.query, method=resolved, budget=job.budget
+            ),
+            resolved,
+        )
+    assert job.problem == "approx-val"
+    from repro.approx.fpras import fpras_count_valuations
+
+    estimate = fpras_count_valuations(
+        job.db,
+        job.query,  # type: ignore[arg-type]  # __post_init__ guarantees it
+        epsilon=job.epsilon,
+        delta=job.delta,
+        seed=job.seed,
+    )
+    return estimate, "karp-luby"

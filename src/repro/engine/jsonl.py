@@ -1,0 +1,96 @@
+"""JSONL job files for ``repro-count batch``.
+
+One JSON object per line; blank lines and ``#`` comment lines are skipped.
+Recognized keys (only a database is mandatory)::
+
+    {"problem": "val",            # val | comp | approx-val (default val)
+     "db": "instance.idb",        # path, relative to the jobs file — or:
+     "db_text": "domain a b\\nR(?n1, a)",   # inline database text
+     "query": "R(x), S(x)",       # query text; omit for problem=comp
+     "method": "auto",            # exact problems only
+     "budget": 2000000,
+     "epsilon": 0.1, "delta": 0.25, "seed": 0,   # approx-val only
+     "label": "my-job"}           # defaults to "job-<line number>"
+
+Databases referenced by path are parsed once and shared across jobs, so a
+thousand-job file over ten databases costs ten parses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, TextIO
+
+from repro.db.incomplete import IncompleteDatabase
+from repro.engine.jobs import CountJob
+from repro.exact.brute import DEFAULT_BUDGET
+from repro.io.databases import parse_database
+from repro.io.queries import parse_query
+
+
+class JobSyntaxError(ValueError):
+    """Raised on a malformed job line."""
+
+
+def read_jobs(handle: TextIO, base_dir: str = ".") -> Iterator[CountJob]:
+    """Parse a JSONL job stream into :class:`CountJob` values."""
+    db_cache: dict[str, IncompleteDatabase] = {}
+    for line_number, raw_line in enumerate(handle, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JobSyntaxError(
+                "line %d: invalid JSON (%s)" % (line_number, exc)
+            ) from exc
+        if not isinstance(record, dict):
+            raise JobSyntaxError(
+                "line %d: expected a JSON object" % line_number
+            )
+        try:
+            yield _job_from_record(record, line_number, base_dir, db_cache)
+        except JobSyntaxError:
+            raise
+        except (ValueError, OSError) as exc:
+            raise JobSyntaxError(
+                "line %d: %s" % (line_number, exc)
+            ) from exc
+
+
+def _job_from_record(
+    record: dict,
+    line_number: int,
+    base_dir: str,
+    db_cache: dict[str, IncompleteDatabase],
+) -> CountJob:
+    if ("db" in record) == ("db_text" in record):
+        raise JobSyntaxError(
+            "line %d: provide exactly one of 'db' (path) or 'db_text'"
+            % line_number
+        )
+    if "db" in record:
+        path = os.path.join(base_dir, record["db"])
+        db = db_cache.get(path)
+        if db is None:
+            with open(path, "r", encoding="utf-8") as handle:
+                db = parse_database(handle.read())
+            db_cache[path] = db
+    else:
+        db = parse_database(record["db_text"])
+
+    query_text = record.get("query")
+    query = parse_query(query_text) if query_text else None
+    return CountJob(
+        problem=record.get("problem", "val"),
+        db=db,
+        query=query,
+        method=record.get("method", "auto"),
+        budget=record.get("budget", DEFAULT_BUDGET),
+        epsilon=record.get("epsilon", 0.1),
+        delta=record.get("delta", 0.25),
+        seed=record.get("seed", 0),
+        label=record.get("label", "job-%d" % line_number),
+    )

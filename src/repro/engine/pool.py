@@ -1,0 +1,192 @@
+"""The batch engine: dedup through the cache, fan out to worker processes.
+
+``BatchEngine.run`` takes a stream of :class:`~repro.engine.jobs.CountJob`
+and returns one :class:`~repro.engine.jobs.JobResult` per job, in order.
+The pipeline is:
+
+1. **fingerprint** every job (:mod:`repro.engine.fingerprint`);
+2. **memoize** — jobs whose fingerprint is already cached (from a previous
+   batch or from an earlier duplicate in this one) never reach a solver;
+3. **fan out** the unique cache misses to a ``multiprocessing`` pool.
+   Workers are shared-nothing: each receives a pickled job and returns a
+   result record, no state is shared beyond the task queue.  Jobs that
+   cannot be pickled (e.g. a :class:`CustomQuery` closing over a lambda)
+   are solved serially in the parent instead of failing.
+
+``workers=0``/``1`` (or a single-mis batch) skips process creation
+entirely, which keeps tests and tiny batches free of pool overhead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import Iterable, Sequence
+
+from repro.core.query import BCQ, Negation, UCQ
+from repro.engine.cache import CountCache
+from repro.engine.fingerprint import fingerprint_job
+from repro.engine.jobs import CountJob, JobResult, execute_job
+
+
+def default_workers() -> int:
+    """Worker count for ``workers=None``: one per CPU, at least one."""
+    return max(os.cpu_count() or 1, 1)
+
+
+class BatchEngine:
+    """Reusable batch runner with a persistent cross-batch cache."""
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache: CountCache | None = None,
+    ) -> None:
+        self.workers = default_workers() if workers is None else max(workers, 0)
+        self.cache = cache if cache is not None else CountCache()
+
+    def run(self, jobs: Sequence[CountJob]) -> list[JobResult]:
+        """Solve every job, in order; errors are per-job, never raised."""
+        fingerprints = [fingerprint_job(job) for job in jobs]
+        results: list[JobResult | None] = [None] * len(jobs)
+
+        representative: dict[str, int] = {}
+        followers: dict[int, list[int]] = {}
+        to_solve: list[int] = []
+        for index, (job, fingerprint) in enumerate(zip(jobs, fingerprints)):
+            if fingerprint is not None:
+                first = representative.get(fingerprint)
+                if first is not None:
+                    # An in-batch duplicate: resolved from the memo layer
+                    # (and counted as a hit) once its representative solves.
+                    followers.setdefault(first, []).append(index)
+                    continue
+                cached = self.cache.get(fingerprint)
+                if cached is not None:
+                    count, method = cached
+                    results[index] = JobResult(
+                        problem=job.problem,
+                        count=count,
+                        method=method,
+                        seconds=0.0,
+                        label=job.label,
+                        cache_hit=True,
+                        fingerprint=fingerprint,
+                    )
+                    continue
+                representative[fingerprint] = index
+            to_solve.append(index)
+
+        solved = self._execute([jobs[index] for index in to_solve])
+        for index, result in zip(to_solve, solved):
+            result.fingerprint = fingerprints[index]
+            results[index] = result
+            if result.ok and fingerprints[index] is not None:
+                assert result.count is not None and result.method is not None
+                self.cache.put(
+                    fingerprints[index], result.count, result.method
+                )
+
+        for first, duplicate_indices in followers.items():
+            source = results[first]
+            assert source is not None
+            for index in duplicate_indices:
+                if source.ok:
+                    # Served by the memo layer: record the hit.
+                    self.cache.get(fingerprints[index])  # type: ignore[arg-type]
+                    results[index] = JobResult(
+                        problem=source.problem,
+                        count=source.count,
+                        method=source.method,
+                        seconds=0.0,
+                        label=jobs[index].label,
+                        cache_hit=True,
+                        fingerprint=fingerprints[index],
+                    )
+                    continue
+                # The representative failed, but a duplicate instance may
+                # still succeed under its own method/budget (those knobs
+                # are not part of the fingerprint): solve it for real.
+                result = execute_job(jobs[index])
+                result.fingerprint = fingerprints[index]
+                results[index] = result
+                if result.ok and fingerprints[index] is not None:
+                    assert result.count is not None
+                    assert result.method is not None
+                    self.cache.put(
+                        fingerprints[index], result.count, result.method
+                    )
+                    # Remaining duplicates are served from this success.
+                    source = result
+
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(self, jobs: Sequence[CountJob]) -> list[JobResult]:
+        if self.workers <= 1 or len(jobs) <= 1:
+            return [execute_job(job) for job in jobs]
+
+        parallel: list[int] = []
+        serial: list[int] = []
+        for index, job in enumerate(jobs):
+            (parallel if _picklable(job) else serial).append(index)
+        if len(parallel) <= 1:
+            return [execute_job(job) for job in jobs]
+
+        results: list[JobResult | None] = [None] * len(jobs)
+        processes = min(self.workers, len(parallel))
+        try:
+            with multiprocessing.get_context().Pool(processes) as pool:
+                solved = pool.map(
+                    execute_job,
+                    [jobs[index] for index in parallel],
+                    chunksize=1,
+                )
+        except Exception:
+            # A job the cheap picklability screen admitted failed to
+            # serialize mid-dispatch (e.g. an exotic constant inside a
+            # database).  Solvers are deterministic and approx jobs are
+            # seeded, so re-running the whole slice serially is safe.
+            solved = [execute_job(jobs[index]) for index in parallel]
+        for index, result in zip(parallel, solved):
+            results[index] = result
+        for index in serial:
+            results[index] = execute_job(jobs[index])
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+
+def _query_is_value_type(query: object) -> bool:
+    if query is None or isinstance(query, (BCQ, UCQ)):
+        return True
+    if isinstance(query, Negation):
+        return _query_is_value_type(query.inner)
+    return False
+
+
+def _picklable(job: CountJob) -> bool:
+    """Cheap screen for pool dispatch.
+
+    Jobs over syntactic queries are plain value objects and always pickle;
+    only opaque queries (:class:`CustomQuery` and friends, which may close
+    over lambdas) pay an actual serialization test.
+    """
+    if _query_is_value_type(job.query):
+        return True
+    try:
+        pickle.dumps(job)
+    except Exception:  # pickle raises a zoo of error types
+        return False
+    return True
+
+
+def run_batch(
+    jobs: Iterable[CountJob],
+    workers: int | None = None,
+    cache: CountCache | None = None,
+) -> list[JobResult]:
+    """One-shot convenience wrapper around :class:`BatchEngine`."""
+    return BatchEngine(workers=workers, cache=cache).run(list(jobs))

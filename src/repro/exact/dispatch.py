@@ -16,7 +16,9 @@ Method table (``#Val``):
 ``uniform``         Theorem 3.9 algorithm (uniform naive tables)
 ``lineage``         compile to CNF, exact #SAT with component caching
                     (:mod:`repro.compile`) — exact on *every* (U)CQ cell,
-                    exponential only in the lineage's treewidth
+                    exponential only in the lineage's treewidth.  On a
+                    non-(U)CQ (which the compiler cannot encode) the
+                    method falls back cleanly to ``brute``
 ``brute``           enumerate all valuations (opt-in ``budget``)
 =================== ======================================================
 
@@ -111,6 +113,11 @@ def resolve_valuation_method(
     """
     if method not in _VAL_METHODS:
         raise ValueError("unknown method %r (one of %s)" % (method, _VAL_METHODS))
+    if method == "lineage" and not lineage_supports(query):
+        # The lineage compiler only encodes (U)CQs; degrade to the one
+        # method that works on arbitrary Boolean queries instead of
+        # failing deep inside the encoder.
+        return "brute"
     if method not in ("auto", "poly"):
         return method
     selected = (
@@ -179,6 +186,8 @@ def resolve_completion_method(
     """The concrete algorithm ``count_completions`` will run."""
     if method not in _COMP_METHODS:
         raise ValueError("unknown method %r (one of %s)" % (method, _COMP_METHODS))
+    if method == "lineage" and not lineage_supports(query):
+        return "brute"
     if method not in ("auto", "poly"):
         return method
     bcq = query if isinstance(query, BCQ) or query is None else False
@@ -213,3 +222,56 @@ def count_completions(
         return count_completions_lineage(db, query)
     assert resolved == "uniform-unary"
     return _comp_uniform.count_completions_uniform_unary(db, query)
+
+
+def _count_batch(
+    problem: str,
+    instances,
+    method: str,
+    budget: int | None,
+    workers: int | None,
+) -> list[int]:
+    # Imported lazily: the engine executes jobs through this module, so a
+    # top-level import would be circular.
+    from repro.engine import CountJob, run_batch
+
+    jobs = [
+        CountJob(
+            problem, db, query, method=method, budget=budget,
+            label="batch-%d" % index,
+        )
+        for index, (db, query) in enumerate(instances)
+    ]
+    results = run_batch(jobs, workers=workers)
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(
+                "batch job %s failed: %s" % (result.label, result.error)
+            )
+    return [result.count for result in results]  # type: ignore[misc]
+
+
+def count_valuations_batch(
+    instances,
+    method: str = "auto",
+    budget: int | None = brute.DEFAULT_BUDGET,
+    workers: int | None = None,
+) -> list[int]:
+    """``#Val`` for many ``(db, query)`` pairs through the batch engine.
+
+    Instances are deduplicated by canonical fingerprint and the unique
+    cache misses fan out to a multiprocessing pool (:mod:`repro.engine`) —
+    on repeated or isomorphic instances this is far cheaper than calling
+    :func:`count_valuations` in a loop.  The first failing job raises.
+    """
+    return _count_batch("val", instances, method, budget, workers)
+
+
+def count_completions_batch(
+    instances,
+    method: str = "auto",
+    budget: int | None = brute.DEFAULT_BUDGET,
+    workers: int | None = None,
+) -> list[int]:
+    """``#Comp`` for many ``(db, query_or_None)`` pairs through the engine."""
+    return _count_batch("comp", instances, method, budget, workers)
