@@ -7,6 +7,11 @@ Runs one fixed workload per tracked hot path —
 * ``sharpsat``     the exact model counter's decision loop
   (:mod:`repro.compile.sharpsat`);
 * ``fpras``        Karp-Luby batch sample evaluation (:mod:`repro.approx`);
+* ``amortized``    the repeated-workload scenario: one instance asked for
+  its uniform count, weighted count and all per-null marginals — the
+  d-DNNF circuit compiles once and answers by linear passes
+  (:mod:`repro.compile.circuit`), measured against re-running the
+  model-counting search per question;
 * ``batch_engine`` the mixed 200-instance batch through
   :mod:`repro.engine`, reported against the serial per-instance loop —
 
@@ -41,6 +46,11 @@ except ImportError:  # pragma: no cover - running without PYTHONPATH=src
 import random
 
 from repro.approx.fpras import KarpLubyEstimator
+from repro.compile.backend import (
+    ValuationCircuit,
+    count_valuations_lineage,
+    valuation_marginals_recount,
+)
 from repro.compile.encode import compile_valuation_cnf
 from repro.compile.sharpsat import ModelCounter
 from repro.core.query import Atom, BCQ
@@ -57,7 +67,7 @@ from repro.workloads.generators import (
 )
 
 #: Paths the CI gate tracks (keys of the emitted ``paths`` object).
-TRACKED_PATHS = ("hom", "sharpsat", "fpras", "batch_engine")
+TRACKED_PATHS = ("hom", "sharpsat", "fpras", "amortized", "batch_engine")
 
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
 DEFAULT_BASELINE = os.path.join(
@@ -177,6 +187,67 @@ def path_fpras(quick: bool) -> dict:
             "samples": samples,
             "events": report.num_events,
             "estimate": report.estimate,
+        },
+    }
+
+
+def path_amortized(quick: bool) -> dict:
+    """Repeated workload on one instance: compile once vs search per question.
+
+    The question set is the ISSUE-3 acceptance scenario — the uniform
+    count, a weighted count under non-uniform null weights, and the
+    marginal ``P[⊥ = c | q]`` for every (null, value) pair.  The baseline
+    answers each question the pre-circuit way (a fresh model-counting
+    search per question: one complement count, one throwaway compile for
+    the weighted count, and the condition-and-recount loop for the
+    marginals); the amortized path compiles one d-DNNF circuit and runs
+    linear passes.  Answers are asserted identical, exactly.
+    """
+    size = 14 if quick else 18
+    db, query = scaling_hard_val_instance(
+        size, chord_probability=0.1, seed=5
+    )
+    weights = {
+        null: {
+            value: 1 + (index + position) % 3
+            for position, value in enumerate(
+                sorted(db.domain_of(null), key=repr)
+            )
+        }
+        for index, null in enumerate(db.nulls)
+    }
+    questions = 2 + sum(len(db.domain_of(null)) for null in db.nulls)
+
+    def baseline():
+        count = count_valuations_lineage(db, query)
+        weighted = ValuationCircuit(db, query).weighted_count(weights)
+        marginals = valuation_marginals_recount(db, query)
+        return count, weighted, marginals
+
+    def amortized():
+        compiled = ValuationCircuit(db, query)
+        return (
+            compiled.count(),
+            compiled.weighted_count(weights),
+            compiled.marginals(),
+        )
+
+    # Both sides measured best-of-N: an asymmetric measurement would
+    # let one scheduler hiccup on the baseline inflate the speedup.
+    baseline_result, baseline_seconds = _best_of(baseline)
+    amortized_result, seconds = _best_of(amortized)
+    if baseline_result != amortized_result:
+        raise AssertionError(
+            "circuit passes disagreed with the per-question searches"
+        )
+    return {
+        "seconds": seconds,
+        "detail": {
+            "cycle_size": size,
+            "questions": questions,
+            "count": str(amortized_result[0]),
+            "per_question_seconds": baseline_seconds,
+            "speedup": baseline_seconds / max(seconds, 1e-9),
         },
     }
 
@@ -363,6 +434,7 @@ def main(argv: list[str] | None = None) -> int:
         "hom": lambda: path_hom(args.quick),
         "sharpsat": lambda: path_sharpsat(args.quick),
         "fpras": lambda: path_fpras(args.quick),
+        "amortized": lambda: path_amortized(args.quick),
         "batch_engine": lambda: path_batch_engine(args.quick, args.workers),
     }
     for name in TRACKED_PATHS:
@@ -378,6 +450,12 @@ def main(argv: list[str] | None = None) -> int:
             % (name, measurement["seconds"], measurement["normalized"])
         )
 
+    amortized_detail = paths["amortized"]["detail"]
+    print(
+        "amortized: %d questions, compile-once %.2fx faster than "
+        "search-per-question"
+        % (amortized_detail["questions"], amortized_detail["speedup"])
+    )
     batch_detail = paths["batch_engine"]["detail"]
     print(
         "batch: %d jobs, %d unique solved, speedup %.2fx, "

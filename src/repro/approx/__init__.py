@@ -17,6 +17,7 @@ from repro.approx.events import EmbeddingEvent, enumerate_events
 from repro.approx.fpras import KarpLubyEstimator, fpras_count_valuations
 from repro.approx.montecarlo import naive_monte_carlo_valuations
 from repro.approx.sampler import (
+    CircuitValuationSampler,
     NoSatisfyingValuation,
     SatisfyingValuationSampler,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "KarpLubyEstimator",
     "fpras_count_valuations",
     "naive_monte_carlo_valuations",
+    "CircuitValuationSampler",
     "NoSatisfyingValuation",
     "SatisfyingValuationSampler",
 ]

@@ -1,10 +1,12 @@
-"""Uniform generation of satisfying valuations.
+"""Uniform (and weighted) generation of satisfying valuations.
 
 The paper derives its FPRAS (Theorem 5.1) from Arenas, Croquevielle,
 Jayaram and Riveros [9], whose subject is *enumeration, counting and
 uniform generation* for SpanL.  Counting and uniform generation are two
-faces of the same coin, and the Karp-Luby event structure gives the
-classic rejection sampler:
+faces of the same coin, and two samplers realize it here:
+
+:class:`SatisfyingValuationSampler` — the classic Karp-Luby rejection
+sampler over the embedding-event structure:
 
 1. draw an event ``E_i`` with probability ``w_i / W``;
 2. draw ``ν`` uniform in ``E_i``;
@@ -13,15 +15,26 @@ classic rejection sampler:
 Accepted valuations are exactly uniform over ``{ν : ν(D) |= q}``, and the
 expected number of rounds per sample is ``W / #Val(q)(D) <= m`` — so for a
 fixed UCQ the sampler runs in expected polynomial time.
+
+:class:`CircuitValuationSampler` — the knowledge-compilation route: the
+instance is compiled once into a d-DNNF circuit
+(:class:`repro.compile.backend.ValuationCircuit`) and every sample is
+drawn by iterated exact conditioning — one linear circuit pass per null,
+never a rejection round or a re-search.  Per-sample cost is
+``O(k · |circuit|)`` for ``k`` nulls, independent of the acceptance rate
+that governs the rejection sampler, and non-uniform null-value weights
+are supported for free.
 """
 
 from __future__ import annotations
 
 import random
 
+from repro.compile.backend import ValuationCircuit
 from repro.core.query import BCQ, UCQ
 from repro.db.incomplete import IncompleteDatabase
 from repro.db.terms import Null, Term
+from repro.db.valuation import NullWeights, resolve_null_weights
 from repro.approx.events import EmbeddingEvent, enumerate_events
 from repro.approx.fpras import resolve_rng
 
@@ -96,4 +109,71 @@ class SatisfyingValuationSampler:
         self, count: int, max_rounds_each: int | None = None
     ) -> list[dict[Null, Term]]:
         """``count`` independent uniform satisfying valuations."""
+        return [self.sample(max_rounds_each) for _ in range(count)]
+
+
+class CircuitValuationSampler:
+    """Exact sampler over ``{ν : ν(D) |= q}`` via a compiled circuit.
+
+    Compiles ``(D, q)`` once (the expensive step); each :meth:`sample`
+    then draws by iterated conditioning — one marginal pass per null, so
+    ``k`` linear circuit passes per sample and never a rejection round.
+    The cost per sample is therefore independent of the acceptance rate
+    that governs :class:`SatisfyingValuationSampler`.  ``weights`` biases
+    the draw to ``P[ν] ∝ prod_⊥ w(⊥, ν(⊥))`` (exact for int/Fraction
+    weights); the default is uniform.  The same API as the rejection
+    sampler, with ``max_rounds`` accepted and ignored — conditioning
+    cannot fail on a satisfiable instance.
+    """
+
+    def __init__(
+        self,
+        db: IncompleteDatabase,
+        query: BCQ | UCQ,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        weights: NullWeights | None = None,
+    ) -> None:
+        self._compiled = ValuationCircuit(db, query)
+        if weights is not None:
+            # Malformed tables fail here, eagerly, so the ValueError the
+            # sampling path wraps into NoSatisfyingValuation can only
+            # mean "zero satisfying mass".
+            resolve_null_weights(db, weights)
+        self._weights = weights
+        self._rng = resolve_rng(seed, rng)
+
+    @property
+    def count(self) -> int:
+        """``#Val(q)(D)`` — the sampler knows the exact count for free."""
+        return self._compiled.count()
+
+    @property
+    def circuit(self):
+        """The underlying compiled :class:`ValuationCircuit`."""
+        return self._compiled
+
+    def sample(self, max_rounds: int | None = None) -> dict[Null, Term]:
+        """One exactly-distributed satisfying valuation.
+
+        Raises :class:`NoSatisfyingValuation` when the query is
+        unsatisfiable on the instance — or when the weight tables assign
+        zero mass to every satisfying valuation, which is the same
+        situation under the sampling distribution.
+        """
+        del max_rounds  # rejection-free: kept for API compatibility
+        try:
+            return self._compiled.sample_valuation(
+                rng=self._rng, weights=self._weights
+            )
+        except ValueError as exc:
+            raise NoSatisfyingValuation(
+                "query has no satisfying valuation of nonzero weight "
+                "on this database"
+            ) from exc
+
+    def sample_many(
+        self, count: int, max_rounds_each: int | None = None
+    ) -> list[dict[Null, Term]]:
+        """``count`` independent exactly-distributed valuations."""
         return [self.sample(max_rounds_each) for _ in range(count)]

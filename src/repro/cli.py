@@ -6,9 +6,11 @@ Examples::
     repro-count count --mode val --query "R(x), S(x)" --db instance.idb
     repro-count count --mode comp --db instance.idb          # all completions
     repro-count count --mode val --query "R(x,x)" --db instance.idb \
-        --method lineage --json                              # machine-readable
+        --method circuit --json                              # machine-readable
+    repro-count explain --query "R(x,x)" --db instance.idb --marginals
     repro-count approx --query "R(x,y)" --db instance.idb --epsilon 0.05
-    repro-count batch --jobs jobs.jsonl --workers 4 --out results.jsonl
+    repro-count batch --jobs jobs.jsonl --workers 4 --cache-mb 64 \
+        --out results.jsonl
     repro-count show --db instance.idb
 
 Database files use the :mod:`repro.io.databases` text format; batch job
@@ -82,6 +84,97 @@ def _cmd_count(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.compile.backend import (
+        explain_completions,
+        explain_valuations_circuit,
+    )
+
+    if args.weights and not args.marginals:
+        print(
+            "--weights only applies together with --marginals",
+            file=sys.stderr,
+        )
+        return 2
+    db = _load_db(args.db)
+    query = parse_query(args.query) if args.query else None
+    started = time.perf_counter()
+    marginals = None
+    if args.mode == "comp":
+        if args.marginals:
+            print(
+                "--marginals applies to --mode val (per-null tables)",
+                file=sys.stderr,
+            )
+            return 2
+        report = explain_completions(db, query)
+    else:
+        if query is None:
+            print("--mode val needs --query", file=sys.stderr)
+            return 2
+        report, compiled = explain_valuations_circuit(db, query)
+        if args.marginals:
+            weights = None
+            if args.weights:
+                from repro.engine.jsonl import parse_weights
+
+                weights = parse_weights(
+                    json.loads(args.weights), db, "--weights"
+                )
+            try:
+                marginals = compiled.marginals(weights)
+            except ValueError as exc:
+                # Unsatisfiable query, or weights zeroing out every
+                # satisfying valuation — either way there is no
+                # distribution to report on.
+                print("%s" % exc, file=sys.stderr)
+                return 1
+    elapsed = time.perf_counter() - started
+
+    if args.json:
+        record = {
+            "mode": report.mode,
+            "count": report.count,
+            "num_variables": report.num_variables,
+            "num_clauses": report.num_clauses,
+            "heuristic_width": report.heuristic_width,
+            "cache_entries": report.cache_entries,
+            "components_split": report.components_split,
+            "circuit_nodes": report.circuit_nodes,
+            "circuit_edges": report.circuit_edges,
+            "seconds": round(elapsed, 6),
+        }
+        if marginals is not None:
+            from repro.engine.jobs import marginals_record
+
+            record["marginals"] = marginals_record(marginals)
+        print(json.dumps(record))
+        return 0
+
+    print("mode:             %s" % report.mode)
+    print("count:            %d" % report.count)
+    print("cnf:              %d variables, %d clauses"
+          % (report.num_variables, report.num_clauses))
+    print("heuristic width:  %s" % report.heuristic_width)
+    if report.circuit_nodes is not None:
+        print("circuit:          %d nodes, %d edges"
+              % (report.circuit_nodes, report.circuit_edges))
+    else:
+        print("search:           %d cached components, %d splits"
+              % (report.cache_entries, report.components_split))
+    if marginals is not None:
+        print("marginals (P[null = value | query holds]):")
+        for null in sorted(marginals, key=repr):
+            for value, probability in sorted(
+                marginals[null].items(), key=repr
+            ):
+                print(
+                    "  %-12s %-10s %s  (= %.6g)"
+                    % (repr(null), repr(value), probability, float(probability))
+                )
+    return 0
+
+
 def _cmd_approx(args: argparse.Namespace) -> int:
     from repro.approx.fpras import KarpLubyEstimator
 
@@ -129,7 +222,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("no jobs in %s" % args.jobs, file=sys.stderr)
         return 2
 
-    engine = BatchEngine(workers=args.workers)
+    cache = None
+    if args.cache_mb is not None:
+        from repro.engine import CountCache
+
+        cache = CountCache(
+            max_circuit_bytes=int(args.cache_mb * 1024 * 1024)
+        )
+    engine = BatchEngine(workers=args.workers, cache=cache)
     started = time.perf_counter()
     results = engine.run(jobs)
     elapsed = time.perf_counter() - started
@@ -144,12 +244,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         sys.stdout.write(lines)
 
     errors = sum(1 for result in results if not result.ok)
+    stats = engine.cache.stats()
     print(
-        "batch: %d jobs, %d errors, cache hit rate %.1f%%, %.3fs wall"
+        "batch: %d jobs, %d errors, cache hit rate %.1f%%, "
+        "%d circuits (%.2f MiB held), %.3fs wall"
         % (
             len(results),
             errors,
             100.0 * engine.cache.hit_rate,
+            stats["circuits"],
+            stats["circuit_bytes"] / (1024.0 * 1024.0),
             elapsed,
         ),
         file=sys.stderr,
@@ -203,7 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.add_argument(
         "--method",
         default="auto",
-        help="auto | poly | lineage | brute | algorithm name",
+        help="auto | poly | lineage | circuit | brute | algorithm name",
     )
     p_count.add_argument(
         "--budget",
@@ -217,6 +321,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit {mode, count, method, seconds} as JSON",
     )
     p_count.set_defaults(func=_cmd_count)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="compile one instance and report counter/circuit statistics",
+    )
+    p_explain.add_argument("--db", required=True, help="database file")
+    p_explain.add_argument("--query", help="query text (optional for comp)")
+    p_explain.add_argument("--mode", choices=("val", "comp"), default="val")
+    p_explain.add_argument(
+        "--marginals",
+        action="store_true",
+        help="report P[null = value | query holds] for every pair "
+        "(mode val; one circuit, two passes)",
+    )
+    p_explain.add_argument(
+        "--weights",
+        default=None,
+        help="JSON {null: {value: weight}} biasing the valuation "
+        "distribution of --marginals",
+    )
+    p_explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report (and marginals) as JSON",
+    )
+    p_explain.set_defaults(func=_cmd_explain)
 
     p_approx = sub.add_parser("approx", help="FPRAS estimate of #Val")
     p_approx.add_argument("--db", required=True)
@@ -246,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--out", default=None,
         help="write result JSONL here instead of stdout",
+    )
+    p_batch.add_argument(
+        "--cache-mb", type=float, default=None,
+        help="bound on memory held by cached circuits, in MiB "
+        "(default: unbounded; eviction drops a circuit together with "
+        "the answers derived from it)",
     )
     p_batch.set_defaults(func=_cmd_batch)
 

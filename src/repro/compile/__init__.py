@@ -18,25 +18,43 @@ database and knowledge-compilation literature:
    with unit propagation, connected-component decomposition, component
    caching and projected counting.
 
+4. **Trace compilation** (:mod:`repro.compile.ddnnf_trace`,
+   :mod:`repro.compile.circuit`) — optionally, the counter's search is
+   recorded once as a d-DNNF arithmetic circuit; uniform counts, weighted
+   counts, all-pairs marginals and exact samples are then linear passes
+   over the circuit instead of fresh searches.
+
 :mod:`repro.compile.backend` packages the pipeline as the
-``method='lineage'`` backend of :mod:`repro.exact.dispatch`; its cost is
-exponential in the heuristic treewidth of the lineage, not in the number
-of nulls, which is what turns the hard cells from toy-only into a
-workload.
+``method='lineage'`` (search per question) and ``method='circuit'``
+(compile once, ask many) backends of :mod:`repro.exact.dispatch`; either
+way the cost is exponential in the heuristic treewidth of the lineage,
+not in the number of nulls, which is what turns the hard cells from
+toy-only into a workload.
 """
 
 from repro.compile.backend import (
+    CompletionCircuit,
     LineageReport,
+    ValuationCircuit,
+    count_completions_circuit,
     count_completions_lineage,
+    count_valuations_circuit,
     count_valuations_lineage,
     explain_completions,
     explain_valuations,
+    explain_valuations_circuit,
     lineage_supports,
+    valuation_marginals,
+    valuation_marginals_recount,
 )
+from repro.compile.circuit import DDNNF, CircuitSampler
+from repro.compile.ddnnf_trace import TraceBuilder
 from repro.compile.encode import (
     CompletionEncoding,
+    SatisfactionEncoding,
     ValuationEncoding,
     compile_completion_cnf,
+    compile_satisfaction_cnf,
     compile_valuation_cnf,
 )
 from repro.compile.lineage import (
@@ -48,14 +66,26 @@ from repro.compile.sharpsat import ModelCounter, count_models
 
 __all__ = [
     "LineageReport",
+    "ValuationCircuit",
+    "CompletionCircuit",
     "count_completions_lineage",
     "count_valuations_lineage",
+    "count_completions_circuit",
+    "count_valuations_circuit",
     "explain_completions",
     "explain_valuations",
+    "explain_valuations_circuit",
+    "valuation_marginals",
+    "valuation_marginals_recount",
     "lineage_supports",
+    "DDNNF",
+    "CircuitSampler",
+    "TraceBuilder",
     "CompletionEncoding",
+    "SatisfactionEncoding",
     "ValuationEncoding",
     "compile_completion_cnf",
+    "compile_satisfaction_cnf",
     "compile_valuation_cnf",
     "LineageUnsupportedQuery",
     "enumerate_completion_matches",

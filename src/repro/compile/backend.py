@@ -1,22 +1,44 @@
-"""The ``lineage`` counting backend: compile, then count models exactly.
+"""Counting backends over the lineage pipeline: search once or compile once.
 
-This is the front door :mod:`repro.exact.dispatch` routes to on hard
-dichotomy cells (``method='lineage'``): instead of enumerating all
-``prod |dom(⊥)|`` valuations like brute force, it compiles the instance to
-CNF (:mod:`repro.compile.encode`) and runs the decomposition-based exact
-counter (:mod:`repro.compile.sharpsat`).  The cost is exponential only in
-the (heuristic) treewidth of the lineage, not in the number of nulls.
+Two families of entry points live here:
+
+* the **lineage** backend (``method='lineage'`` in
+  :mod:`repro.exact.dispatch`): compile the instance to CNF
+  (:mod:`repro.compile.encode`) and run the decomposition-based exact
+  counter (:mod:`repro.compile.sharpsat`) — one search per question;
+* the **circuit** backend (``method='circuit'``): run the same search
+  *once* with trace recording, keep the resulting d-DNNF circuit
+  (:mod:`repro.compile.circuit`), and answer every further question about
+  the same ``(D, q)`` — uniform counts, weighted counts for non-uniform
+  null distributions, per-null marginals, exact valuation samples — by
+  linear passes over the circuit.  :class:`ValuationCircuit` and
+  :class:`CompletionCircuit` are the compiled artifacts the batch engine
+  caches by instance fingerprint.
+
+Either way the cost of the hard part is exponential only in the
+(heuristic) treewidth of the lineage, not in the number of nulls.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
+from fractions import Fraction
 
-from repro.compile.encode import compile_completion_cnf, compile_valuation_cnf
+from repro.complexity.cnf import CNF
+from repro.compile.circuit import CircuitSampler, DDNNF, draw_index
+from repro.compile.ddnnf_trace import TraceBuilder
+from repro.compile.encode import (
+    compile_completion_cnf,
+    compile_valuation_cnf,
+)
 from repro.compile.lineage import lineage_supports
 from repro.compile.sharpsat import ModelCounter, count_models
 from repro.core.query import BooleanQuery
+from repro.db.fact import Fact
 from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null, Term
+from repro.db.valuation import NullWeights, resolve_null_weights
 
 
 def count_valuations_lineage(
@@ -38,6 +60,349 @@ def count_completions_lineage(
     return count_models(encoding.cnf, projection=encoding.projection)
 
 
+# ---------------------------------------------------------------------------
+# compiled circuits: one search, many questions
+# ---------------------------------------------------------------------------
+
+
+class ValuationCircuit:
+    """A compiled ``(D, q)``: every ``#Val``-flavored question in circuit passes.
+
+    Construction runs the *complement* encoding
+    (:func:`~repro.compile.encode.compile_valuation_cnf`) through the
+    trace-recording model counter once.  The recorded d-DNNF's models are
+    the valuations **falsifying** the query — the encoding with the
+    lineage's own treewidth, which is what keeps compilation tractable
+    (the positive witness encoding couples everything through one global
+    disjunction and defeats component decomposition).  Every question is
+    then answered against the complement, exactly:
+
+    * :meth:`count` — ``total - circuit.count()``, bit for bit what
+      ``method='lineage'`` computes (same counter, same CNF);
+    * :meth:`weighted_count` — the weighted total factorizes as
+      ``prod_⊥ sum_c w(⊥, c)``, the falsifying mass is one weighted
+      upward pass;
+    * :meth:`marginals` — pinned totals factorize the same way, and one
+      downward pass yields the falsifying mass of *every* ``(⊥, c)``
+      pair at once;
+    * :meth:`sample_valuation` — exact samples by iterated conditioning
+      (chain rule): pin one null per marginal pass, ``k`` linear passes
+      per sample, no rejection and no re-search.  (Top-down *descent*
+      would sample the circuit's own models — the falsifying
+      valuations — which is the wrong side of the complement.)
+    """
+
+    def __init__(self, db: IncompleteDatabase, query: BooleanQuery) -> None:
+        encoding = compile_valuation_cnf(db, query)
+        trace = TraceBuilder()
+        counter = ModelCounter(encoding.cnf, trace=trace)
+        self._falsifying = counter.count()
+        assert counter.trace_root is not None
+        self.circuit: DDNNF = trace.build(
+            counter.trace_root, encoding.cnf.num_variables
+        )
+        self._db = db
+        self._choices = encoding.choices
+        self.total_valuations = encoding.total_valuations
+        self._count = encoding.count_from_models(self._falsifying)
+        self.num_matches = encoding.num_matches
+        self.num_clauses = len(encoding.cnf)
+        self.heuristic_width = counter.width
+        self.cache_entries = len(counter._cache)
+        self.components_split = counter.components_split
+
+    # -- questions ---------------------------------------------------------
+
+    def count(self) -> int:
+        """``#Val(q)(D)`` — exact, big-int."""
+        return self._count
+
+    def weighted_count(self, weights: NullWeights | None = None):
+        """Weighted ``#Val``: each satisfying valuation counts its product
+        of per-null value weights (see
+        :func:`repro.db.valuation.resolve_null_weights` for the weight
+        table conventions).  Exact for int/Fraction weights; equals
+        :meth:`count` under ``weights=None``."""
+        resolved = resolve_null_weights(self._db, weights)
+        if self.total_valuations == 0:
+            return 0
+        return self._weighted_satisfying(resolved)
+
+    def marginals(
+        self, weights: NullWeights | None = None
+    ) -> dict[Null, dict[Term, Fraction]]:
+        """``P[ν(⊥) = c | ν(D) |= q]`` for every null ``⊥`` and value ``c``.
+
+        One upward and one downward circuit pass produce all pairs at
+        once — this replaces conditioning the counter on ``⊥ = c`` and
+        re-running the search per value.  Probabilities are exact
+        :class:`~fractions.Fraction` values under the (possibly weighted)
+        valuation distribution; raises :class:`ValueError` when no
+        valuation satisfies the query.
+        """
+        resolved = resolve_null_weights(self._db, weights)
+        table: dict[Null, dict[Term, Fraction]] = {}
+        satisfying, pair_counts = self._satisfying_pair_masses(resolved)
+        if not satisfying:
+            raise ValueError(
+                "no satisfying valuation has nonzero weight; "
+                "marginals are undefined"
+            )
+        for (null, value), _variable in self._choices.items():
+            table.setdefault(null, {})[value] = Fraction(
+                pair_counts[(null, value)]
+            ) / Fraction(satisfying)
+        return table
+
+    def sample_valuation(
+        self,
+        rng: random.Random | None = None,
+        seed: int | None = None,
+        weights: NullWeights | None = None,
+    ) -> dict[Null, Term]:
+        """One satisfying valuation, drawn exactly (uniform by default,
+        or proportional to its weight product) by iterated conditioning:
+        each null is pinned from its conditional marginal given the pins
+        so far — ``k`` linear passes, never a rejection.  Raises
+        :class:`ValueError` when the query is unsatisfiable."""
+        if rng is None:
+            rng = random.Random(seed)
+        resolved = resolve_null_weights(self._db, weights)
+        if not self._db.nulls:
+            if self._count == 0:
+                raise ValueError(
+                    "no satisfying valuation has nonzero weight; "
+                    "nothing to sample"
+                )
+            return {}
+        pinned: dict[Null, Term] = {}
+        live = {null: dict(table) for null, table in resolved.items()}
+        for null in self._db.nulls:
+            _satisfying, pair_counts = self._satisfying_pair_masses(live)
+            values = sorted(live[null], key=repr)
+            masses = [pair_counts[(null, value)] for value in values]
+            if not sum(masses):
+                # Only possible at the first null (conditioning preserves
+                # positive mass), i.e. the whole satisfying set has zero
+                # weight — the check rides the pass that was needed
+                # anyway instead of costing a pass of its own.
+                raise ValueError(
+                    "no satisfying valuation has nonzero weight; "
+                    "nothing to sample"
+                )
+            choice = values[draw_index(rng, masses)]
+            pinned[null] = choice
+            live[null] = {choice: resolved[null][choice]}
+        return pinned
+
+    # -- complement arithmetic ---------------------------------------------
+
+    def _variable_weights(self, resolved: dict) -> dict:
+        """Per-variable ``(true, false)`` weights from per-null tables.
+
+        A model sets exactly one choice variable per null (values a table
+        omits are conditioned away with weight 0), so giving the *true*
+        polarity the null-value weight and every *false* polarity weight 1
+        makes the model's weight the valuation's product.
+        """
+        table = {}
+        for (null, value), variable in self._choices.items():
+            table[variable] = (resolved[null].get(value, 0), 1)
+        return table
+
+    def _weighted_total(self, resolved: dict):
+        total: object = 1
+        for null in self._db.nulls:
+            total = total * sum(resolved[null].values())  # type: ignore[operator]
+        return total
+
+    def _weighted_satisfying(self, resolved: dict):
+        """Weighted mass of the satisfying valuations: total - falsifying."""
+        falsifying = self.circuit.evaluate(self._variable_weights(resolved))
+        return self._weighted_total(resolved) - falsifying
+
+    def _satisfying_pair_masses(self, resolved: dict) -> tuple:
+        """``(satisfying total, (null, value) -> weighted mass of
+        satisfying valuations with ν(null) = value)``, in two passes.
+
+        The pinned total factorizes (``w(⊥, c) · prod_others sum``); the
+        falsifying share of the pin is the literal count of the pair's
+        choice variable in the complement circuit.  The satisfying total
+        rides the same pass: smoothness gives the falsifying total as
+        ``counts[v] + counts[-v]`` of any choice variable, so no separate
+        upward evaluation is needed.
+        """
+        totals = {
+            null: sum(resolved[null].values()) for null in self._db.nulls
+        }
+        grand = self._weighted_total(resolved)
+        pairs = self._choices.items()
+        counts = self.circuit.literal_counts(self._variable_weights(resolved))
+        if pairs:
+            _pair, any_variable = pairs[0]
+            falsifying = counts[any_variable] + counts[-any_variable]
+        else:  # ground database: the circuit is a constant
+            falsifying = self.circuit.evaluate(None)
+        masses = {}
+        for (null, value), variable in pairs:
+            weight = resolved[null].get(value, 0)
+            if not weight:
+                masses[(null, value)] = 0
+                continue
+            if isinstance(grand, int) and isinstance(totals[null], int):
+                # grand is the product of the totals, so this is exact.
+                pinned_total = grand // totals[null] * weight
+            else:
+                pinned_total = grand * weight / totals[null]
+            masses[(null, value)] = pinned_total - counts[variable]
+        return grand - falsifying, masses
+
+    def memory_bytes(self) -> int:
+        """Estimated resident size (circuit dominates) for cache accounting."""
+        return self.circuit.memory_bytes() + 512
+
+    def __repr__(self) -> str:
+        return "ValuationCircuit(count=%d, %r)" % (self._count, self.circuit)
+
+
+class CompletionCircuit:
+    """A compiled ``#Comp`` instance: the canonical-fact encoding's trace.
+
+    The projected models of the recorded circuit are the completions of
+    ``D`` (satisfying ``q`` when one was given), so beyond the exact
+    :meth:`count` the circuit also answers per-fact membership marginals
+    and samples completions uniformly — the completion-side analogues of
+    the :class:`ValuationCircuit` passes.
+    """
+
+    def __init__(
+        self, db: IncompleteDatabase, query: BooleanQuery | None = None
+    ) -> None:
+        encoding = compile_completion_cnf(db, query)
+        trace = TraceBuilder()
+        counter = ModelCounter(
+            encoding.cnf, projection=encoding.projection, trace=trace
+        )
+        self._count = counter.count()
+        assert counter.trace_root is not None
+        self.circuit: DDNNF = trace.build(
+            counter.trace_root,
+            encoding.cnf.num_variables,
+            countable=encoding.projection,
+        )
+        self._facts = encoding.facts
+        self.num_clauses = len(encoding.cnf)
+        self.heuristic_width = counter.width
+        self.cache_entries = len(counter._cache)
+        self.components_split = counter.components_split
+        self._sampler_cache: CircuitSampler | None = None
+
+    def count(self) -> int:
+        """``#Comp(q)(D)`` — exact, big-int."""
+        return self._count
+
+    def fact_marginals(self) -> dict[Fact, Fraction]:
+        """``P[g ∈ C]`` for every potential fact ``g``, ``C`` uniform over
+        the counted completions.  Raises :class:`ValueError` on a count of
+        zero."""
+        if not self._count:
+            raise ValueError(
+                "no completion satisfies the query; marginals are undefined"
+            )
+        counts = self.circuit.literal_counts()
+        return {
+            fact: Fraction(counts[self._facts.var(fact)], self._count)
+            for fact in self._facts.facts()
+        }
+
+    def sample_completion(
+        self, rng: random.Random | None = None, seed: int | None = None
+    ) -> frozenset[Fact]:
+        """One completion, uniform over the counted completions."""
+        if rng is None:
+            rng = random.Random(seed)
+        if self._sampler_cache is None:
+            self._sampler_cache = self.circuit.sampler()
+        assignment = self._sampler_cache.sample(rng)
+        return frozenset(
+            fact
+            for fact in self._facts.facts()
+            if assignment.get(self._facts.var(fact))
+        )
+
+    def memory_bytes(self) -> int:
+        """Estimated resident size (circuit dominates) for cache accounting."""
+        return self.circuit.memory_bytes() + 512
+
+    def __repr__(self) -> str:
+        return "CompletionCircuit(count=%d, %r)" % (self._count, self.circuit)
+
+
+def count_valuations_circuit(
+    db: IncompleteDatabase, query: BooleanQuery
+) -> int:
+    """``#Val(q)(D)`` through the circuit pipeline (compile + one count)."""
+    return ValuationCircuit(db, query).count()
+
+
+def count_completions_circuit(
+    db: IncompleteDatabase, query: BooleanQuery | None = None
+) -> int:
+    """``#Comp(q)(D)`` through the circuit pipeline (compile + one count)."""
+    return CompletionCircuit(db, query).count()
+
+
+def valuation_marginals(
+    db: IncompleteDatabase,
+    query: BooleanQuery,
+    weights: NullWeights | None = None,
+) -> dict[Null, dict[Term, Fraction]]:
+    """Per-null marginals of one instance (compiles a throwaway circuit).
+
+    For repeated questions about the same instance build a
+    :class:`ValuationCircuit` once instead.
+    """
+    return ValuationCircuit(db, query).marginals(weights)
+
+
+def valuation_marginals_recount(
+    db: IncompleteDatabase, query: BooleanQuery
+) -> dict[Null, dict[Term, Fraction]]:
+    """Reference marginals by conditioning and re-counting, per value.
+
+    One full model-counting search per ``(null, value)`` pair — the loop
+    the circuit passes replace.  Kept as the cross-validation oracle and
+    the honest baseline for the amortization benchmark.
+    """
+    encoding = compile_valuation_cnf(db, query)
+    total = encoding.total_valuations
+    satisfying = total - count_models(encoding.cnf)
+    if not satisfying:
+        raise ValueError(
+            "no valuation satisfies the query; marginals are undefined"
+        )
+    result: dict[Null, dict[Term, Fraction]] = {}
+    for null in db.nulls:
+        domain = sorted(db.domain_of(null), key=repr)
+        pinned_total = total // len(domain)
+        for value in domain:
+            variable = encoding.choices.var(null, value)
+            pinned = CNF(
+                encoding.cnf.num_variables,
+                list(encoding.cnf.clauses) + [(variable,)],
+            )
+            satisfying_pinned = pinned_total - count_models(pinned)
+            result.setdefault(null, {})[value] = Fraction(
+                satisfying_pinned, satisfying
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# explain reports
+# ---------------------------------------------------------------------------
+
+
 @dataclass
 class LineageReport:
     """Size and difficulty statistics of one lineage compilation."""
@@ -49,6 +414,8 @@ class LineageReport:
     heuristic_width: int | None
     cache_entries: int
     components_split: int
+    circuit_nodes: int | None = None
+    circuit_edges: int | None = None
 
 
 def explain_valuations(
@@ -70,6 +437,25 @@ def explain_completions(
     return _report("comp", counter.count(), encoding.cnf, counter)
 
 
+def explain_valuations_circuit(
+    db: IncompleteDatabase, query: BooleanQuery
+) -> tuple[LineageReport, ValuationCircuit]:
+    """Compile the circuit pipeline and report both search and circuit."""
+    compiled = ValuationCircuit(db, query)
+    report = LineageReport(
+        mode="val",
+        count=compiled.count(),
+        num_variables=compiled.circuit.num_variables,
+        num_clauses=compiled.num_clauses,
+        heuristic_width=compiled.heuristic_width,
+        cache_entries=compiled.cache_entries,
+        components_split=compiled.components_split,
+        circuit_nodes=compiled.circuit.num_nodes,
+        circuit_edges=compiled.circuit.num_edges,
+    )
+    return report, compiled
+
+
 def _report(mode, count, cnf, counter) -> LineageReport:
     return LineageReport(
         mode=mode,
@@ -85,8 +471,15 @@ def _report(mode, count, cnf, counter) -> LineageReport:
 __all__ = [
     "count_valuations_lineage",
     "count_completions_lineage",
+    "count_valuations_circuit",
+    "count_completions_circuit",
+    "ValuationCircuit",
+    "CompletionCircuit",
+    "valuation_marginals",
+    "valuation_marginals_recount",
     "explain_valuations",
     "explain_completions",
+    "explain_valuations_circuit",
     "LineageReport",
     "lineage_supports",
 ]

@@ -1,0 +1,405 @@
+"""d-DNNF arithmetic circuits: compile once, count forever.
+
+A :class:`DDNNF` is the trace of one exact model-counting search
+(:mod:`repro.compile.sharpsat`), recorded as a rooted DAG in
+**deterministic, decomposable negation normal form**:
+
+* **decision nodes** are deterministic disjunctions: each branch fixes a
+  set of literals (the decision plus everything unit propagation forced),
+  lists the variables the branch *freed* (eliminated without assigning —
+  both values extend), and points at a sub-circuit.  Branches of one node
+  assign the decision variable opposite values, so no assignment is
+  counted twice;
+* **product nodes** are decomposable conjunctions: the children are the
+  variable-disjoint components the residual formula split into;
+* **cache hits** of the search become shared sub-circuits — the circuit
+  is a DAG whose size is the number of *distinct* components explored,
+  not the size of the search tree.
+
+Recording free variables on branches keeps the circuit *smooth* along
+every path (each variable in a node's scope is decided, propagated, or
+freed exactly once before the leaves), which is what makes the linear
+passes below correct:
+
+====================== ==================================================
+:meth:`DDNNF.count`     exact model count — reproduces the search's
+                        arithmetic operation for operation, so it equals
+                        :class:`~repro.compile.sharpsat.ModelCounter`
+                        bit for bit (projected counting included)
+:meth:`~DDNNF.evaluate` weighted model count for arbitrary per-literal
+                        weights (ints, :class:`~fractions.Fraction`,
+                        floats) — one upward pass
+:meth:`~DDNNF.literal_counts` the (weighted) count of models containing
+                        each literal, for *all* literals at once — one
+                        upward plus one downward pass, replacing the
+                        condition-and-recount loop
+:meth:`~DDNNF.sampler`  exact model sampling by top-down descent —
+                        each sample costs one root-to-leaves walk, no
+                        rejection
+====================== ==================================================
+
+Every pass is iterative over the node array (children precede parents by
+construction), so huge circuits never hit the recursion limit, and all
+arithmetic is exact for int/Fraction weights.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, Mapping, Sequence
+
+#: One decision branch: (forced literals, freed variables, child node id).
+Branch = tuple[tuple[int, ...], tuple[int, ...], int]
+
+#: Node kinds (first element of each node tuple).
+FALSE, TRUE, DECISION, PRODUCT = "F", "T", "D", "P"
+
+#: ``variable -> (weight of v true, weight of v false)``.
+WeightMap = Mapping[int, tuple]
+
+
+class DDNNF:
+    """A smooth deterministic d-DNNF circuit over CNF variables.
+
+    ``nodes`` is the node array in topological order (children before
+    parents); ``root`` the root node id; ``countable`` the variables the
+    counting passes see (the projection set, or all variables).  Built by
+    :class:`repro.compile.ddnnf_trace.TraceBuilder` — not by hand.
+    """
+
+    __slots__ = (
+        "_nodes", "_root", "_num_variables", "_countable",
+        "_count", "_memory",
+    )
+
+    def __init__(
+        self,
+        nodes: Sequence[tuple],
+        root: int,
+        num_variables: int,
+        countable: Iterable[int],
+    ) -> None:
+        self._nodes = tuple(nodes)
+        if not 0 <= root < len(self._nodes):
+            raise ValueError("root %d outside the node array" % root)
+        self._root = root
+        self._num_variables = num_variables
+        self._countable = frozenset(countable)
+        self._count: int | None = None
+        self._memory: int | None = None
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        return self._root
+
+    @property
+    def num_variables(self) -> int:
+        return self._num_variables
+
+    @property
+    def countable(self) -> frozenset[int]:
+        """Variables the counting passes range over (projection or all)."""
+        return self._countable
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        edges = 0
+        for node in self._nodes:
+            if node[0] == PRODUCT:
+                edges += len(node[1])
+            elif node[0] == DECISION:
+                edges += len(node[1])
+        return edges
+
+    def memory_bytes(self) -> int:
+        """Deterministic estimate of the circuit's resident size.
+
+        Used by the engine cache for its memory bound; counts the node
+        array, branch records and literal/free slots at CPython tuple
+        rates rather than chasing ``sys.getsizeof`` through the DAG.
+        """
+        if self._memory is None:
+            total = 64 * len(self._nodes)
+            for node in self._nodes:
+                if node[0] == PRODUCT:
+                    total += 8 * len(node[1])
+                elif node[0] == DECISION:
+                    for literals, free, _child in node[1]:
+                        total += 64 + 8 * (len(literals) + len(free))
+            self._memory = total
+        return self._memory
+
+    def __repr__(self) -> str:
+        return "DDNNF(%d nodes, %d edges, %d countable vars)" % (
+            self.num_nodes, self.num_edges, len(self._countable),
+        )
+
+    # -- weights -----------------------------------------------------------
+
+    def _resolve_weights(self, weights: WeightMap | None) -> dict[int, tuple]:
+        """Full countable-variable weight table (missing entries = (1, 1)).
+
+        Variables outside the countable set must not carry weights — in a
+        projected circuit they are collapsed and cannot be weighted.
+        """
+        table = {variable: _ONE_ONE for variable in self._countable}
+        if weights:
+            for variable, pair in weights.items():
+                if variable not in self._countable:
+                    raise ValueError(
+                        "variable %r is not countable in this circuit"
+                        % (variable,)
+                    )
+                table[variable] = (pair[0], pair[1])
+        return table
+
+    # -- upward pass -------------------------------------------------------
+
+    def _values(self, table: Mapping[int, tuple]) -> list:
+        """Weighted value of every node, children-first (one linear pass)."""
+        values: list = [0] * len(self._nodes)
+        for index, node in enumerate(self._nodes):
+            kind = node[0]
+            if kind == TRUE:
+                values[index] = 1
+            elif kind == FALSE:
+                values[index] = 0
+            elif kind == PRODUCT:
+                value = 1
+                for child in node[1]:
+                    value *= values[child]
+                    if not value:
+                        break
+                values[index] = value
+            else:  # DECISION
+                total = 0
+                for literals, free, child in node[1]:
+                    term = values[child]
+                    if not term:
+                        continue
+                    for literal in literals:
+                        pair = table.get(abs(literal))
+                        if pair is not None:
+                            term = term * (pair[0] if literal > 0 else pair[1])
+                    for variable in free:
+                        pair = table.get(variable)
+                        if pair is not None:
+                            term = term * (pair[0] + pair[1])
+                    total += term
+                values[index] = total
+        return values
+
+    def evaluate(self, weights: WeightMap | None = None):
+        """The (weighted) model count of the circuit.
+
+        With ``weights=None`` every countable variable weighs ``(1, 1)``
+        and the result is the exact model count; otherwise it is
+        ``sum over models of prod over countable v of w(v, model(v))``,
+        exact whenever the weights are ints or Fractions.
+        """
+        return self._values(self._resolve_weights(weights))[self._root]
+
+    def count(self) -> int:
+        """Exact (projected) model count — cached after the first pass."""
+        if self._count is None:
+            self._count = self.evaluate(None)
+        return self._count
+
+    # -- downward pass: all-literals marginal counts -----------------------
+
+    def literal_counts(self, weights: WeightMap | None = None) -> dict:
+        """``literal -> (weighted) count of models containing it``.
+
+        Both polarities of every countable variable are reported, all in
+        one upward plus one downward pass — this is the derivative trick
+        of arithmetic-circuit inference, and what replaces the per-value
+        condition-and-recount loop: ``counts[v] + counts[-v]`` equals the
+        total count for every countable variable (smoothness).
+        """
+        table = self._resolve_weights(weights)
+        values = self._values(table)
+        derivative: list = [0] * len(self._nodes)
+        derivative[self._root] = 1
+        counts: dict = {}
+        for variable in self._countable:
+            counts[variable] = 0
+            counts[-variable] = 0
+
+        for index in range(len(self._nodes) - 1, -1, -1):
+            outer = derivative[index]
+            if not outer:
+                continue
+            node = self._nodes[index]
+            kind = node[0]
+            if kind == PRODUCT:
+                children = node[1]
+                # prefix/suffix products avoid division (children may be 0)
+                prefix = 1
+                suffixes = [1] * (len(children) + 1)
+                for position in range(len(children) - 1, -1, -1):
+                    suffixes[position] = (
+                        suffixes[position + 1] * values[children[position]]
+                    )
+                for position, child in enumerate(children):
+                    derivative[child] += outer * prefix * suffixes[position + 1]
+                    prefix *= values[child]
+            elif kind == DECISION:
+                for literals, free, child in node[1]:
+                    literal_weight = 1
+                    for literal in literals:
+                        pair = table.get(abs(literal))
+                        if pair is not None:
+                            literal_weight *= (
+                                pair[0] if literal > 0 else pair[1]
+                            )
+                    if not literal_weight:
+                        continue
+                    pairs = [table.get(variable) for variable in free]
+                    free_factor = 1
+                    for pair in pairs:
+                        if pair is not None:
+                            free_factor *= pair[0] + pair[1]
+                    branch_value = literal_weight * free_factor * values[child]
+                    derivative[child] += outer * literal_weight * free_factor
+                    if not branch_value:
+                        continue
+                    contribution = outer * branch_value
+                    for literal in literals:
+                        if abs(literal) in counts:
+                            counts[literal] += contribution
+                    if any(pair is not None for pair in pairs):
+                        base = outer * literal_weight * values[child]
+                        prefix = 1
+                        suffixes = [1] * (len(pairs) + 1)
+                        for position in range(len(pairs) - 1, -1, -1):
+                            pair = pairs[position]
+                            factor = 1 if pair is None else pair[0] + pair[1]
+                            suffixes[position] = (
+                                suffixes[position + 1] * factor
+                            )
+                        for position, variable in enumerate(free):
+                            pair = pairs[position]
+                            if pair is not None:
+                                others = (
+                                    base * prefix * suffixes[position + 1]
+                                )
+                                counts[variable] += others * pair[0]
+                                counts[-variable] += others * pair[1]
+                                prefix *= pair[0] + pair[1]
+        return counts
+
+    # -- exact sampling ----------------------------------------------------
+
+    def sampler(self, weights: WeightMap | None = None) -> "CircuitSampler":
+        """A reusable exact sampler over the circuit's (weighted) models."""
+        return CircuitSampler(self, weights)
+
+
+_ONE_ONE = (1, 1)
+
+
+class CircuitSampler:
+    """Draws countable-variable assignments with probability proportional
+    to their weight, by one top-down descent per sample.
+
+    Node values under the sampling weights are computed once at
+    construction; each :meth:`sample` is then linear in the depth of the
+    visited sub-DAG.  Draws are exact (integer arithmetic) for int and
+    Fraction weights.
+    """
+
+    def __init__(self, circuit: DDNNF, weights: WeightMap | None = None) -> None:
+        self._circuit = circuit
+        self._table = circuit._resolve_weights(weights)
+        self._values = circuit._values(self._table)
+        if not self._values[circuit.root]:
+            raise ValueError(
+                "circuit has no (weighted) models; nothing to sample"
+            )
+
+    @property
+    def total(self):
+        """The (weighted) model count the draws are normalized by."""
+        return self._values[self._circuit.root]
+
+    def sample(self, rng: random.Random) -> dict[int, bool]:
+        """One assignment of every countable variable, drawn exactly."""
+        nodes = self._circuit._nodes
+        values = self._values
+        table = self._table
+        assignment: dict[int, bool] = {}
+        stack = [self._circuit.root]
+        while stack:
+            node = nodes[stack.pop()]
+            kind = node[0]
+            if kind == PRODUCT:
+                stack.extend(node[1])
+            elif kind == DECISION:
+                branches = node[1]
+                if len(branches) == 1:
+                    chosen = branches[0]
+                else:
+                    weights_seq = []
+                    for literals, free, child in branches:
+                        term = values[child]
+                        if term:
+                            for literal in literals:
+                                pair = table.get(abs(literal))
+                                if pair is not None:
+                                    term = term * (
+                                        pair[0] if literal > 0 else pair[1]
+                                    )
+                            for variable in free:
+                                pair = table.get(variable)
+                                if pair is not None:
+                                    term = term * (pair[0] + pair[1])
+                        weights_seq.append(term)
+                    chosen = branches[draw_index(rng, weights_seq)]
+                literals, free, child = chosen
+                for literal in literals:
+                    if abs(literal) in table:
+                        assignment[abs(literal)] = literal > 0
+                for variable in free:
+                    pair = table.get(variable)
+                    if pair is not None:
+                        assignment[variable] = draw_index(rng, pair) == 0
+                stack.append(child)
+            # TRUE leaves contribute nothing; FALSE is unreachable (value 0)
+        return assignment
+
+
+def draw_index(rng: random.Random, weights_seq: Sequence) -> int:
+    """Index drawn with probability ``weights_seq[i] / sum``, exactly.
+
+    Integer weights use ``randrange`` directly; Fractions (and floats,
+    through their exact Fraction form) are scaled to a common denominator
+    first, so the draw stays a single exact ``randrange``.
+    """
+    if not all(isinstance(weight, int) for weight in weights_seq):
+        fractions = [Fraction(weight) for weight in weights_seq]
+        common = 1
+        for fraction in fractions:
+            common = common * fraction.denominator // gcd(
+                common, fraction.denominator
+            )
+        weights_seq = [
+            int(fraction * common) for fraction in fractions
+        ]
+    total = sum(weights_seq)
+    if total <= 0:
+        raise ValueError("cannot draw from nonpositive total weight")
+    target = rng.randrange(total)
+    accumulated = 0
+    for index, weight in enumerate(weights_seq):
+        accumulated += weight
+        if target < accumulated:
+            return index
+    raise AssertionError("unreachable: cumulative walk exhausted")

@@ -14,7 +14,7 @@ component cache then conquers independently.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 from repro.complexity.cnf import CNF
 
@@ -93,13 +93,9 @@ def branching_order(cnf: CNF) -> tuple[list[int], int]:
     tree decomposition; assigning it first disconnects the decomposition's
     subtrees, so component splitting fires as early as possible.  Variables
     absent from every clause are unconstrained and omitted.  Also returns
-    the induced width as a difficulty estimate.
+    the induced width as a difficulty estimate.  (The counter turns the
+    order into a flat positional rank table itself.)
     """
     order, width = elimination_order(primal_graph(cnf))
     order.reverse()
     return order, width
-
-
-def order_rank(order: Sequence[int]) -> dict[int, int]:
-    """Variable -> position lookup for a branching order."""
-    return {variable: position for position, variable in enumerate(order)}

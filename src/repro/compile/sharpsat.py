@@ -16,7 +16,19 @@ lineage compiler emits:
   that agree on ``P`` are counted once — the engine branches on ``P``
   variables only and falls back to a satisfiability check once a component
   contains none.  Projection is what makes the completion encoding (count
-  distinct *images* of valuations) countable at all.
+  distinct *images* of valuations) countable at all;
+* optional **trace recording**: hand the constructor a
+  :class:`~repro.compile.ddnnf_trace.TraceBuilder` and the search emits a
+  d-DNNF circuit (:mod:`repro.compile.circuit`) of its decisions, unit
+  propagations, component splits and cache reuses as it counts.  The
+  circuit reproduces the count bit for bit, then answers weighted counts,
+  all-literal marginals and exact samples in linear passes — the search
+  runs once, every further question is amortized.
+
+Residual formulas are canonical sorted clause tuples (not frozensets):
+the tuples double as component cache keys with cheaper hashing and
+equality, make iteration order deterministic (which the recorded circuits
+inherit), and put the empty clause — when present — at index 0.
 
 Counts are exact big integers.  The recursion is exponential in the width
 of the branching order, not in the number of variables — hard-cell lineage
@@ -26,12 +38,16 @@ CNFs with bounded-treewidth structure count in polynomial time.
 from __future__ import annotations
 
 import sys
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.complexity.cnf import CNF
-from repro.compile.ordering import branching_order, order_rank
+from repro.compile.ordering import branching_order
 
-Clauses = frozenset[tuple[int, ...]]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compile.ddnnf_trace import TraceBuilder
+
+#: A residual formula: clauses as a canonically sorted tuple.
+Clauses = tuple[tuple[int, ...], ...]
 
 
 class ModelCounter:
@@ -40,6 +56,9 @@ class ModelCounter:
     ``projection`` — variables to count over; ``None`` counts full models.
     ``order`` — static branching order; defaults to the reverse min-fill
     order of the formula's primal graph.
+    ``trace`` — optional :class:`TraceBuilder`; when given, :meth:`count`
+    additionally records the search as a d-DNNF circuit rooted at
+    :attr:`trace_root`.
     """
 
     def __init__(
@@ -47,6 +66,7 @@ class ModelCounter:
         cnf: CNF,
         projection: Iterable[int] | None = None,
         order: Sequence[int] | None = None,
+        trace: "TraceBuilder | None" = None,
     ) -> None:
         self._cnf = cnf
         self._projection: frozenset[int] | None = (
@@ -63,9 +83,18 @@ class ModelCounter:
         else:
             order = list(order)
             self.width = None
-        self._rank = order_rank(order)
-        self._fallback_rank = len(self._rank)
-        self._cache: dict[Clauses, int] = {}
+        # Rank as a flat positional table: one list index per variable
+        # beats a dict probe in the innermost branching loop, and the
+        # table is derived once instead of once per component.
+        rank = [len(order)] * (cnf.num_variables + 1)
+        for position, variable in enumerate(order):
+            rank[variable] = position
+        self._rank = rank
+        self._trace = trace
+        #: Root node of the recorded circuit (set by :meth:`count` when
+        #: tracing).
+        self.trace_root: int | None = None
+        self._cache: dict[Clauses, tuple[int, int | None]] = {}
         self._sat_cache: dict[Clauses, bool] = {}
         self.cache_hits = 0
         self.components_split = 0
@@ -89,23 +118,29 @@ class ModelCounter:
             sys.setrecursionlimit(limit)
 
     def _count_root(self) -> int:
+        trace = self._trace
         clauses, assigned, conflict = _propagate(
-            frozenset(self._cnf.clauses), ()
+            tuple(sorted(self._cnf.clauses)), ()
         )
         if conflict:
+            if trace is not None:
+                self.trace_root = trace.false
             return 0
         constrained = {abs(lit) for c in self._cnf.clauses for lit in c}
-        free = self._countable(
+        assigned_variables = {abs(lit) for lit in assigned}
+        free = (
             set(range(1, self._cnf.num_variables + 1))
             - constrained
-            - {abs(lit) for lit in assigned}
+            - assigned_variables
         )
-        eliminated = self._countable(
-            constrained
-            - _variables_of(clauses)
-            - {abs(lit) for lit in assigned}
-        )
-        return (1 << (free + eliminated)) * self._count(clauses)
+        free |= constrained - _variables_of(clauses) - assigned_variables
+        count, node = self._count(clauses)
+        if trace is not None:
+            assert node is not None
+            self.trace_root = trace.decision(
+                [(tuple(sorted(assigned, key=abs)), tuple(sorted(free)), node)]
+            )
+        return (1 << self._countable(free)) * count
 
     # -- internals ---------------------------------------------------------
 
@@ -115,75 +150,105 @@ class ModelCounter:
             return len(variables)
         return len(variables & self._projection)
 
-    def _count(self, clauses: Clauses) -> int:
-        """Count a residual formula, splitting into components first."""
+    def _count(self, clauses: Clauses) -> tuple[int, int | None]:
+        """Count a residual formula, splitting into components first.
+
+        Returns ``(count, circuit node)`` — the node is ``None`` unless
+        the counter records a trace.
+        """
+        trace = self._trace
         if not clauses:
-            return 1
-        if () in clauses:
-            return 0
+            return 1, (None if trace is None else trace.true)
+        if not clauses[0]:  # canonical sort puts the empty clause first
+            return 0, (None if trace is None else trace.false)
         components = _split_components(clauses)
         if len(components) > 1:
             self.components_split += 1
         result = 1
+        nodes: list[int] = []
         for component in components:
-            result *= self._count_component(component)
-            if result == 0:
-                return 0
-        return result
+            count, node = self._count_component(component)
+            result *= count
+            if trace is None:
+                if result == 0:
+                    return 0, None
+            else:
+                assert node is not None
+                nodes.append(node)
+        if trace is None:
+            return result, None
+        return result, trace.product(nodes)
 
-    def _count_component(self, clauses: Clauses) -> int:
+    def _count_component(self, clauses: Clauses) -> tuple[int, int | None]:
         cached = self._cache.get(clauses)
         if cached is not None:
             self.cache_hits += 1
             return cached
-        variable = self._pick_variable(clauses)
+        trace = self._trace
+        node: int | None = None
+        component_variables = _variables_of(clauses)
+        variable = self._pick_variable(component_variables)
         if variable is None:
             # Projected mode, no projection variable left: the component
             # contributes one projected model iff it is satisfiable.
-            result = 1 if self._satisfiable(clauses) else 0
+            satisfiable = self._satisfiable(clauses)
+            result = 1 if satisfiable else 0
+            if trace is not None:
+                node = trace.constant(satisfiable)
         else:
             result = 0
+            branches = []
             for literal in (variable, -variable):
                 reduced, assigned, conflict = _propagate(clauses, (literal,))
                 if conflict:
                     continue
-                eliminated = self._countable(
-                    _variables_of(clauses)
+                eliminated = (
+                    component_variables
                     - _variables_of(reduced)
                     - {abs(lit) for lit in assigned}
                 )
-                result += (1 << eliminated) * self._count(reduced)
-        self._cache[clauses] = result
-        return result
+                count, child = self._count(reduced)
+                result += (1 << self._countable(eliminated)) * count
+                if trace is not None:
+                    assert child is not None
+                    branches.append(
+                        (
+                            tuple(sorted(assigned, key=abs)),
+                            tuple(sorted(eliminated)),
+                            child,
+                        )
+                    )
+            if trace is not None:
+                node = trace.decision(branches)
+        entry = (result, node)
+        self._cache[clauses] = entry
+        return entry
 
-    def _pick_variable(self, clauses: Clauses) -> int | None:
-        """Earliest variable of the branching order in this component.
+    def _pick_variable(self, candidates: set[int]) -> int | None:
+        """Earliest variable of the branching order among ``candidates``.
 
         In projected mode only projection variables qualify; ``None`` means
         the component has none left.
         """
-        candidates = _variables_of(clauses)
         if self._projection is not None:
             candidates = candidates & self._projection
             if not candidates:
                 return None
         rank = self._rank
-        fallback = self._fallback_rank
-        return min(candidates, key=lambda v: (rank.get(v, fallback), v))
+        return min(candidates, key=lambda v: (rank[v], v))
 
     def _satisfiable(self, clauses: Clauses) -> bool:
         """Plain DPLL satisfiability of a residual component."""
         if not clauses:
             return True
-        if () in clauses:
+        if not clauses[0]:
             return False
         cached = self._sat_cache.get(clauses)
         if cached is not None:
             return cached
         rank = self._rank
-        fallback = self._fallback_rank
         variable = min(
-            _variables_of(clauses), key=lambda v: (rank.get(v, fallback), v)
+            _variables_of(clauses), key=lambda v: (rank[v], v)
         )
         result = False
         for literal in (variable, -variable):
@@ -223,7 +288,7 @@ def _propagate(
 
     Returns ``(reduced clauses, all literals assigned, conflict)``.
     Satisfied clauses are dropped and false literals removed; the reduced
-    set never contains a unit clause.
+    set never contains a unit clause and is canonically sorted.
 
     Clauses are indexed by variable once per call, so each propagated
     literal touches only the clauses that actually contain its variable,
@@ -252,7 +317,7 @@ def _propagate(
         if literal in assignment:
             continue
         if -literal in assignment:
-            return frozenset(), tuple(assignment), True
+            return (), tuple(assignment), True
         assignment.add(literal)
         for clause in occurs.get(abs(literal), ()):
             current = live.get(clause, clause)
@@ -265,20 +330,26 @@ def _propagate(
                 continue
             filtered = tuple(x for x in current if x != -literal)
             if not filtered:
-                return frozenset(), tuple(assignment), True
+                return (), tuple(assignment), True
             live[clause] = filtered
             if len(filtered) == 1:
                 pending.append(filtered[0])
-    reduced = frozenset(
+    if not live:
+        return clauses, tuple(assignment), False
+    reduced = sorted(
         current
         for current in (live.get(clause, clause) for clause in clauses)
         if current is not None
     )
-    return reduced, tuple(assignment), False
+    return tuple(reduced), tuple(assignment), False
 
 
 def _split_components(clauses: Clauses) -> list[Clauses]:
-    """Partition clauses into variable-connected components (union-find)."""
+    """Partition clauses into variable-connected components (union-find).
+
+    Each component is again a canonically sorted clause tuple, directly
+    usable as a cache key.
+    """
     if len(clauses) <= 1:
         return [clauses] if clauses else []
     parent: dict[int, int] = {}
@@ -291,8 +362,7 @@ def _split_components(clauses: Clauses) -> list[Clauses]:
             parent[x], x = root, parent[x]
         return root
 
-    clause_list = list(clauses)
-    for index, clause in enumerate(clause_list):
+    for index, clause in enumerate(clauses):
         key = -(index + 1)  # clause nodes get negative keys
         parent[key] = key
         for literal in clause:
@@ -303,7 +373,10 @@ def _split_components(clauses: Clauses) -> list[Clauses]:
             if root_a != root_b:
                 parent[root_a] = root_b
 
-    groups: dict[int, set[tuple[int, ...]]] = {}
-    for index, clause in enumerate(clause_list):
-        groups.setdefault(find(-(index + 1)), set()).add(clause)
-    return [frozenset(group) for group in groups.values()]
+    groups: dict[int, list[tuple[int, ...]]] = {}
+    for index, clause in enumerate(clauses):
+        groups.setdefault(find(-(index + 1)), []).append(clause)
+    if len(groups) == 1:
+        return [clauses]
+    # The input is sorted, so per-group append order stays sorted.
+    return [tuple(group) for group in groups.values()]

@@ -52,6 +52,10 @@ class ChoiceVariables:
     def variables(self) -> list[int]:
         return sorted(self._var.values())
 
+    def items(self) -> list[tuple[tuple[Null, Term], int]]:
+        """All ``((null, value), variable)`` pairs, in variable order."""
+        return sorted(self._var.items(), key=lambda pair: pair[1])
+
     def decode(self, model: set[int]) -> dict[Null, Term]:
         """Valuation encoded by a model (a set of true variable indices)."""
         valuation: dict[Null, Term] = {}

@@ -30,6 +30,69 @@ def count_total_valuations(db: IncompleteDatabase) -> int:
     return total
 
 
+#: Per-null value weights: ``weights[null][value]`` is the weight (count
+#: multiplicity, unnormalized probability, ...) of ``ν(null) = value``.
+NullWeights = Mapping[Null, Mapping[Term, object]]
+
+
+def resolve_null_weights(
+    db: IncompleteDatabase, weights: NullWeights | None
+) -> dict[Null, dict[Term, object]]:
+    """Full per-null weight tables for ``D``.
+
+    Nulls absent from ``weights`` get weight ``1`` for every domain value
+    (the uniform convention, under which the weighted count *is* the
+    count).  A null that is listed must cover its whole domain and nothing
+    outside it — partial tables are rejected rather than silently
+    defaulted, since a forgotten value would skew every downstream count.
+    """
+    provided = dict(weights) if weights else {}
+    unknown = set(provided) - set(db.nulls)
+    if unknown:
+        raise ValueError(
+            "weights given for nulls not in the database: %s"
+            % ", ".join(sorted(map(repr, unknown)))
+        )
+    resolved: dict[Null, dict[Term, object]] = {}
+    for null in db.nulls:
+        domain = db.domain_of(null)
+        given = provided.get(null)
+        if given is None:
+            resolved[null] = {value: 1 for value in domain}
+            continue
+        table = dict(given)
+        extra = set(table) - set(domain)
+        if extra:
+            raise ValueError(
+                "weights for %r mention values outside its domain: %s"
+                % (null, ", ".join(sorted(map(repr, extra))))
+            )
+        missing = set(domain) - set(table)
+        if missing:
+            raise ValueError(
+                "weights for %r must cover its whole domain; missing: %s"
+                % (null, ", ".join(sorted(map(repr, missing))))
+            )
+        resolved[null] = table
+    return resolved
+
+
+def weighted_total_valuations(
+    db: IncompleteDatabase, weights: NullWeights | None = None
+):
+    """``sum over all valuations ν of prod_⊥ w(⊥, ν(⊥))``.
+
+    The weighted analogue of :func:`count_total_valuations` — and equal to
+    it under the uniform all-ones convention.  Factorizes as
+    ``prod_⊥ sum_c w(⊥, c)`` because the nulls choose independently.
+    """
+    resolved = resolve_null_weights(db, weights)
+    total: object = 1
+    for null in db.nulls:
+        total = total * sum(resolved[null].values())  # type: ignore[operator]
+    return total
+
+
 def iter_valuations(
     db: IncompleteDatabase,
 ) -> Iterator[dict[Null, Term]]:

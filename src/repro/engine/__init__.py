@@ -10,8 +10,19 @@ misses are fanned out to a shared-nothing multiprocessing pool
 """
 
 from repro.engine.cache import CountCache
-from repro.engine.fingerprint import fingerprint_db, fingerprint_job, fingerprint_query
-from repro.engine.jobs import CountJob, JobResult, execute_job
+from repro.engine.fingerprint import (
+    fingerprint_db,
+    fingerprint_instance,
+    fingerprint_job,
+    fingerprint_query,
+)
+from repro.engine.jobs import (
+    CountJob,
+    JobResult,
+    execute_job,
+    instance_fingerprint_of,
+    needs_circuit,
+)
 from repro.engine.pool import BatchEngine, run_batch
 
 __all__ = [
@@ -21,7 +32,10 @@ __all__ = [
     "JobResult",
     "execute_job",
     "fingerprint_db",
+    "fingerprint_instance",
     "fingerprint_job",
     "fingerprint_query",
+    "instance_fingerprint_of",
+    "needs_circuit",
     "run_batch",
 ]

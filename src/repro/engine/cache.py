@@ -1,29 +1,61 @@
 """Cross-job memoization keyed on canonical instance fingerprints.
 
-The cache stores *answers* — ``(count, resolved method)`` pairs — never
-databases or queries, so it stays small even for huge instances.  An
-optional ``max_entries`` bound turns it into an LRU; the default is
-unbounded, which suits benchmark batches where the working set is the whole
-workload.
+Two stores live side by side:
+
+* the **answer memo** — ``fingerprint -> (count, resolved method)`` pairs,
+  one per distinct *question*.  Answers are tiny; an optional
+  ``max_entries`` bound turns the memo into an LRU;
+* the **circuit slot** — ``instance fingerprint -> compiled circuit``
+  (:class:`~repro.compile.backend.ValuationCircuit` /
+  :class:`~repro.compile.backend.CompletionCircuit`), one per distinct
+  *instance*.  Circuits are the expensive artifacts the batch engine
+  reuses across question modes (count, weighted count, marginals,
+  samples), and the only part of the cache whose memory matters: every
+  stored circuit is accounted at its estimated byte size, and an optional
+  ``max_circuit_bytes`` bound evicts least-recently-used circuits —
+  **together with every memo entry derived from them**, so a bounded
+  cache never serves an answer whose provenance it already dropped.
+
+``stats()`` reports both stores; ``repro-count batch --cache-mb`` is the
+CLI surface of the byte bound.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Any
 
 
 class CountCache:
-    """LRU map from fingerprint to ``(count, method)`` with hit statistics."""
+    """LRU answer memo plus byte-bounded circuit store, with statistics."""
 
-    def __init__(self, max_entries: int | None = None) -> None:
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        max_circuit_bytes: int | None = None,
+    ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive (or None)")
-        self._entries: OrderedDict[str, tuple[int | float, str]] = OrderedDict()
+        if max_circuit_bytes is not None and max_circuit_bytes < 0:
+            raise ValueError("max_circuit_bytes must be >= 0 (or None)")
+        self._entries: OrderedDict[str, tuple[Any, str]] = OrderedDict()
         self._max_entries = max_entries
+        self._max_circuit_bytes = max_circuit_bytes
+        # instance fingerprint -> (circuit, bytes); LRU order.
+        self._circuits: OrderedDict[str, tuple[Any, int]] = OrderedDict()
+        # links for joint eviction: memo entry <-> owning instance.
+        self._entry_instance: dict[str, str] = {}
+        self._instance_entries: dict[str, set[str]] = {}
         self.hits = 0
         self.misses = 0
+        self.circuit_hits = 0
+        self.circuit_misses = 0
+        self.circuit_evictions = 0
+        self.circuit_bytes = 0
 
-    def get(self, fingerprint: str) -> tuple[int | float, str] | None:
+    # -- answer memo -------------------------------------------------------
+
+    def get(self, fingerprint: str) -> tuple[Any, str] | None:
         entry = self._entries.get(fingerprint)
         if entry is None:
             self.misses += 1
@@ -33,26 +65,131 @@ class CountCache:
         return entry
 
     def put(
-        self, fingerprint: str, count: int | float, method: str
+        self,
+        fingerprint: str,
+        count: Any,
+        method: str,
+        instance: str | None = None,
     ) -> None:
+        """Memoize one answer; ``instance`` ties it to a cached circuit.
+
+        Linked answers are dropped when their circuit is evicted, and an
+        answer whose circuit is already gone (evicted mid-batch, or too
+        large for the bound in the first place) is not memoized at all —
+        the bound on circuit memory is also a bound on how much derived
+        state the cache may serve, and the two stores move together.
+        """
+        if instance is not None and instance not in self._circuits:
+            self._entries.pop(fingerprint, None)
+            self._unlink_entry(fingerprint)
+            return
         self._entries[fingerprint] = (count, method)
         self._entries.move_to_end(fingerprint)
+        self._unlink_entry(fingerprint)
+        if instance is not None:
+            self._entry_instance[fingerprint] = instance
+            self._instance_entries.setdefault(instance, set()).add(fingerprint)
         if (
             self._max_entries is not None
             and len(self._entries) > self._max_entries
         ):
-            self._entries.popitem(last=False)
+            evicted, _value = self._entries.popitem(last=False)
+            self._unlink_entry(evicted)
+
+    def _unlink_entry(self, fingerprint: str) -> None:
+        instance = self._entry_instance.pop(fingerprint, None)
+        if instance is not None:
+            siblings = self._instance_entries.get(instance)
+            if siblings is not None:
+                siblings.discard(fingerprint)
+                if not siblings:
+                    del self._instance_entries[instance]
+
+    # -- circuit slot ------------------------------------------------------
+
+    def get_circuit(self, instance: str) -> Any | None:
+        """The compiled circuit for an instance fingerprint, if cached."""
+        cached = self._circuits.get(instance)
+        if cached is None:
+            self.circuit_misses += 1
+            return None
+        self._circuits.move_to_end(instance)
+        self.circuit_hits += 1
+        return cached[0]
+
+    def put_circuit(self, instance: str, circuit: Any) -> None:
+        """Store a compiled circuit, evicting LRU circuits past the bound.
+
+        The circuit must expose ``memory_bytes()``.  A circuit alone
+        larger than the bound is not stored at all (storing it would only
+        evict everything else and then itself).  Evicting a circuit also
+        drops the memo entries linked to its instance.
+        """
+        size = int(circuit.memory_bytes())
+        if (
+            self._max_circuit_bytes is not None
+            and size > self._max_circuit_bytes
+        ):
+            return
+        previous = self._circuits.pop(instance, None)
+        if previous is not None:
+            self.circuit_bytes -= previous[1]
+        self._circuits[instance] = (circuit, size)
+        self.circuit_bytes += size
+        if self._max_circuit_bytes is not None:
+            while (
+                self.circuit_bytes > self._max_circuit_bytes
+                and len(self._circuits) > 1
+            ):
+                self._evict_oldest_circuit(keep=instance)
+
+    def _evict_oldest_circuit(self, keep: str | None = None) -> None:
+        for candidate in self._circuits:
+            if candidate != keep:
+                break
+        else:
+            return
+        _circuit, size = self._circuits.pop(candidate)
+        self.circuit_bytes -= size
+        self.circuit_evictions += 1
+        for fingerprint in self._instance_entries.pop(candidate, set()):
+            self._entries.pop(fingerprint, None)
+            self._entry_instance.pop(fingerprint, None)
+
+    # -- statistics --------------------------------------------------------
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups answered from cache (0.0 when unused)."""
+        """Fraction of memo lookups answered from cache (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> dict[str, Any]:
+        """One JSON-ready snapshot of both stores."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "circuits": len(self._circuits),
+            "circuit_bytes": self.circuit_bytes,
+            "circuit_hits": self.circuit_hits,
+            "circuit_misses": self.circuit_misses,
+            "circuit_evictions": self.circuit_evictions,
+            "max_circuit_bytes": self._max_circuit_bytes,
+        }
+
     def clear(self) -> None:
         self._entries.clear()
+        self._circuits.clear()
+        self._entry_instance.clear()
+        self._instance_entries.clear()
         self.hits = 0
         self.misses = 0
+        self.circuit_hits = 0
+        self.circuit_misses = 0
+        self.circuit_evictions = 0
+        self.circuit_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -61,8 +198,10 @@ class CountCache:
         return fingerprint in self._entries
 
     def __repr__(self) -> str:
-        return "CountCache(%d entries, %d hits, %d misses)" % (
+        return "CountCache(%d entries, %d hits, %d misses, %d circuits, %d circuit bytes)" % (
             len(self._entries),
             self.hits,
             self.misses,
+            len(self._circuits),
+            self.circuit_bytes,
         )

@@ -24,7 +24,7 @@ and the engine solves such jobs without caching.
 from __future__ import annotations
 
 import hashlib
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.query import BCQ, BooleanQuery, Const, Negation, UCQ
 from repro.db.incomplete import IncompleteDatabase
@@ -95,6 +95,19 @@ def fingerprint_db(db: IncompleteDatabase) -> Canonical:
     deterministic tie-break.  The result describes ``D`` exactly up to a
     bijective null renaming — which preserves both ``#Val`` and ``#Comp``.
     """
+    return _canonical_db(db)[0]
+
+
+def _canonical_db(
+    db: IncompleteDatabase,
+) -> tuple[Canonical, dict[Null, int]]:
+    """Canonical form plus the null relabeling that produced it.
+
+    The relabeling lets per-null payloads (weight tables) be expressed in
+    canonical coordinates: two jobs then share a fingerprint exactly when
+    some database isomorphism carries one weight table onto the other —
+    which provably preserves the weighted count.
+    """
     nulls = db.nulls
     signature: dict[Null, str] = {
         null: repr(tuple(sorted(repr(v) for v in db.domain_of(null))))
@@ -135,7 +148,90 @@ def fingerprint_db(db: IncompleteDatabase) -> Canonical:
     domains = tuple(
         tuple(sorted(repr(v) for v in db.domain_of(null))) for null in ordered
     )
-    return ("db", db.is_uniform, facts, domains)
+    return ("db", db.is_uniform, facts, domains), index
+
+
+def _exact_db_form(db: IncompleteDatabase) -> Canonical:
+    """Label-exact description of a database (no null canonicalization).
+
+    Compiled circuits and marginal tables answer questions *about* the
+    nulls by name, so artifacts must never be shared across
+    isomorphic-but-renamed instances — renaming invariance, sound for
+    scalar counts, would hand back answers keyed by the wrong nulls.
+    """
+    facts = tuple(
+        sorted(
+            (
+                fact.relation,
+                tuple(
+                    ("n", repr(t.label)) if is_null(t) else _constant_key(t)
+                    for t in fact.terms
+                ),
+            )
+            for fact in db.facts
+        )
+    )
+    domains = tuple(
+        sorted(
+            (
+                repr(null.label),
+                tuple(sorted(repr(v) for v in db.domain_of(null))),
+            )
+            for null in db.nulls
+        )
+    )
+    return ("exact-db", db.is_uniform, facts, domains)
+
+
+def _weights_form(weights, index: Mapping[Null, int] | None) -> Canonical:
+    """Deterministic form of a per-null weight table.
+
+    With ``index`` the nulls are expressed in canonical coordinates (for
+    renaming-invariant fingerprints); without it raw labels are used (for
+    label-exact ones).  Weights are keyed by ``repr`` — exact for the
+    int/Fraction weights the engine deals in.
+    """
+    if not weights:
+        return ()
+    items = []
+    for null, table in weights.items():
+        if index is None:
+            key: object = repr(null.label)
+        elif null in index:
+            key = index[null]
+        else:
+            # A null the database does not have: the job will fail in
+            # resolve_null_weights with a deterministic error, so a
+            # deterministic label-exact key is sound (equal fingerprints
+            # fail identically) — and the batch must not crash here.
+            key = ("unknown", repr(null.label))
+        inner = tuple(
+            sorted(
+                (_constant_key(value), repr(weight))
+                for value, weight in dict(table).items()
+            )
+        )
+        items.append((key, inner))
+    return tuple(sorted(items, key=repr))
+
+
+def fingerprint_instance(
+    db: IncompleteDatabase,
+    query: BooleanQuery | None,
+    kind: str = "val",
+) -> str | None:
+    """Digest identifying a compiled circuit artifact, or ``None``.
+
+    ``kind`` separates the valuation circuit from the completion circuit
+    of the same ``(D, q)``.  Label-exact on the database side (see
+    :func:`_exact_db_form`); invariant under query-variable renaming,
+    which never surfaces in any circuit answer.
+    """
+    query_form = fingerprint_query(query)
+    if query_form is None:
+        return None
+    payload = repr(("circuit", kind, query_form, _exact_db_form(db)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def fingerprint_job(job: "CountJob") -> str | None:
@@ -154,7 +250,19 @@ def fingerprint_job(job: "CountJob") -> str | None:
         if job.seed is None:
             return None
         extras: tuple = (job.epsilon, job.delta, job.seed)
+        db_form: Canonical = fingerprint_db(job.db)
+    elif job.problem == "val-weighted":
+        # Scalar answer: canonical coordinates keep the fingerprint
+        # invariant under null renamings that carry the weights along.
+        db_form, index = _canonical_db(job.db)
+        extras = (_weights_form(job.weights, index),)
+    elif job.problem == "marginals":
+        # The answer is keyed by null labels, so the fingerprint must be
+        # label-exact — a renamed twin has a differently-keyed answer.
+        db_form = _exact_db_form(job.db)
+        extras = (_weights_form(job.weights, None),)
     else:
         extras = ()
-    payload = repr((job.problem, extras, query_form, fingerprint_db(job.db)))
+        db_form = fingerprint_db(job.db)
+    payload = repr((job.problem, extras, query_form, db_form))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

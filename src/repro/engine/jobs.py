@@ -7,20 +7,30 @@ and replayed.  :func:`execute_job` is the single entry point both the
 serial path and the pool workers run; it never raises, reporting solver
 failures in :attr:`JobResult.error` instead so one poisoned instance cannot
 take down a batch.
+
+Problem kinds that evaluate a compiled d-DNNF circuit (``val-weighted``,
+``marginals``, and the exact problems under ``method='circuit'``) accept a
+circuit store (:class:`~repro.engine.cache.CountCache`): the instance is
+compiled at most once per store and every further question about it is a
+linear circuit pass — the amortization the batch engine exists for.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from fractions import Fraction
+from typing import Any, Mapping
 
 from repro.core.query import BooleanQuery
 from repro.db.incomplete import IncompleteDatabase
 from repro.exact.brute import DEFAULT_BUDGET
 
 #: Problem kinds the engine understands.
-PROBLEMS = ("val", "comp", "approx-val")
+PROBLEMS = ("val", "comp", "approx-val", "val-weighted", "marginals")
+
+#: Problems answered by passes over a compiled circuit.
+CIRCUIT_PROBLEMS = ("val-weighted", "marginals")
 
 
 @dataclass(frozen=True)
@@ -28,8 +38,11 @@ class CountJob:
     """One counting instance: ``(problem, D, q)`` plus solver knobs.
 
     ``problem`` is ``'val'`` (``#Val``), ``'comp'`` (``#Comp``; ``query``
-    may be ``None`` to count all completions) or ``'approx-val'`` (the
-    Karp-Luby FPRAS; ``epsilon``/``delta``/``seed`` apply).  ``method`` and
+    may be ``None`` to count all completions), ``'approx-val'`` (the
+    Karp-Luby FPRAS; ``epsilon``/``delta``/``seed`` apply),
+    ``'val-weighted'`` (weighted ``#Val``; ``weights`` applies) or
+    ``'marginals'`` (all per-null value marginals of ``#Val``; ``weights``
+    optionally biases the valuation distribution).  ``method`` and
     ``budget`` are forwarded to :mod:`repro.exact.dispatch` for the exact
     problems.
     """
@@ -42,6 +55,7 @@ class CountJob:
     epsilon: float = 0.1
     delta: float = 0.25
     seed: int | None = 0
+    weights: Mapping[Any, Mapping[Any, Any]] | None = None
     label: str | None = None
 
     def __post_init__(self) -> None:
@@ -54,19 +68,27 @@ class CountJob:
                 "problem %r needs a query (only 'comp' allows query=None)"
                 % self.problem
             )
+        if self.weights is not None and self.problem not in CIRCUIT_PROBLEMS:
+            raise ValueError(
+                "weights only apply to problems %s" % (CIRCUIT_PROBLEMS,)
+            )
 
 
 @dataclass
 class JobResult:
-    """Outcome of one job: a count or an error, plus provenance.
+    """Outcome of one job: an answer or an error, plus provenance.
 
-    ``method`` is the *resolved* algorithm that produced the count (e.g.
-    ``'lineage'`` for an ``'auto'`` job), ``seconds`` the solve wall time
-    (``0.0`` for cache hits), ``cache_hit`` whether the memo layer answered.
+    ``count`` is the exact count for the counting problems, the estimate
+    for ``approx-val``, the (possibly Fraction) weighted count for
+    ``val-weighted``, and the nested ``{null: {value: probability}}``
+    record for ``marginals``.  ``method`` is the *resolved* algorithm that
+    produced it (e.g. ``'lineage'`` for an ``'auto'`` job), ``seconds``
+    the solve wall time (``0.0`` for cache hits), ``cache_hit`` whether
+    the memo layer answered.
     """
 
     problem: str
-    count: int | float | None
+    count: Any
     method: str | None
     seconds: float
     label: str | None = None
@@ -83,7 +105,7 @@ class JobResult:
         return {
             "label": self.label,
             "problem": self.problem,
-            "count": self.count,
+            "count": _jsonable(self.count),
             "method": self.method,
             "seconds": round(self.seconds, 6),
             "cache_hit": self.cache_hit,
@@ -91,11 +113,25 @@ class JobResult:
         }
 
 
-def execute_job(job: CountJob) -> JobResult:
-    """Solve one job, catching solver errors into the result record."""
+def _jsonable(value: Any) -> Any:
+    """Exact answers in a form ``json.dumps`` accepts (Fractions -> float)."""
+    if isinstance(value, Fraction):
+        return float(value)
+    if isinstance(value, dict):
+        return {key: _jsonable(inner) for key, inner in value.items()}
+    return value
+
+
+def execute_job(job: CountJob, circuits: Any = None) -> JobResult:
+    """Solve one job, catching solver errors into the result record.
+
+    ``circuits`` is an optional circuit store (the engine passes its
+    :class:`~repro.engine.cache.CountCache`); without one, circuit-backed
+    problems compile a throwaway circuit per job.
+    """
     started = time.perf_counter()
     try:
-        count, method = _solve(job)
+        count, method = _solve(job, circuits)
         error = None
     except Exception as exc:  # noqa: BLE001 - batch isolation by design
         count, method = None, None
@@ -110,19 +146,94 @@ def execute_job(job: CountJob) -> JobResult:
     )
 
 
-def _solve(job: CountJob) -> tuple[int | float, str]:
+def needs_circuit(job: CountJob) -> bool:
+    """True when solving ``job`` will evaluate a compiled circuit, so the
+    engine should run it against its circuit store (and in-parent, where
+    that store lives).
+
+    Keyed on the *resolved* method, not the requested one: a weighted job
+    that resolves to the Theorem 3.6 closed form, or a ``method='circuit'``
+    job on a non-(U)CQ that falls back to ``brute``, never compiles a
+    circuit — it stays pool-eligible and its memo entry stays unlinked
+    (an instance link would make the cache refuse to store it).
+    """
+    # Imported lazily: dispatch builds on the engine (circular otherwise).
+    from repro.compile.backend import lineage_supports
+    from repro.exact.dispatch import resolve_weighted_method
+
+    if job.problem == "marginals":
+        return True
+    if job.problem == "val-weighted":
+        try:
+            resolved = resolve_weighted_method(job.db, job.query, job.method)
+        except ValueError:
+            # Invalid method for this problem: execute_job will turn it
+            # into a per-job error — the partition must not raise.
+            return False
+        return resolved == "circuit"
+    if job.method == "circuit" and job.problem in ("val", "comp"):
+        return lineage_supports(job.query)
+    return False
+
+
+def instance_fingerprint_of(job: CountJob) -> str | None:
+    """The circuit-store key for ``job``'s instance, or ``None``."""
+    from repro.engine.fingerprint import fingerprint_instance
+
+    kind = "comp" if job.problem == "comp" else "val"
+    return fingerprint_instance(job.db, job.query, kind)
+
+
+def _instance_circuit(job: CountJob, circuits: Any):
+    """The compiled circuit for ``job``'s instance — cached when a store
+    is available, compiled fresh otherwise."""
+    from repro.compile.backend import CompletionCircuit, ValuationCircuit
+
+    fingerprint = (
+        instance_fingerprint_of(job) if circuits is not None else None
+    )
+    if fingerprint is not None:
+        cached = circuits.get_circuit(fingerprint)
+        if cached is not None:
+            return cached
+    if job.problem == "comp":
+        compiled: Any = CompletionCircuit(job.db, job.query)
+    else:
+        assert job.query is not None
+        compiled = ValuationCircuit(job.db, job.query)
+    if fingerprint is not None:
+        circuits.put_circuit(fingerprint, compiled)
+    return compiled
+
+
+def marginals_record(marginals: dict) -> dict[str, dict[str, float]]:
+    """Marginal tables keyed by reprs, JSON- and comparison-friendly."""
+    return {
+        repr(null): {
+            repr(value): float(probability)
+            for value, probability in sorted(table.items(), key=repr)
+        }
+        for null, table in marginals.items()
+    }
+
+
+def _solve(job: CountJob, circuits: Any = None) -> tuple[Any, str]:
     # Imported lazily: dispatch offers batch wrappers built on the engine,
     # so a module-level import would be circular.
     from repro.exact.dispatch import (
         count_completions,
         count_valuations,
+        count_valuations_weighted,
         resolve_completion_method,
         resolve_valuation_method,
+        resolve_weighted_method,
     )
 
     if job.problem == "val":
         assert job.query is not None
         resolved = resolve_valuation_method(job.db, job.query, job.method)
+        if resolved == "circuit":
+            return _instance_circuit(job, circuits).count(), resolved
         return (
             count_valuations(
                 job.db, job.query, method=resolved, budget=job.budget
@@ -131,12 +242,33 @@ def _solve(job: CountJob) -> tuple[int | float, str]:
         )
     if job.problem == "comp":
         resolved = resolve_completion_method(job.db, job.query, job.method)
+        if resolved == "circuit":
+            return _instance_circuit(job, circuits).count(), resolved
         return (
             count_completions(
                 job.db, job.query, method=resolved, budget=job.budget
             ),
             resolved,
         )
+    if job.problem == "val-weighted":
+        assert job.query is not None
+        resolved = resolve_weighted_method(job.db, job.query, job.method)
+        if resolved == "circuit":
+            compiled = _instance_circuit(job, circuits)
+            return compiled.weighted_count(job.weights), resolved
+        return (
+            count_valuations_weighted(
+                job.db,
+                job.query,
+                job.weights,
+                method=resolved,
+                budget=job.budget,
+            ),
+            resolved,
+        )
+    if job.problem == "marginals":
+        compiled = _instance_circuit(job, circuits)
+        return marginals_record(compiled.marginals(job.weights)), "circuit"
     assert job.problem == "approx-val"
     from repro.approx.fpras import fpras_count_valuations
 

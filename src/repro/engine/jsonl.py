@@ -3,13 +3,17 @@
 One JSON object per line; blank lines and ``#`` comment lines are skipped.
 Recognized keys (only a database is mandatory)::
 
-    {"problem": "val",            # val | comp | approx-val (default val)
+    {"problem": "val",            # val | comp | approx-val |
+                                  #   val-weighted | marginals (default val)
      "db": "instance.idb",        # path, relative to the jobs file — or:
      "db_text": "domain a b\\nR(?n1, a)",   # inline database text
      "query": "R(x), S(x)",       # query text; omit for problem=comp
      "method": "auto",            # exact problems only
      "budget": 2000000,
      "epsilon": 0.1, "delta": 0.25, "seed": 0,   # approx-val only
+     "weights": {"n1": {"a": 2, "b": 1}},   # val-weighted / marginals:
+                                  # per-null value weights, null names as
+                                  # in the database text (without the ?)
      "label": "my-job"}           # defaults to "job-<line number>"
 
 Databases referenced by path are parsed once and shared across jobs, so a
@@ -23,6 +27,7 @@ import os
 from typing import Iterator, TextIO
 
 from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null, Term
 from repro.engine.jobs import CountJob
 from repro.exact.brute import DEFAULT_BUDGET
 from repro.io.databases import parse_database
@@ -83,6 +88,7 @@ def _job_from_record(
 
     query_text = record.get("query")
     query = parse_query(query_text) if query_text else None
+    weights = record.get("weights")
     return CountJob(
         problem=record.get("problem", "val"),
         db=db,
@@ -92,5 +98,53 @@ def _job_from_record(
         epsilon=record.get("epsilon", 0.1),
         delta=record.get("delta", 0.25),
         seed=record.get("seed", 0),
+        weights=(
+            None if weights is None
+            else parse_weights(weights, db, "line %d" % line_number)
+        ),
         label=record.get("label", "job-%d" % line_number),
     )
+
+
+def parse_weights(
+    record: object, db: IncompleteDatabase, context: str
+) -> dict[Null, dict[Term, object]]:
+    """Resolve a ``{null name: {value: weight}}`` record against ``db``.
+
+    JSON object keys are strings, so nulls are matched by their label's
+    ``str`` form and domain values likewise — which covers everything the
+    text format produces.  Coverage of each domain is validated downstream
+    by :func:`repro.db.valuation.resolve_null_weights`.  ``context``
+    prefixes error messages (a job-file line, a CLI flag).
+    """
+    if not isinstance(record, dict):
+        raise JobSyntaxError(
+            "%s: weights must be an object of per-null tables" % context
+        )
+    known = {repr(null.label): null for null in db.nulls}
+    known.update({str(null.label): null for null in db.nulls})
+    weights: dict[Null, dict[Term, object]] = {}
+    for name, table in record.items():
+        null = known.get(name)
+        if null is None:
+            raise JobSyntaxError(
+                "%s: weights name unknown null %r (known: %s)"
+                % (context, name, ", ".join(sorted(known)) or "none")
+            )
+        if not isinstance(table, dict):
+            raise JobSyntaxError(
+                "%s: weights for %r must be a {value: weight} object"
+                % (context, name)
+            )
+        by_text = {str(value): value for value in db.domain_of(null)}
+        resolved: dict[Term, object] = {}
+        for value_text, weight in table.items():
+            value = by_text.get(value_text)
+            if value is None:
+                raise JobSyntaxError(
+                    "%s: weight value %r is outside the domain of %r"
+                    % (context, value_text, name)
+                )
+            resolved[value] = weight
+        weights[null] = resolved
+    return weights

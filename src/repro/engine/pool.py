@@ -11,7 +11,12 @@ The pipeline is:
    Workers are shared-nothing: each receives a pickled job and returns a
    result record, no state is shared beyond the task queue.  Jobs that
    cannot be pickled (e.g. a :class:`CustomQuery` closing over a lambda)
-   are solved serially in the parent instead of failing.
+   are solved serially in the parent instead of failing.  Jobs that
+   evaluate a compiled d-DNNF circuit (``val-weighted``, ``marginals``,
+   ``method='circuit'``) also run in the parent, against the cache's
+   circuit store — the whole point is that one instance compiles once
+   and then answers every mode by linear passes, which a shared-nothing
+   worker could not amortize.
 
 ``workers=0``/``1`` (or a single-mis batch) skips process creation
 entirely, which keeps tests and tiny batches free of pool overhead.
@@ -27,7 +32,13 @@ from typing import Iterable, Sequence
 from repro.core.query import BCQ, Negation, UCQ
 from repro.engine.cache import CountCache
 from repro.engine.fingerprint import fingerprint_job
-from repro.engine.jobs import CountJob, JobResult, execute_job
+from repro.engine.jobs import (
+    CountJob,
+    JobResult,
+    execute_job,
+    instance_fingerprint_of,
+    needs_circuit,
+)
 
 
 def default_workers() -> int:
@@ -85,7 +96,10 @@ class BatchEngine:
             if result.ok and fingerprints[index] is not None:
                 assert result.count is not None and result.method is not None
                 self.cache.put(
-                    fingerprints[index], result.count, result.method
+                    fingerprints[index],
+                    result.count,
+                    result.method,
+                    instance=self._instance_of(jobs[index]),
                 )
 
         for first, duplicate_indices in followers.items():
@@ -108,14 +122,17 @@ class BatchEngine:
                 # The representative failed, but a duplicate instance may
                 # still succeed under its own method/budget (those knobs
                 # are not part of the fingerprint): solve it for real.
-                result = execute_job(jobs[index])
+                result = execute_job(jobs[index], self.cache)
                 result.fingerprint = fingerprints[index]
                 results[index] = result
                 if result.ok and fingerprints[index] is not None:
                     assert result.count is not None
                     assert result.method is not None
                     self.cache.put(
-                        fingerprints[index], result.count, result.method
+                        fingerprints[index],
+                        result.count,
+                        result.method,
+                        instance=self._instance_of(jobs[index]),
                     )
                     # Remaining duplicates are served from this success.
                     source = result
@@ -125,16 +142,25 @@ class BatchEngine:
 
     # -- execution ---------------------------------------------------------
 
+    def _instance_of(self, job: CountJob) -> str | None:
+        """Circuit-store key linking a memo entry to its instance."""
+        return instance_fingerprint_of(job) if needs_circuit(job) else None
+
     def _execute(self, jobs: Sequence[CountJob]) -> list[JobResult]:
         if self.workers <= 1 or len(jobs) <= 1:
-            return [execute_job(job) for job in jobs]
+            return [execute_job(job, self.cache) for job in jobs]
 
         parallel: list[int] = []
         serial: list[int] = []
         for index, job in enumerate(jobs):
-            (parallel if _picklable(job) else serial).append(index)
+            # Circuit-backed jobs stay in the parent, where the circuit
+            # store lives; a worker process could never share the compile.
+            if needs_circuit(job) or not _picklable(job):
+                serial.append(index)
+            else:
+                parallel.append(index)
         if len(parallel) <= 1:
-            return [execute_job(job) for job in jobs]
+            return [execute_job(job, self.cache) for job in jobs]
 
         results: list[JobResult | None] = [None] * len(jobs)
         processes = min(self.workers, len(parallel))
@@ -150,11 +176,11 @@ class BatchEngine:
             # serialize mid-dispatch (e.g. an exotic constant inside a
             # database).  Solvers are deterministic and approx jobs are
             # seeded, so re-running the whole slice serially is safe.
-            solved = [execute_job(jobs[index]) for index in parallel]
+            solved = [execute_job(jobs[index], self.cache) for index in parallel]
         for index, result in zip(parallel, solved):
             results[index] = result
         for index in serial:
-            results[index] = execute_job(jobs[index])
+            results[index] = execute_job(jobs[index], self.cache)
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 

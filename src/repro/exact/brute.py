@@ -14,7 +14,12 @@ from repro.core.query import BooleanQuery
 from repro.db.database import Database
 from repro.db.fact import Fact
 from repro.db.incomplete import IncompleteDatabase
-from repro.db.valuation import count_total_valuations, iter_valuations
+from repro.db.valuation import (
+    NullWeights,
+    count_total_valuations,
+    iter_valuations,
+    resolve_null_weights,
+)
 from repro.eval.evaluate import evaluate
 
 
@@ -70,6 +75,40 @@ def count_valuations_brute(
         if verdict:
             count += 1
     return count
+
+
+def count_valuations_weighted_brute(
+    db: IncompleteDatabase,
+    query: BooleanQuery,
+    weights: NullWeights | None = None,
+    budget: int | None = DEFAULT_BUDGET,
+):
+    """Weighted ``#Val`` by definition: each satisfying valuation adds its
+    product of per-null value weights.
+
+    The uniform all-ones convention recovers
+    :func:`count_valuations_brute`; arbitrary int/Fraction weights stay
+    exact.  This is the ground truth the circuit backend's
+    ``weighted_count`` is tested against.
+    """
+    _check_budget(db, budget)
+    resolved = resolve_null_weights(db, weights)
+    nulls = db.nulls
+    facts = sorted(db.facts)
+    verdicts: dict[frozenset[Fact], bool] = {}
+    total: object = 0
+    for valuation in iter_valuations(db):
+        fact_set = frozenset(fact.substitute(valuation) for fact in facts)
+        verdict = verdicts.get(fact_set)
+        if verdict is None:
+            verdict = evaluate(query, Database(fact_set))
+            verdicts[fact_set] = verdict
+        if verdict:
+            weight: object = 1
+            for null in nulls:
+                weight = weight * resolved[null][valuation[null]]  # type: ignore[operator]
+            total = total + weight  # type: ignore[operator]
+    return total
 
 
 def count_completions_brute(

@@ -19,6 +19,13 @@ Method table (``#Val``):
                     exponential only in the lineage's treewidth.  On a
                     non-(U)CQ (which the compiler cannot encode) the
                     method falls back cleanly to ``brute``
+``circuit``         same search, recorded once as a d-DNNF circuit
+                    (:class:`~repro.compile.backend.ValuationCircuit`) —
+                    identical exact count, and the compiled artifact then
+                    answers weighted counts, marginals and exact samples
+                    in linear passes.  Pick it (or let the batch engine
+                    pick it) when the instance will be asked more than
+                    one question; falls back to ``brute`` on non-(U)CQs
 ``brute``           enumerate all valuations (opt-in ``budget``)
 =================== ======================================================
 
@@ -31,8 +38,17 @@ Method table (``#Comp``):
 ``uniform-unary``   Theorem 4.6 closed form (uniform, unary schema)
 ``lineage``         canonical-fact encoding + *projected* exact model
                     counting (:mod:`repro.compile`)
+``circuit``         the projected search recorded as a d-DNNF
+                    (:class:`~repro.compile.backend.CompletionCircuit`);
+                    adds per-fact marginals and completion sampling on
+                    top of the identical exact count
 ``brute``           enumerate valuations, deduplicate completions
 =================== ======================================================
+
+:func:`count_valuations_weighted` is the generalized (weighted) ``#Val``
+front door: per-null value weights, closed form on the Theorem 3.6 cell,
+circuit passes everywhere else a (U)CQ lineage exists, weighted brute
+enumeration as the last resort.
 
 On the #P-hard cells of Table 1 ``auto`` therefore no longer falls off an
 exponential cliff at ``prod |dom(⊥)|`` ≈ 10^6: the lineage backend routinely
@@ -49,7 +65,10 @@ work that must stay budgeted, force ``method='brute'``.
 from __future__ import annotations
 
 from repro.compile.backend import (
+    ValuationCircuit,
+    count_completions_circuit,
     count_completions_lineage,
+    count_valuations_circuit,
     count_valuations_lineage,
     lineage_supports,
 )
@@ -72,11 +91,13 @@ _VAL_METHODS = (
     "poly",
     "brute",
     "lineage",
+    "circuit",
     "single-occurrence",
     "codd",
     "uniform",
 )
-_COMP_METHODS = ("auto", "poly", "brute", "lineage", "uniform-unary")
+_COMP_METHODS = ("auto", "poly", "brute", "lineage", "circuit", "uniform-unary")
+_WEIGHTED_METHODS = ("auto", "brute", "circuit", "single-occurrence")
 
 
 def select_valuation_algorithm(
@@ -113,7 +134,7 @@ def resolve_valuation_method(
     """
     if method not in _VAL_METHODS:
         raise ValueError("unknown method %r (one of %s)" % (method, _VAL_METHODS))
-    if method == "lineage" and not lineage_supports(query):
+    if method in ("lineage", "circuit") and not lineage_supports(query):
         # The lineage compiler only encodes (U)CQs; degrade to the one
         # method that works on arbitrary Boolean queries instead of
         # failing deep inside the encoder.
@@ -155,6 +176,8 @@ def count_valuations(
         return brute.count_valuations_brute(db, query, budget=budget)
     if resolved == "lineage":
         return count_valuations_lineage(db, query)
+    if resolved == "circuit":
+        return count_valuations_circuit(db, query)
     if resolved == "single-occurrence":
         return _val_nonuniform.count_valuations_single_occurrence(db, query)
     if resolved == "codd":
@@ -186,7 +209,7 @@ def resolve_completion_method(
     """The concrete algorithm ``count_completions`` will run."""
     if method not in _COMP_METHODS:
         raise ValueError("unknown method %r (one of %s)" % (method, _COMP_METHODS))
-    if method == "lineage" and not lineage_supports(query):
+    if method in ("lineage", "circuit") and not lineage_supports(query):
         return "brute"
     if method not in ("auto", "poly"):
         return method
@@ -220,8 +243,64 @@ def count_completions(
         return brute.count_completions_brute(db, query, budget=budget)
     if resolved == "lineage":
         return count_completions_lineage(db, query)
+    if resolved == "circuit":
+        return count_completions_circuit(db, query)
     assert resolved == "uniform-unary"
     return _comp_uniform.count_completions_uniform_unary(db, query)
+
+
+def resolve_weighted_method(
+    db: IncompleteDatabase, query: BooleanQuery, method: str = "auto"
+) -> str:
+    """The concrete algorithm :func:`count_valuations_weighted` will run.
+
+    ``auto`` prefers the Theorem 3.6 closed form (weighted counting stays
+    a product of per-null sums on that cell), then the circuit backend on
+    any other (U)CQ, then weighted brute enumeration.  The polynomial
+    ``codd``/``uniform`` algorithms count unweighted multiplicities and
+    have no weighted analogue here, so they never apply.
+    """
+    if method not in _WEIGHTED_METHODS:
+        raise ValueError(
+            "unknown method %r (one of %s)" % (method, _WEIGHTED_METHODS)
+        )
+    if method == "circuit" and not lineage_supports(query):
+        return "brute"
+    if method != "auto":
+        return method
+    if isinstance(query, BCQ) and _val_nonuniform.applies_to(query):
+        return "single-occurrence"
+    if lineage_supports(query):
+        return "circuit"
+    return "brute"
+
+
+def count_valuations_weighted(
+    db: IncompleteDatabase,
+    query: BooleanQuery,
+    weights=None,
+    method: str = "auto",
+    budget: int | None = brute.DEFAULT_BUDGET,
+):
+    """Weighted ``#Val(q)(D)``: each satisfying valuation contributes its
+    product of per-null value weights.
+
+    ``weights`` maps nulls to value-weight tables (see
+    :func:`repro.db.valuation.resolve_null_weights`); unlisted nulls weigh
+    ``1`` per value, so ``weights=None`` degenerates to the plain count.
+    Exact for int/Fraction weights.  ``budget`` only limits ``brute``.
+    """
+    resolved = resolve_weighted_method(db, query, method)
+    if resolved == "brute":
+        return brute.count_valuations_weighted_brute(
+            db, query, weights, budget=budget
+        )
+    if resolved == "circuit":
+        return ValuationCircuit(db, query).weighted_count(weights)
+    assert resolved == "single-occurrence"
+    return _val_nonuniform.count_valuations_weighted_single_occurrence(
+        db, query, weights
+    )
 
 
 def _count_batch(

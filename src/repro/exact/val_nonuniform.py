@@ -12,7 +12,11 @@ from __future__ import annotations
 from repro.core.patterns import has_repeated_variable_atom, has_shared_variable
 from repro.core.query import BCQ
 from repro.db.incomplete import IncompleteDatabase
-from repro.db.valuation import count_total_valuations
+from repro.db.valuation import (
+    NullWeights,
+    count_total_valuations,
+    weighted_total_valuations,
+)
 
 
 def applies_to(query: BCQ) -> bool:
@@ -42,3 +46,29 @@ def count_valuations_single_occurrence(
         if not db.relation(relation):
             return 0
     return count_total_valuations(db)
+
+
+def count_valuations_weighted_single_occurrence(
+    db: IncompleteDatabase,
+    query: BCQ,
+    weights: NullWeights | None = None,
+):
+    """Weighted ``#Val(q)(D)`` for pattern-free ``q`` — the weighted face
+    of Theorem 3.6.
+
+    The zero-or-all structure survives weighting: either no valuation
+    satisfies ``q`` (an empty relation of ``sig(q)``) and the weighted
+    count is ``0``, or every valuation does and it is the factorized
+    weighted total ``prod_⊥ sum_c w(⊥, c)``.  Still closed-form, still
+    polynomial, for *any* per-null weight tables — the generalized
+    (Kenig–Suciu-style) counting problem stays tractable on this cell.
+    """
+    if not applies_to(query):
+        raise ValueError(
+            "Theorem 3.6 requires an sjfBCQ without the patterns R(x,x) "
+            "and R(x)∧S(x); got %r" % (query,)
+        )
+    for relation in query.relations:
+        if not db.relation(relation):
+            return 0
+    return weighted_total_valuations(db, weights)
