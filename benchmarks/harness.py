@@ -13,7 +13,14 @@ Runs one fixed workload per tracked hot path —
   (:mod:`repro.compile.circuit`), measured against re-running the
   model-counting search per question;
 * ``batch_engine`` the mixed 200-instance batch through
-  :mod:`repro.engine`, reported against the serial per-instance loop —
+  :mod:`repro.engine`, reported against the serial per-instance loop;
+* ``circuit_batch`` a batch of *distinct* circuit-backed jobs
+  (``val-weighted``, ``marginals``, ``method='circuit'``): the engine
+  compiles each instance's d-DNNF in a worker process and installs the
+  serialized artifact into the parent's circuit store, measured against
+  the serial-in-parent compile loop (the pre-artifact path).  Answers are
+  asserted bit-identical; the speedup approaches the worker count on
+  multi-core machines —
 
 and writes machine-readable results (wall seconds, speedups, cache hit
 rate) to ``BENCH_engine.json``.  Wall times are also *normalized* by a
@@ -67,7 +74,9 @@ from repro.workloads.generators import (
 )
 
 #: Paths the CI gate tracks (keys of the emitted ``paths`` object).
-TRACKED_PATHS = ("hom", "sharpsat", "fpras", "amortized", "batch_engine")
+TRACKED_PATHS = (
+    "hom", "sharpsat", "fpras", "amortized", "batch_engine", "circuit_batch",
+)
 
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
 DEFAULT_BASELINE = os.path.join(
@@ -345,6 +354,96 @@ def path_batch_engine(quick: bool, workers: int | None) -> dict:
     }
 
 
+def circuit_workload(quick: bool) -> list[CountJob]:
+    """Distinct circuit-backed jobs: one compile each, no cross-job reuse.
+
+    Every instance is asked exactly one circuit question, so the workload
+    isolates what the worker-compile path parallelizes — the compiles
+    themselves — with no amortization to hide behind.
+    """
+    jobs: list[CountJob] = []
+    # Dense enough that each compile costs ~100ms+: the pool's process
+    # startup must be noise next to the work it parallelizes.
+    sizes = range(24, 30) if quick else range(26, 34)
+    for position, size in enumerate(sizes):
+        db, query = scaling_hard_val_instance(
+            size, chord_probability=0.35, seed=40 + size
+        )
+        weights = {
+            null: {
+                value: 1 + (index + offset) % 3
+                for offset, value in enumerate(
+                    sorted(db.domain_of(null), key=repr)
+                )
+            }
+            for index, null in enumerate(db.nulls)
+        }
+        kind = position % 3
+        if kind == 0:
+            jobs.append(
+                CountJob("val", db, query, method="circuit",
+                         label="circuit-val-%d" % size)
+            )
+        elif kind == 1:
+            jobs.append(
+                CountJob("val-weighted", db, query, weights=weights,
+                         label="circuit-weighted-%d" % size)
+            )
+        else:
+            jobs.append(
+                CountJob("marginals", db, query,
+                         label="circuit-marginals-%d" % size)
+            )
+    return jobs
+
+
+def path_circuit_batch(quick: bool, workers: int | None) -> dict:
+    """Distinct circuit jobs: worker-compiled artifacts vs serial-in-parent.
+
+    The baseline is the PR 3 behavior — every circuit job solved in the
+    parent process so it can share the circuit store.  The measured path
+    fans the unique compiles out to workers, ships the serialized
+    circuits home and installs them, so the parent still owns one store
+    with the same eviction semantics.  Answers are asserted identical.
+    """
+    jobs = circuit_workload(quick)
+    pool_workers = workers if workers is not None else 4
+
+    serial_engine = BatchEngine(workers=0)
+    started = time.perf_counter()
+    serial_results = serial_engine.run(jobs)
+    serial_seconds = time.perf_counter() - started
+
+    engine = BatchEngine(workers=pool_workers)
+    started = time.perf_counter()
+    engine_results = engine.run(jobs)
+    engine_seconds = time.perf_counter() - started
+
+    mismatches = sum(
+        1
+        for serial, parallel in zip(serial_results, engine_results)
+        if serial.count != parallel.count
+    )
+    errors = sum(1 for result in engine_results if not result.ok)
+    if mismatches or errors:
+        raise AssertionError(
+            "worker-compiled circuit batch disagreed with the in-parent path "
+            "(%d mismatches, %d errors)" % (mismatches, errors)
+        )
+    stats = engine.cache.stats()
+    return {
+        "seconds": engine_seconds,
+        "detail": {
+            "jobs": len(jobs),
+            "workers": pool_workers,
+            "serial_seconds": serial_seconds,
+            "speedup": serial_seconds / max(engine_seconds, 1e-9),
+            "worker_circuits": stats["worker_circuits"],
+            "circuit_bytes": stats["circuit_bytes"],
+        },
+    }
+
+
 # ---------------------------------------------------------------------------
 # gate
 # ---------------------------------------------------------------------------
@@ -436,6 +535,7 @@ def main(argv: list[str] | None = None) -> int:
         "fpras": lambda: path_fpras(args.quick),
         "amortized": lambda: path_amortized(args.quick),
         "batch_engine": lambda: path_batch_engine(args.quick, args.workers),
+        "circuit_batch": lambda: path_circuit_batch(args.quick, args.workers),
     }
     for name in TRACKED_PATHS:
         measurement = runners[name]()
@@ -465,6 +565,17 @@ def main(argv: list[str] | None = None) -> int:
             batch_detail["unique_solved"],
             batch_detail["speedup"],
             100.0 * batch_detail["cache_hit_rate"],
+        )
+    )
+    circuit_detail = paths["circuit_batch"]["detail"]
+    print(
+        "circuit batch: %d distinct jobs on %d workers, %d circuits "
+        "compiled in workers, %.2fx over serial-in-parent"
+        % (
+            circuit_detail["jobs"],
+            circuit_detail["workers"],
+            circuit_detail["worker_circuits"],
+            circuit_detail["speedup"],
         )
     )
 

@@ -175,6 +175,28 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.exact import planner
+
+    db = _load_db(args.db)
+    query = parse_query(args.query) if args.query else None
+    if args.problem != "comp" and query is None:
+        print("--problem %s needs --query" % args.problem, file=sys.stderr)
+        return 2
+    try:
+        built = planner.plan(args.problem, db, query, args.method)
+    except ValueError as exc:
+        print("%s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(built.to_dict()))
+    else:
+        print(built.explain())
+    # A plan that could not choose (poly on a hard cell, no applicable
+    # method) still prints its full analysis but signals failure.
+    return 0 if built.chosen is not None else 1
+
+
 def _cmd_approx(args: argparse.Namespace) -> int:
     from repro.approx.fpras import KarpLubyEstimator
 
@@ -244,15 +266,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         sys.stdout.write(lines)
 
     errors = sum(1 for result in results if not result.ok)
+    fallbacks = sum(1 for result in results if result.meta.get("fallback"))
     stats = engine.cache.stats()
     print(
-        "batch: %d jobs, %d errors, cache hit rate %.1f%%, "
-        "%d circuits (%.2f MiB held), %.3fs wall"
+        "batch: %d jobs, %d errors, %d serial fallbacks, "
+        "cache hit rate %.1f%%, %d circuits "
+        "(%d worker-compiled, %.2f MiB held), %.3fs wall"
         % (
             len(results),
             errors,
+            fallbacks,
             100.0 * engine.cache.hit_rate,
             stats["circuits"],
+            stats["worker_circuits"],
             stats["circuit_bytes"] / (1024.0 * 1024.0),
             elapsed,
         ),
@@ -347,6 +373,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the report (and marginals) as JSON",
     )
     p_explain.set_defaults(func=_cmd_explain)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="explain the planner's method choice (chosen algorithm, "
+        "rejected alternatives, reasons) without solving",
+    )
+    p_plan.add_argument(
+        "--problem",
+        choices=("val", "comp", "val-weighted", "marginals"),
+        default="val",
+        help="problem kind the plan is for (default val)",
+    )
+    p_plan.add_argument("--db", required=True, help="database file")
+    p_plan.add_argument("--query", help="query text (optional for comp)")
+    p_plan.add_argument(
+        "--method",
+        default="auto",
+        help="auto | poly | a concrete method name (forced)",
+    )
+    p_plan.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the plan record as JSON",
+    )
+    p_plan.set_defaults(func=_cmd_plan)
 
     p_approx = sub.add_parser("approx", help="FPRAS estimate of #Val")
     p_approx.add_argument("--db", required=True)

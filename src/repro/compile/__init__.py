@@ -36,6 +36,7 @@ from repro.compile.backend import (
     CompletionCircuit,
     LineageReport,
     ValuationCircuit,
+    artifact_from_bytes,
     count_completions_circuit,
     count_completions_lineage,
     count_valuations_circuit,
@@ -62,10 +63,13 @@ from repro.compile.lineage import (
     enumerate_completion_matches,
     enumerate_valuation_matches,
 )
+from repro.compile.serialize import CircuitFormatError
 from repro.compile.sharpsat import ModelCounter, count_models
 
 __all__ = [
+    "CircuitFormatError",
     "LineageReport",
+    "artifact_from_bytes",
     "ValuationCircuit",
     "CompletionCircuit",
     "count_completions_lineage",

@@ -33,12 +33,39 @@ from repro.compile.encode import (
     compile_valuation_cnf,
 )
 from repro.compile.lineage import lineage_supports
+from repro.compile.serialize import (
+    CircuitFormatError,
+    Reader,
+    Writer,
+    dumps_circuit,
+    frame,
+    loads_circuit,
+    unframe,
+)
 from repro.compile.sharpsat import ModelCounter, count_models
+from repro.compile.variables import ChoiceVariables, FactVariables
 from repro.core.query import BooleanQuery
 from repro.db.fact import Fact
 from repro.db.incomplete import IncompleteDatabase
 from repro.db.terms import Null, Term
-from repro.db.valuation import NullWeights, resolve_null_weights
+from repro.db.valuation import (
+    NullWeights,
+    count_total_valuations,
+    resolve_null_weights,
+)
+
+#: Frame magics of the two wrapper artifacts (see ``to_bytes``).
+VALUATION_MAGIC = b"RVAL"
+COMPLETION_MAGIC = b"RCMP"
+
+
+def _write_optional_uint(writer: Writer, value: int | None) -> None:
+    writer.uint(0 if value is None else value + 1)
+
+
+def _read_optional_uint(reader: Reader) -> int | None:
+    encoded = reader.uint()
+    return None if encoded == 0 else encoded - 1
 
 
 def count_valuations_lineage(
@@ -110,6 +137,82 @@ class ValuationCircuit:
         self.heuristic_width = counter.width
         self.cache_entries = len(counter._cache)
         self.components_split = counter.components_split
+        self._wire_bytes: int | None = None
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """The artifact as a versioned binary payload.
+
+        Only process-independent state travels: the d-DNNF node table and
+        the scalar compile statistics.  The choice-variable map is *not*
+        serialized — :meth:`from_bytes` rebuilds it deterministically from
+        the instance, which keeps the format free of pickled objects.
+        """
+        writer = Writer()
+        writer.uint(self._count)
+        writer.uint(self.total_valuations)
+        writer.uint(self.num_matches)
+        writer.uint(self.num_clauses)
+        _write_optional_uint(writer, self.heuristic_width)
+        writer.uint(self.cache_entries)
+        writer.uint(self.components_split)
+        writer.blob(dumps_circuit(self.circuit))
+        return frame(VALUATION_MAGIC, writer.getvalue())
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, db: IncompleteDatabase
+    ) -> "ValuationCircuit":
+        """Rehydrate an artifact compiled (possibly elsewhere) for ``db``.
+
+        The choice-variable map is reconstructed from ``db`` — variable
+        allocation is deterministic (nulls in database order, domain
+        values sorted), so the rebuilt map names exactly the variables the
+        serialized circuit was compiled over; the variable-count check
+        below rejects an artifact paired with the wrong database.  Raises
+        :class:`~repro.compile.serialize.CircuitFormatError` on version
+        mismatch, corruption, or an instance mismatch.
+        """
+        reader = Reader(unframe(data, VALUATION_MAGIC))
+        count = reader.uint()
+        total_valuations = reader.uint()
+        num_matches = reader.uint()
+        num_clauses = reader.uint()
+        heuristic_width = _read_optional_uint(reader)
+        cache_entries = reader.uint()
+        components_split = reader.uint()
+        circuit = loads_circuit(reader.blob())
+        reader.expect_end()
+
+        cnf = CNF()
+        choices = ChoiceVariables(cnf, db)
+        # The complement encoding allocates choice variables only, so the
+        # circuit's variable universe must be exactly the rebuilt map's.
+        if circuit.num_variables != cnf.num_variables:
+            raise CircuitFormatError(
+                "artifact has %d variables but the database allocates %d "
+                "choice variables — wrong instance for this payload"
+                % (circuit.num_variables, cnf.num_variables)
+            )
+        if total_valuations != count_total_valuations(db):
+            raise CircuitFormatError(
+                "artifact total valuation count does not match the database"
+            )
+        compiled = cls.__new__(cls)
+        compiled._falsifying = total_valuations - count
+        compiled.circuit = circuit
+        compiled._db = db
+        compiled._choices = choices
+        compiled.total_valuations = total_valuations
+        compiled._count = count
+        compiled.num_matches = num_matches
+        compiled.num_clauses = num_clauses
+        compiled.heuristic_width = heuristic_width
+        compiled.cache_entries = cache_entries
+        compiled.components_split = components_split
+        compiled._wire_bytes = len(data)
+        return compiled
 
     # -- questions ---------------------------------------------------------
 
@@ -257,9 +360,23 @@ class ValuationCircuit:
             masses[(null, value)] = pinned_total - counts[variable]
         return grand - falsifying, masses
 
+    @property
+    def wire_bytes(self) -> int | None:
+        """Exact serialized size when the artifact crossed the wire."""
+        return self._wire_bytes
+
     def memory_bytes(self) -> int:
-        """Estimated resident size (circuit dominates) for cache accounting."""
-        return self.circuit.memory_bytes() + 512
+        """Resident size for cache accounting (circuit dominates).
+
+        The structural estimate is used for every circuit — a rehydrated
+        artifact occupies the same Python object graph as a local compile,
+        so accounting stays symmetric; the (smaller) wire size only ever
+        raises the figure, never lowers it.
+        """
+        estimate = self.circuit.memory_bytes() + 512
+        if self._wire_bytes is not None and self._wire_bytes > estimate:
+            return self._wire_bytes
+        return estimate
 
     def __repr__(self) -> str:
         return "ValuationCircuit(count=%d, %r)" % (self._count, self.circuit)
@@ -296,6 +413,61 @@ class CompletionCircuit:
         self.cache_entries = len(counter._cache)
         self.components_split = counter.components_split
         self._sampler_cache: CircuitSampler | None = None
+        self._wire_bytes: int | None = None
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """The artifact as a versioned binary payload (see
+        :meth:`ValuationCircuit.to_bytes` for the design)."""
+        writer = Writer()
+        writer.uint(self._count)
+        writer.uint(self.num_clauses)
+        _write_optional_uint(writer, self.heuristic_width)
+        writer.uint(self.cache_entries)
+        writer.uint(self.components_split)
+        writer.blob(dumps_circuit(self.circuit))
+        return frame(COMPLETION_MAGIC, writer.getvalue())
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, db: IncompleteDatabase
+    ) -> "CompletionCircuit":
+        """Rehydrate an artifact compiled (possibly elsewhere) for ``db``.
+
+        The fact-variable map is rebuilt deterministically (choice
+        variables first, then one variable per sorted potential fact,
+        exactly as the encoder allocates them); the projection check
+        rejects an artifact paired with the wrong database.
+        """
+        reader = Reader(unframe(data, COMPLETION_MAGIC))
+        count = reader.uint()
+        num_clauses = reader.uint()
+        heuristic_width = _read_optional_uint(reader)
+        cache_entries = reader.uint()
+        components_split = reader.uint()
+        circuit = loads_circuit(reader.blob())
+        reader.expect_end()
+
+        cnf = CNF()
+        ChoiceVariables(cnf, db)  # allocates the choice block first
+        facts = FactVariables(cnf, db)
+        if circuit.countable != frozenset(facts.variables()):
+            raise CircuitFormatError(
+                "artifact projection does not match the database's "
+                "potential facts — wrong instance for this payload"
+            )
+        compiled = cls.__new__(cls)
+        compiled._count = count
+        compiled.circuit = circuit
+        compiled._facts = facts
+        compiled.num_clauses = num_clauses
+        compiled.heuristic_width = heuristic_width
+        compiled.cache_entries = cache_entries
+        compiled.components_split = components_split
+        compiled._sampler_cache = None
+        compiled._wire_bytes = len(data)
+        return compiled
 
     def count(self) -> int:
         """``#Comp(q)(D)`` — exact, big-int."""
@@ -330,12 +502,40 @@ class CompletionCircuit:
             if assignment.get(self._facts.var(fact))
         )
 
+    @property
+    def wire_bytes(self) -> int | None:
+        """Exact serialized size when the artifact crossed the wire."""
+        return self._wire_bytes
+
     def memory_bytes(self) -> int:
-        """Estimated resident size (circuit dominates) for cache accounting."""
-        return self.circuit.memory_bytes() + 512
+        """Resident size for cache accounting (circuit dominates); see
+        :meth:`ValuationCircuit.memory_bytes` for the symmetry rationale."""
+        estimate = self.circuit.memory_bytes() + 512
+        if self._wire_bytes is not None and self._wire_bytes > estimate:
+            return self._wire_bytes
+        return estimate
 
     def __repr__(self) -> str:
         return "CompletionCircuit(count=%d, %r)" % (self._count, self.circuit)
+
+
+def artifact_from_bytes(
+    data: bytes, db: IncompleteDatabase
+) -> "ValuationCircuit | CompletionCircuit":
+    """Rehydrate a wrapper artifact of either kind, dispatched on magic.
+
+    The engine uses this to install worker-compiled circuits without
+    caring which problem family produced them.  Raises
+    :class:`~repro.compile.serialize.CircuitFormatError` on anything that
+    is not a trustworthy wrapper payload for ``db``.
+    """
+    if data[:4] == VALUATION_MAGIC:
+        return ValuationCircuit.from_bytes(data, db)
+    if data[:4] == COMPLETION_MAGIC:
+        return CompletionCircuit.from_bytes(data, db)
+    raise CircuitFormatError(
+        "bad magic %r: not a circuit artifact" % (bytes(data[:4]),)
+    )
 
 
 def count_valuations_circuit(
@@ -469,6 +669,7 @@ def _report(mode, count, cnf, counter) -> LineageReport:
 
 
 __all__ = [
+    "artifact_from_bytes",
     "count_valuations_lineage",
     "count_completions_lineage",
     "count_valuations_circuit",

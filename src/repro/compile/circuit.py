@@ -142,6 +142,30 @@ class DDNNF:
             self.num_nodes, self.num_edges, len(self._countable),
         )
 
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """The circuit as a compact, versioned, checksummed binary payload.
+
+        The node table is written in its native topological order, so
+        ``from_bytes`` rehydrates an identical circuit in any process —
+        see :mod:`repro.compile.serialize` for the format.
+        """
+        from repro.compile.serialize import dumps_circuit
+
+        return dumps_circuit(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DDNNF":
+        """Rehydrate a circuit serialized by :meth:`to_bytes`.
+
+        Raises :class:`~repro.compile.serialize.CircuitFormatError` on a
+        version mismatch, checksum failure, or malformed node table.
+        """
+        from repro.compile.serialize import loads_circuit
+
+        return loads_circuit(data)
+
     # -- weights -----------------------------------------------------------
 
     def _resolve_weights(self, weights: WeightMap | None) -> dict[int, tuple]:

@@ -20,6 +20,7 @@ from repro.engine.jobs import (
     CountJob,
     JobResult,
     execute_job,
+    execute_job_capturing,
     instance_fingerprint_of,
     needs_circuit,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "CountJob",
     "JobResult",
     "execute_job",
+    "execute_job_capturing",
     "fingerprint_db",
     "fingerprint_instance",
     "fingerprint_job",

@@ -52,6 +52,7 @@ class CountCache:
         self.circuit_misses = 0
         self.circuit_evictions = 0
         self.circuit_bytes = 0
+        self.worker_circuits = 0
 
     # -- answer memo -------------------------------------------------------
 
@@ -107,6 +108,11 @@ class CountCache:
 
     # -- circuit slot ------------------------------------------------------
 
+    def has_circuit(self, instance: str) -> bool:
+        """Whether a circuit is cached, without touching LRU order or
+        hit/miss statistics (the engine's dispatch planning peek)."""
+        return instance in self._circuits
+
     def get_circuit(self, instance: str) -> Any | None:
         """The compiled circuit for an instance fingerprint, if cached."""
         cached = self._circuits.get(instance)
@@ -117,13 +123,17 @@ class CountCache:
         self.circuit_hits += 1
         return cached[0]
 
-    def put_circuit(self, instance: str, circuit: Any) -> None:
+    def put_circuit(
+        self, instance: str, circuit: Any, from_worker: bool = False
+    ) -> None:
         """Store a compiled circuit, evicting LRU circuits past the bound.
 
         The circuit must expose ``memory_bytes()``.  A circuit alone
         larger than the bound is not stored at all (storing it would only
         evict everything else and then itself).  Evicting a circuit also
-        drops the memo entries linked to its instance.
+        drops the memo entries linked to its instance.  ``from_worker``
+        marks an artifact compiled in a worker process and installed by
+        the parent (tallied separately in :meth:`stats`).
         """
         size = int(circuit.memory_bytes())
         if (
@@ -135,6 +145,8 @@ class CountCache:
         if previous is not None:
             self.circuit_bytes -= previous[1]
         self._circuits[instance] = (circuit, size)
+        if from_worker:
+            self.worker_circuits += 1
         self.circuit_bytes += size
         if self._max_circuit_bytes is not None:
             while (
@@ -176,6 +188,7 @@ class CountCache:
             "circuit_hits": self.circuit_hits,
             "circuit_misses": self.circuit_misses,
             "circuit_evictions": self.circuit_evictions,
+            "worker_circuits": self.worker_circuits,
             "max_circuit_bytes": self._max_circuit_bytes,
         }
 
@@ -190,6 +203,7 @@ class CountCache:
         self.circuit_misses = 0
         self.circuit_evictions = 0
         self.circuit_bytes = 0
+        self.worker_circuits = 0
 
     def __len__(self) -> int:
         return len(self._entries)

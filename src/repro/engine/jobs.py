@@ -95,6 +95,14 @@ class JobResult:
     cache_hit: bool = False
     error: str | None = None
     fingerprint: str | None = field(default=None, repr=False)
+    #: Engine provenance: ``fallback`` records why a job left the pool
+    #: path (unpicklable query, mid-dispatch pickle failure), and
+    #: ``compiled_in_worker`` marks answers whose circuit artifact was
+    #: compiled in a worker and installed into the parent's store.
+    meta: dict[str, Any] = field(default_factory=dict, repr=False)
+    #: Serialized circuit artifact a worker shipped back to the parent;
+    #: cleared once the parent installs it into the circuit store.
+    artifact: bytes | None = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -102,7 +110,7 @@ class JobResult:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (used by the ``repro-count batch`` CLI)."""
-        return {
+        record = {
             "label": self.label,
             "problem": self.problem,
             "count": _jsonable(self.count),
@@ -111,6 +119,9 @@ class JobResult:
             "cache_hit": self.cache_hit,
             "error": self.error,
         }
+        if self.meta:
+            record["meta"] = dict(self.meta)
+        return record
 
 
 def _jsonable(value: Any) -> Any:
@@ -146,10 +157,48 @@ def execute_job(job: CountJob, circuits: Any = None) -> JobResult:
     )
 
 
+class _CapturedCircuitStore:
+    """A one-slot circuit store handed to :func:`execute_job` in a worker.
+
+    The worker has no access to the parent's :class:`CountCache`; this
+    shim captures whatever circuit the solve compiled so it can be
+    serialized and shipped home with the answer.
+    """
+
+    __slots__ = ("circuit",)
+
+    def __init__(self) -> None:
+        self.circuit: Any = None
+
+    def get_circuit(self, instance: str) -> Any | None:
+        return self.circuit
+
+    def put_circuit(self, instance: str, circuit: Any) -> None:
+        self.circuit = circuit
+
+
+def execute_job_capturing(job: CountJob) -> JobResult:
+    """Worker entry point for circuit-backed jobs: solve *and* ship the
+    compiled artifact back as bytes (see
+    :meth:`repro.compile.backend.ValuationCircuit.to_bytes`).
+
+    A serialization failure never fails the job — the answer is already
+    computed; the parent merely loses the chance to cache the circuit.
+    """
+    store = _CapturedCircuitStore()
+    result = execute_job(job, store)
+    if result.ok and store.circuit is not None:
+        try:
+            result.artifact = store.circuit.to_bytes()
+        except Exception:  # noqa: BLE001 - artifact loss must not poison the answer
+            result.artifact = None
+    return result
+
+
 def needs_circuit(job: CountJob) -> bool:
     """True when solving ``job`` will evaluate a compiled circuit, so the
-    engine should run it against its circuit store (and in-parent, where
-    that store lives).
+    engine should schedule it around its circuit store (worker compile for
+    the first job of a fresh instance, in-parent passes afterwards).
 
     Keyed on the *resolved* method, not the requested one: a weighted job
     that resolves to the Theorem 3.6 closed form, or a ``method='circuit'``

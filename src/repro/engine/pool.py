@@ -11,14 +11,23 @@ The pipeline is:
    Workers are shared-nothing: each receives a pickled job and returns a
    result record, no state is shared beyond the task queue.  Jobs that
    cannot be pickled (e.g. a :class:`CustomQuery` closing over a lambda)
-   are solved serially in the parent instead of failing.  Jobs that
-   evaluate a compiled d-DNNF circuit (``val-weighted``, ``marginals``,
-   ``method='circuit'``) also run in the parent, against the cache's
-   circuit store — the whole point is that one instance compiles once
-   and then answers every mode by linear passes, which a shared-nothing
-   worker could not amortize.
+   are solved serially in the parent instead of failing, with the reason
+   recorded in the result's ``meta['fallback']``.
 
-``workers=0``/``1`` (or a single-mis batch) skips process creation
+Circuit-backed jobs (``val-weighted``, ``marginals``, ``method='circuit'``)
+are scheduled around the parent's circuit store: the **first** job of each
+not-yet-cached instance goes to a worker, which compiles the circuit,
+answers, and ships the serialized artifact home
+(:func:`~repro.engine.jobs.execute_job_capturing`); the parent rehydrates
+and installs it (:func:`repro.compile.backend.artifact_from_bytes`), and
+every *further* question about that instance — in this batch or the next —
+runs in the parent as a linear pass over the installed circuit.  Distinct
+circuit instances therefore compile in parallel while the amortization
+across question modes is preserved, and the eviction invariant is
+untouched: a worker-compiled circuit is a first-class store entry whose
+memo links drop with it.
+
+``workers=0``/``1`` (or a single-miss batch) skips process creation
 entirely, which keeps tests and tiny batches free of pool overhead.
 """
 
@@ -29,6 +38,7 @@ import os
 import pickle
 from typing import Iterable, Sequence
 
+from repro.compile.serialize import CircuitFormatError
 from repro.core.query import BCQ, Negation, UCQ
 from repro.engine.cache import CountCache
 from repro.engine.fingerprint import fingerprint_job
@@ -36,6 +46,7 @@ from repro.engine.jobs import (
     CountJob,
     JobResult,
     execute_job,
+    execute_job_capturing,
     instance_fingerprint_of,
     needs_circuit,
 )
@@ -150,39 +161,113 @@ class BatchEngine:
         if self.workers <= 1 or len(jobs) <= 1:
             return [execute_job(job, self.cache) for job in jobs]
 
-        parallel: list[int] = []
-        serial: list[int] = []
+        parallel: list[int] = []        # plain jobs, pool-dispatched
+        compile_remote: list[int] = []  # circuit jobs compiled in a worker
+        serial: list[int] = []          # in-parent: store hits and stragglers
+        fallback: dict[int, str] = {}
+        claimed: set[str] = set()
         for index, job in enumerate(jobs):
-            # Circuit-backed jobs stay in the parent, where the circuit
-            # store lives; a worker process could never share the compile.
-            if needs_circuit(job) or not _picklable(job):
+            if not _picklable(job):
+                fallback[index] = (
+                    "job is not picklable; solved serially in the parent"
+                )
                 serial.append(index)
-            else:
-                parallel.append(index)
-        if len(parallel) <= 1:
-            return [execute_job(job, self.cache) for job in jobs]
+                continue
+            if needs_circuit(job):
+                # One worker compile per unique instance: the first job of
+                # a not-yet-cached instance ships its circuit home, every
+                # other question about it runs in the parent as a linear
+                # pass over the installed artifact.
+                instance = instance_fingerprint_of(job)
+                if instance is None or self.cache.has_circuit(instance):
+                    serial.append(index)
+                elif instance in claimed:
+                    serial.append(index)
+                else:
+                    claimed.add(instance)
+                    compile_remote.append(index)
+                continue
+            parallel.append(index)
+
+        pool_indices = parallel + compile_remote
+        if len(pool_indices) <= 1:
+            results_serial = [execute_job(job, self.cache) for job in jobs]
+            for index, reason in fallback.items():
+                results_serial[index].meta.setdefault("fallback", reason)
+            return results_serial
 
         results: list[JobResult | None] = [None] * len(jobs)
-        processes = min(self.workers, len(parallel))
+        processes = min(self.workers, len(pool_indices))
+        tasks = [(jobs[index], False) for index in parallel]
+        tasks += [(jobs[index], True) for index in compile_remote]
         try:
             with multiprocessing.get_context().Pool(processes) as pool:
-                solved = pool.map(
-                    execute_job,
-                    [jobs[index] for index in parallel],
-                    chunksize=1,
-                )
-        except Exception:
+                solved = pool.map(_pool_solve, tasks, chunksize=1)
+        except Exception as exc:
             # A job the cheap picklability screen admitted failed to
             # serialize mid-dispatch (e.g. an exotic constant inside a
             # database).  Solvers are deterministic and approx jobs are
-            # seeded, so re-running the whole slice serially is safe.
-            solved = [execute_job(jobs[index], self.cache) for index in parallel]
-        for index, result in zip(parallel, solved):
+            # seeded, so re-running the whole slice serially is safe —
+            # but never silently: every affected result records why it
+            # left the pool path, and the batch summary counts them.
+            reason = "pool dispatch failed (%s: %s); slice re-solved serially" % (
+                type(exc).__name__, exc,
+            )
+            solved = []
+            for index in pool_indices:
+                result = execute_job(jobs[index], self.cache)
+                result.meta.setdefault("fallback", reason)
+                solved.append(result)
+        for index, result in zip(pool_indices, solved):
             results[index] = result
+        for index in compile_remote:
+            self._install_artifact(jobs[index], results[index])
         for index in serial:
-            results[index] = execute_job(jobs[index], self.cache)
+            result = execute_job(jobs[index], self.cache)
+            if index in fallback:
+                result.meta.setdefault("fallback", fallback[index])
+            results[index] = result
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
+
+    def _install_artifact(self, job: CountJob, result: JobResult | None) -> None:
+        """Rehydrate a worker-shipped circuit into the parent's store.
+
+        Installation happens *before* the memo layer records the answer,
+        so the answer links to its circuit exactly as if the parent had
+        compiled it — ``--cache-mb`` eviction keeps dropping circuit and
+        derived memo entries together.  A payload the codec rejects is
+        discarded: the answer (already computed in the worker) survives,
+        it just is not memoized against a circuit the store never held.
+        """
+        if result is None or not result.ok or result.artifact is None:
+            return
+        payload, result.artifact = result.artifact, None
+        instance = instance_fingerprint_of(job)
+        if instance is None:
+            return
+        try:
+            # Imported lazily: repro.compile pulls the whole compilation
+            # stack, which workers that never touch circuits skip loading.
+            from repro.compile.backend import artifact_from_bytes
+
+            compiled = artifact_from_bytes(payload, job.db)
+        except CircuitFormatError as exc:
+            result.meta["artifact_rejected"] = str(exc)
+            return
+        self.cache.put_circuit(instance, compiled, from_worker=True)
+        # put_circuit silently refuses circuits larger than the cache
+        # bound; only claim the install when the store actually holds it.
+        if self.cache.has_circuit(instance):
+            result.meta["compiled_in_worker"] = True
+        else:
+            result.meta["artifact_rejected"] = "circuit exceeds the cache bound"
+
+
+def _pool_solve(task: tuple[CountJob, bool]) -> JobResult:
+    """Worker task body: solve, optionally capturing the circuit artifact."""
+    job, capture = task
+    return execute_job_capturing(job) if capture else execute_job(job)
 
 
 def _query_is_value_type(query: object) -> bool:

@@ -30,7 +30,6 @@ from typing import Sequence
 from repro.core.query import BCQ, Var
 from repro.db.database import Database
 from repro.db.incomplete import IncompleteDatabase
-from repro.db.terms import Term
 from repro.db.valuation import (
     apply_valuation,
     count_total_valuations,

@@ -1,125 +1,122 @@
-"""Front-door counting API: pick the right algorithm for the instance.
+"""Front-door counting API: plan, then run the chosen registry method.
 
-``count_valuations`` / ``count_completions`` inspect the query (via the
-pattern detectors) and the database (Codd? uniform? unary?) and route to the
-fastest *exact* algorithm available.  ``method`` forces a specific
-algorithm (useful for tests and benchmarks).
+``count_valuations`` / ``count_completions`` /
+:func:`count_valuations_weighted` resolve their ``method`` argument through
+the solver planner (:mod:`repro.exact.planner`) — a registry in which every
+algorithm declares its problem kinds, applicability conditions, capability
+flags and a cheap cost estimate — and then execute the chosen entry.  There
+is no per-method conditional here: adding a solver is one
+:func:`repro.exact.planner.register` call, and ``repro-count plan`` prints
+the full decision (chosen method, rejected alternatives, reasons) for any
+instance.
 
-Method table (``#Val``):
+Method vocabulary (see the registry for the authoritative table):
 
 =================== ======================================================
-``auto``            polynomial algorithm if one applies, else ``lineage``
-                    for (U)CQs, else ``brute``
+``auto``            cheapest applicable method: a polynomial Table 1
+                    algorithm when one applies, else ``lineage`` on
+                    (U)CQs, else ``brute``
 ``poly``            polynomial algorithm or :class:`NoPolynomialAlgorithm`
-``single-occurrence`` Theorem 3.6 closed formula (pattern-free sjfBCQs)
-``codd``            Theorem 3.7 per-null independence (Codd tables)
-``uniform``         Theorem 3.9 algorithm (uniform naive tables)
-``lineage``         compile to CNF, exact #SAT with component caching
-                    (:mod:`repro.compile`) — exact on *every* (U)CQ cell,
-                    exponential only in the lineage's treewidth.  On a
-                    non-(U)CQ (which the compiler cannot encode) the
-                    method falls back cleanly to ``brute``
-``circuit``         same search, recorded once as a d-DNNF circuit
-                    (:class:`~repro.compile.backend.ValuationCircuit`) —
-                    identical exact count, and the compiled artifact then
-                    answers weighted counts, marginals and exact samples
-                    in linear passes.  Pick it (or let the batch engine
-                    pick it) when the instance will be asked more than
-                    one question; falls back to ``brute`` on non-(U)CQs
+``single-occurrence`` Theorem 3.6 closed formula (``#Val``, weighted too)
+``codd`` / ``uniform`` / ``uniform-unary``  Theorems 3.7 / 3.9 / 4.6
+``lineage``         compile to CNF, exact #SAT with component caching;
+                    degrades to ``brute`` on non-(U)CQs
+``circuit``         the same search recorded once as a d-DNNF circuit
+                    (weighted counts, marginals and exact samples become
+                    linear passes); degrades to ``brute`` on non-(U)CQs
 ``brute``           enumerate all valuations (opt-in ``budget``)
 =================== ======================================================
 
-Method table (``#Comp``):
-
-=================== ======================================================
-``auto``            ``uniform-unary`` if it applies, else ``lineage`` for
-                    (U)CQs / no query, else ``brute``
-``poly``            polynomial algorithm or :class:`NoPolynomialAlgorithm`
-``uniform-unary``   Theorem 4.6 closed form (uniform, unary schema)
-``lineage``         canonical-fact encoding + *projected* exact model
-                    counting (:mod:`repro.compile`)
-``circuit``         the projected search recorded as a d-DNNF
-                    (:class:`~repro.compile.backend.CompletionCircuit`);
-                    adds per-fact marginals and completion sampling on
-                    top of the identical exact count
-``brute``           enumerate valuations, deduplicate completions
-=================== ======================================================
-
-:func:`count_valuations_weighted` is the generalized (weighted) ``#Val``
-front door: per-null value weights, closed form on the Theorem 3.6 cell,
-circuit passes everywhere else a (U)CQ lineage exists, weighted brute
-enumeration as the last resort.
-
-On the #P-hard cells of Table 1 ``auto`` therefore no longer falls off an
-exponential cliff at ``prod |dom(⊥)|`` ≈ 10^6: the lineage backend routinely
-handles instances with 10^30+ valuations when the lineage has moderate
-treewidth (see ``benchmarks/bench_lineage.py``).
-
-Note that ``budget`` bounds *enumeration* and hence only applies to
-``brute``: the lineage backend, like any exact #SAT solver, runs to
-completion, and its worst case (high-treewidth lineage) is time- and
-memory-bound by the search rather than by a valuation count.  For hard
-work that must stay budgeted, force ``method='brute'``.
+``budget`` bounds *enumeration* and hence only applies to ``brute``: the
+lineage/circuit backends, like any exact #SAT solver, run to completion,
+and their worst case (high-treewidth lineage) is time- and memory-bound by
+the search rather than by a valuation count.
 """
 
 from __future__ import annotations
 
-from repro.compile.backend import (
-    ValuationCircuit,
-    count_completions_circuit,
-    count_completions_lineage,
-    count_valuations_circuit,
-    count_valuations_lineage,
-    lineage_supports,
-)
-from repro.core.query import BCQ, BooleanQuery
+from repro.core.query import BooleanQuery
 from repro.db.incomplete import IncompleteDatabase
 from repro.exact import brute
-from repro.exact import comp_uniform as _comp_uniform
-from repro.exact import val_codd as _val_codd
-from repro.exact import val_nonuniform as _val_nonuniform
-from repro.exact import val_uniform as _val_uniform
+from repro.exact import planner
+from repro.exact.planner import NoPolynomialAlgorithm, Plan
+
+__all__ = [
+    "NoPolynomialAlgorithm",
+    "Plan",
+    "count_completions",
+    "count_completions_batch",
+    "count_valuations",
+    "count_valuations_batch",
+    "count_valuations_weighted",
+    "plan_completions",
+    "plan_valuations",
+    "plan_valuations_weighted",
+    "resolve_completion_method",
+    "resolve_valuation_method",
+    "resolve_weighted_method",
+    "select_completion_algorithm",
+    "select_valuation_algorithm",
+]
 
 
-class NoPolynomialAlgorithm(ValueError):
-    """Raised by ``method='poly'`` when no tractable algorithm applies —
-    i.e. the instance sits in a #P-hard cell of Table 1."""
+# -- polynomial-cell selection ---------------------------------------------
 
 
-_VAL_METHODS = (
-    "auto",
-    "poly",
-    "brute",
-    "lineage",
-    "circuit",
-    "single-occurrence",
-    "codd",
-    "uniform",
-)
-_COMP_METHODS = ("auto", "poly", "brute", "lineage", "circuit", "uniform-unary")
-_WEIGHTED_METHODS = ("auto", "brute", "circuit", "single-occurrence")
+def _select_polynomial(
+    problem: str, db: IncompleteDatabase, query: BooleanQuery | None
+) -> str | None:
+    # The planner's poly mode already is "cheapest applicable polynomial
+    # method, or none"; a plan never raises, it just leaves chosen=None.
+    return planner.plan(problem, db, query, "poly").chosen
 
 
 def select_valuation_algorithm(
-    db: IncompleteDatabase, query: BCQ
+    db: IncompleteDatabase, query: BooleanQuery
 ) -> str | None:
-    """Name of the applicable polynomial #Val algorithm, or ``None``.
+    """Name of the applicable polynomial ``#Val`` algorithm, or ``None``.
 
-    Preference order: the Theorem 3.6 formula (cheapest, works whenever the
-    query is fully pattern-free), then Theorem 3.7 (Codd tables), then
-    Theorem 3.9 (uniform naive tables).
+    Preference order (encoded as registry cost tiers): the Theorem 3.6
+    formula, then Theorem 3.7 (Codd tables), then Theorem 3.9 (uniform
+    naive tables).
     """
-    if not isinstance(query, BCQ):
-        return None
-    if not query.is_self_join_free or not query.is_variable_only:
-        return None
-    if _val_nonuniform.applies_to(query):
-        return "single-occurrence"
-    if db.is_codd and _val_codd.applies_to(query):
-        return "codd"
-    if db.is_uniform and _val_uniform.applies_to(query):
-        return "uniform"
-    return None
+    return _select_polynomial("val", db, query)
+
+
+def select_completion_algorithm(
+    db: IncompleteDatabase, query: BooleanQuery | None
+) -> str | None:
+    """Name of the applicable polynomial ``#Comp`` algorithm, or ``None``."""
+    return _select_polynomial("comp", db, query)
+
+
+# -- plans -----------------------------------------------------------------
+
+
+def plan_valuations(
+    db: IncompleteDatabase, query: BooleanQuery, method: str = "auto"
+) -> Plan:
+    """The explainable ``#Val`` plan (chosen method + rejected alternatives)."""
+    return planner.plan("val", db, query, method)
+
+
+def plan_completions(
+    db: IncompleteDatabase,
+    query: BooleanQuery | None = None,
+    method: str = "auto",
+) -> Plan:
+    """The explainable ``#Comp`` plan."""
+    return planner.plan("comp", db, query, method)
+
+
+def plan_valuations_weighted(
+    db: IncompleteDatabase, query: BooleanQuery, method: str = "auto"
+) -> Plan:
+    """The explainable weighted-``#Val`` plan."""
+    return planner.plan("val-weighted", db, query, method)
+
+
+# -- resolution ------------------------------------------------------------
 
 
 def resolve_valuation_method(
@@ -127,78 +124,13 @@ def resolve_valuation_method(
 ) -> str:
     """The concrete algorithm ``count_valuations`` will run.
 
-    ``auto`` resolves to the best applicable algorithm (polynomial if one
-    exists, else ``lineage`` on (U)CQs, else ``brute``); ``poly`` raises
-    :class:`NoPolynomialAlgorithm` on hard cells; other names resolve to
-    themselves.
+    ``auto`` resolves to the cheapest applicable registry method
+    (polynomial if one exists, else ``lineage`` on (U)CQs, else
+    ``brute``); ``poly`` raises :class:`NoPolynomialAlgorithm` on hard
+    cells; other names resolve to themselves (``lineage``/``circuit``
+    degrade to ``brute`` on queries the compiler cannot encode).
     """
-    if method not in _VAL_METHODS:
-        raise ValueError("unknown method %r (one of %s)" % (method, _VAL_METHODS))
-    if method in ("lineage", "circuit") and not lineage_supports(query):
-        # The lineage compiler only encodes (U)CQs; degrade to the one
-        # method that works on arbitrary Boolean queries instead of
-        # failing deep inside the encoder.
-        return "brute"
-    if method not in ("auto", "poly"):
-        return method
-    selected = (
-        select_valuation_algorithm(db, query)
-        if isinstance(query, BCQ)
-        else None
-    )
-    if selected is not None:
-        return selected
-    if method == "poly":
-        raise NoPolynomialAlgorithm(
-            "no polynomial-time algorithm for %r on this instance; "
-            "the dichotomies place it in a #P-hard cell" % (query,)
-        )
-    if lineage_supports(query):
-        return "lineage"
-    return "brute"
-
-
-def count_valuations(
-    db: IncompleteDatabase,
-    query: BooleanQuery,
-    method: str = "auto",
-    budget: int | None = brute.DEFAULT_BUDGET,
-) -> int:
-    """``#Val(q)(D)`` with automatic algorithm selection.
-
-    ``method='poly'`` refuses to fall back to an exponential-worst-case
-    algorithm (raises :class:`NoPolynomialAlgorithm` on hard cells);
-    explicit method names force one algorithm.  ``budget`` only limits
-    ``brute``.
-    """
-    resolved = resolve_valuation_method(db, query, method)
-    if resolved == "brute":
-        return brute.count_valuations_brute(db, query, budget=budget)
-    if resolved == "lineage":
-        return count_valuations_lineage(db, query)
-    if resolved == "circuit":
-        return count_valuations_circuit(db, query)
-    if resolved == "single-occurrence":
-        return _val_nonuniform.count_valuations_single_occurrence(db, query)
-    if resolved == "codd":
-        return _val_codd.count_valuations_codd(db, query)
-    assert resolved == "uniform"
-    return _val_uniform.count_valuations_uniform(db, query)
-
-
-def select_completion_algorithm(
-    db: IncompleteDatabase, query: BCQ | None
-) -> str | None:
-    """Name of the applicable polynomial #Comp algorithm, or ``None``."""
-    if query is not None and not isinstance(query, BCQ):
-        return None
-    if query is not None and not _comp_uniform.applies_to(query):
-        return None
-    if not db.is_uniform:
-        return None
-    if any(fact.arity != 1 for fact in db.facts):
-        return None
-    return "uniform-unary"
+    return planner.resolve("val", db, query, method)
 
 
 def resolve_completion_method(
@@ -207,46 +139,7 @@ def resolve_completion_method(
     method: str = "auto",
 ) -> str:
     """The concrete algorithm ``count_completions`` will run."""
-    if method not in _COMP_METHODS:
-        raise ValueError("unknown method %r (one of %s)" % (method, _COMP_METHODS))
-    if method in ("lineage", "circuit") and not lineage_supports(query):
-        return "brute"
-    if method not in ("auto", "poly"):
-        return method
-    bcq = query if isinstance(query, BCQ) or query is None else False
-    selected = (
-        select_completion_algorithm(db, bcq) if bcq is not False else None
-    )
-    if selected is not None:
-        return selected
-    if method == "poly":
-        raise NoPolynomialAlgorithm(
-            "no polynomial-time algorithm for counting completions on this "
-            "instance; the dichotomies place it in a #P-hard cell"
-        )
-    if lineage_supports(query):
-        return "lineage"
-    return "brute"
-
-
-def count_completions(
-    db: IncompleteDatabase,
-    query: BooleanQuery | None = None,
-    method: str = "auto",
-    budget: int | None = brute.DEFAULT_BUDGET,
-) -> int:
-    """``#Comp(q)(D)`` (or the total number of completions for
-    ``query=None``) with automatic algorithm selection.  ``budget`` only
-    limits ``brute``."""
-    resolved = resolve_completion_method(db, query, method)
-    if resolved == "brute":
-        return brute.count_completions_brute(db, query, budget=budget)
-    if resolved == "lineage":
-        return count_completions_lineage(db, query)
-    if resolved == "circuit":
-        return count_completions_circuit(db, query)
-    assert resolved == "uniform-unary"
-    return _comp_uniform.count_completions_uniform_unary(db, query)
+    return planner.resolve("comp", db, query, method)
 
 
 def resolve_weighted_method(
@@ -256,23 +149,42 @@ def resolve_weighted_method(
 
     ``auto`` prefers the Theorem 3.6 closed form (weighted counting stays
     a product of per-null sums on that cell), then the circuit backend on
-    any other (U)CQ, then weighted brute enumeration.  The polynomial
-    ``codd``/``uniform`` algorithms count unweighted multiplicities and
-    have no weighted analogue here, so they never apply.
+    any other (U)CQ, then weighted brute enumeration.
     """
-    if method not in _WEIGHTED_METHODS:
-        raise ValueError(
-            "unknown method %r (one of %s)" % (method, _WEIGHTED_METHODS)
-        )
-    if method == "circuit" and not lineage_supports(query):
-        return "brute"
-    if method != "auto":
-        return method
-    if isinstance(query, BCQ) and _val_nonuniform.applies_to(query):
-        return "single-occurrence"
-    if lineage_supports(query):
-        return "circuit"
-    return "brute"
+    return planner.resolve("val-weighted", db, query, method)
+
+
+# -- execution -------------------------------------------------------------
+
+
+def count_valuations(
+    db: IncompleteDatabase,
+    query: BooleanQuery,
+    method: str = "auto",
+    budget: int | None = brute.DEFAULT_BUDGET,
+) -> int:
+    """``#Val(q)(D)`` with planner-backed algorithm selection.
+
+    ``method='poly'`` refuses to fall back to an exponential-worst-case
+    algorithm (raises :class:`NoPolynomialAlgorithm` on hard cells);
+    explicit method names force one algorithm.  ``budget`` only limits
+    ``brute``.
+    """
+    resolved = resolve_valuation_method(db, query, method)
+    return planner.run("val", resolved, db, query, budget=budget)
+
+
+def count_completions(
+    db: IncompleteDatabase,
+    query: BooleanQuery | None = None,
+    method: str = "auto",
+    budget: int | None = brute.DEFAULT_BUDGET,
+) -> int:
+    """``#Comp(q)(D)`` (or the total number of completions for
+    ``query=None``) with planner-backed algorithm selection.  ``budget``
+    only limits ``brute``."""
+    resolved = resolve_completion_method(db, query, method)
+    return planner.run("comp", resolved, db, query, budget=budget)
 
 
 def count_valuations_weighted(
@@ -291,16 +203,12 @@ def count_valuations_weighted(
     Exact for int/Fraction weights.  ``budget`` only limits ``brute``.
     """
     resolved = resolve_weighted_method(db, query, method)
-    if resolved == "brute":
-        return brute.count_valuations_weighted_brute(
-            db, query, weights, budget=budget
-        )
-    if resolved == "circuit":
-        return ValuationCircuit(db, query).weighted_count(weights)
-    assert resolved == "single-occurrence"
-    return _val_nonuniform.count_valuations_weighted_single_occurrence(
-        db, query, weights
+    return planner.run(
+        "val-weighted", resolved, db, query, budget=budget, weights=weights
     )
+
+
+# -- batch wrappers --------------------------------------------------------
 
 
 def _count_batch(

@@ -1,0 +1,759 @@
+"""The solver planner: one method registry behind every counting front door.
+
+Every exact algorithm in the repo — the closed-form Table 1 cells, the
+lineage #SAT backend, the d-DNNF circuit pipeline, brute enumeration — is
+registered here as a :class:`Method` with
+
+* the **problem kinds** it serves (``val``, ``comp``, ``val-weighted``,
+  ``marginals``),
+* an **applicability predicate** returning a human-readable reason either
+  way (the dichotomy conditions, database shape, query class),
+* **capability flags** (polynomial? weighted counting? marginals?),
+* a **cheap cost estimate** — a tier encoding the preference lattice
+  (closed form < lineage < circuit < brute) plus a bounded size term, so
+  two applicable methods in the same tier still order deterministically,
+* the **solver callable** itself.
+
+:func:`plan` turns ``(problem, D, q, method)`` into an explainable
+:class:`Plan`: the chosen method plus every rejected alternative with its
+reason.  ``method='auto'`` picks the cheapest applicable method,
+``method='poly'`` restricts the choice to polynomial methods (and the plan
+carries the hardness verdict when none applies), and a concrete method
+name is honored verbatim — with the registered fallback (e.g. the lineage
+compiler degrading to ``brute`` on a non-(U)CQ) applied exactly where the
+old dispatch ``if`` chains did.  :mod:`repro.exact.dispatch` and the
+``repro-count plan`` CLI are the two consumers; the batch engine reaches
+the registry through dispatch.
+
+Adding a solver is now one :func:`register` call — dispatch, ``auto``,
+``plan`` output and the capability table all pick it up without touching
+a conditional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.compile.backend import (
+    count_completions_circuit,
+    count_completions_lineage,
+    count_valuations_circuit,
+    count_valuations_lineage,
+    lineage_supports,
+    valuation_marginals,
+)
+from repro.core.patterns import (
+    has_atom_with_two_variables,
+    has_double_edge_pattern,
+    has_path_pattern,
+    has_repeated_variable_atom,
+    has_shared_variable,
+)
+from repro.core.query import BCQ, BooleanQuery
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.valuation import count_total_valuations
+from repro.exact import brute
+from repro.exact import comp_uniform as _comp_uniform
+from repro.exact import val_codd as _val_codd
+from repro.exact import val_nonuniform as _val_nonuniform
+from repro.exact import val_uniform as _val_uniform
+
+
+class NoPolynomialAlgorithm(ValueError):
+    """Raised by ``method='poly'`` when no tractable algorithm applies —
+    i.e. the instance sits in a #P-hard cell of Table 1."""
+
+
+#: Problem kinds the planner understands.
+PROBLEMS = ("val", "comp", "val-weighted", "marginals")
+
+#: Problems for which ``method='poly'`` is a valid request (the weighted
+#: and marginal problems never offered a poly mode; keep their method
+#: vocabulary unchanged).
+_POLY_PROBLEMS = frozenset({"val", "comp"})
+
+#: Cost tiers: the preference lattice ``auto`` optimizes over.  Within a
+#: problem, any applicable lower-tier method beats any higher-tier one;
+#: the fractional size term added by each estimator stays below 1.0 so it
+#: can only order methods *within* a tier.
+TIER_CLOSED_FORM = 1.0
+TIER_CLOSED_FORM_CODD = 2.0
+TIER_CLOSED_FORM_UNIFORM = 3.0
+TIER_LINEAGE = 10.0
+TIER_CIRCUIT = 11.0
+TIER_BRUTE = 20.0
+
+
+Applies = Callable[[IncompleteDatabase, BooleanQuery | None], "tuple[bool, str]"]
+Cost = Callable[[IncompleteDatabase, BooleanQuery | None], float]
+Run = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class Method:
+    """One registered solver: capabilities, applicability, cost, entry point."""
+
+    name: str
+    problem: str
+    description: str
+    polynomial: bool
+    supports_weights: bool
+    supports_marginals: bool
+    applies: Applies
+    cost: Cost
+    run: Run
+    #: Method to degrade to when this one is *forced* on an instance it
+    #: cannot handle (``None``: honor the forced choice and let the solver
+    #: raise its own error).
+    fallback: str | None = None
+
+
+#: problem -> method name -> registration, in registration order.
+_REGISTRY: dict[str, dict[str, Method]] = {problem: {} for problem in PROBLEMS}
+
+
+def register(method: Method) -> Method:
+    """Add a solver to the registry (idempotent re-registration replaces)."""
+    if method.problem not in _REGISTRY:
+        raise ValueError(
+            "unknown problem %r (one of %s)" % (method.problem, PROBLEMS)
+        )
+    _REGISTRY[method.problem][method.name] = method
+    return method
+
+
+def methods_for(problem: str) -> tuple[Method, ...]:
+    """Every registered method of one problem kind, in registration order."""
+    if problem not in _REGISTRY:
+        raise ValueError("unknown problem %r (one of %s)" % (problem, PROBLEMS))
+    return tuple(_REGISTRY[problem].values())
+
+
+def method_names(problem: str) -> tuple[str, ...]:
+    """The valid ``method=`` vocabulary of a problem (requests included)."""
+    names: list[str] = ["auto"]
+    if problem in _POLY_PROBLEMS:
+        names.append("poly")
+    names.extend(_REGISTRY[problem])
+    return tuple(names)
+
+
+# ---------------------------------------------------------------------------
+# plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Considered:
+    """One method's verdict inside a plan."""
+
+    method: str
+    applicable: bool
+    reason: str
+    cost: float | None
+    polynomial: bool
+    supports_weights: bool
+    supports_marginals: bool
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An explainable method choice: what was picked, what was not, and why."""
+
+    problem: str
+    requested: str
+    chosen: str | None
+    considered: tuple[Considered, ...]
+    notes: tuple[str, ...] = ()
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the ``repro-count plan --json`` payload)."""
+        return {
+            "problem": self.problem,
+            "requested": self.requested,
+            "chosen": self.chosen,
+            "error": self.error,
+            "notes": list(self.notes),
+            "considered": [
+                {
+                    "method": item.method,
+                    "applicable": item.applicable,
+                    "reason": item.reason,
+                    "cost": item.cost,
+                    "polynomial": item.polynomial,
+                    "supports_weights": item.supports_weights,
+                    "supports_marginals": item.supports_marginals,
+                }
+                for item in self.considered
+            ],
+        }
+
+    def explain(self) -> str:
+        """Human-readable report: chosen method, alternatives, reasons."""
+        lines = [
+            "problem:    %s" % self.problem,
+            "requested:  %s" % self.requested,
+            "chosen:     %s" % (self.chosen if self.chosen else "(none)"),
+        ]
+        if self.error:
+            lines.append("error:      %s" % self.error)
+        for note in self.notes:
+            lines.append("note:       %s" % note)
+        lines.append("considered:")
+        for item in self.considered:
+            marker = "*" if item.method == self.chosen else " "
+            verdict = (
+                "cost %-6.2f" % item.cost
+                if item.applicable and item.cost is not None
+                else "n/a        "
+            )
+            flags = "".join(
+                (
+                    "P" if item.polynomial else "-",
+                    "w" if item.supports_weights else "-",
+                    "m" if item.supports_marginals else "-",
+                )
+            )
+            lines.append(
+                "  %s %-18s %s [%s]  %s"
+                % (marker, item.method, verdict, flags, item.reason)
+            )
+        return "\n".join(lines)
+
+
+def plan(
+    problem: str,
+    db: IncompleteDatabase,
+    query: BooleanQuery | None,
+    method: str = "auto",
+) -> Plan:
+    """Build the explainable plan for one instance.
+
+    Raises :class:`ValueError` for an unknown problem or a method name
+    outside the problem's vocabulary; every *semantic* failure (``poly``
+    on a hard cell, no applicable method) is reported in :attr:`Plan.error`
+    so the CLI can still print the full analysis.
+    """
+    entries = methods_for(problem)
+    valid = method_names(problem)
+    if method not in valid:
+        raise ValueError("unknown method %r (one of %s)" % (method, valid))
+
+    considered: list[Considered] = []
+    verdicts: dict[str, tuple[bool, str, float | None]] = {}
+    for entry in entries:
+        applicable, reason = entry.applies(db, query)
+        cost = entry.cost(db, query) if applicable else None
+        verdicts[entry.name] = (applicable, reason, cost)
+        considered.append(
+            Considered(
+                method=entry.name,
+                applicable=applicable,
+                reason=reason,
+                cost=cost,
+                polynomial=entry.polynomial,
+                supports_weights=entry.supports_weights,
+                supports_marginals=entry.supports_marginals,
+            )
+        )
+
+    notes: list[str] = []
+    error: str | None = None
+    chosen: str | None
+    if method in ("auto", "poly"):
+        pool = [
+            entry
+            for entry in entries
+            if verdicts[entry.name][0]
+            and (method == "auto" or entry.polynomial)
+        ]
+        if pool:
+            chosen = min(
+                pool, key=lambda entry: verdicts[entry.name][2]  # type: ignore[arg-type, return-value]
+            ).name
+        else:
+            chosen = None
+            error = _no_method_error(problem, query, method)
+    else:
+        entry = _REGISTRY[problem][method]
+        applicable, reason, _cost = verdicts[method]
+        if not applicable and entry.fallback is not None:
+            chosen = entry.fallback
+            notes.append(
+                "requested %r cannot handle this instance (%s); "
+                "degrading to %r" % (method, reason, entry.fallback)
+            )
+        else:
+            chosen = method
+            if not applicable:
+                notes.append(
+                    "forced %r although the planner does not expect it to "
+                    "apply (%s); the solver will raise its own error"
+                    % (method, reason)
+                )
+    return Plan(
+        problem=problem,
+        requested=method,
+        chosen=chosen,
+        considered=tuple(considered),
+        notes=tuple(notes),
+        error=error,
+    )
+
+
+def _no_method_error(
+    problem: str, query: BooleanQuery | None, method: str
+) -> str:
+    if method == "poly":
+        if problem == "comp":
+            return (
+                "no polynomial-time algorithm for counting completions on "
+                "this instance; the dichotomies place it in a #P-hard cell"
+            )
+        return (
+            "no polynomial-time algorithm for %r on this instance; "
+            "the dichotomies place it in a #P-hard cell" % (query,)
+        )
+    return "no registered method can solve problem %r on this instance" % problem
+
+
+def resolve(
+    problem: str,
+    db: IncompleteDatabase,
+    query: BooleanQuery | None,
+    method: str = "auto",
+) -> str:
+    """The concrete method a front door will run (see :func:`plan`).
+
+    ``method='poly'`` raises :class:`NoPolynomialAlgorithm` on hard cells;
+    an instance no method can solve raises :class:`ValueError`.
+    """
+    built = plan(problem, db, query, method)
+    if built.chosen is None:
+        if method == "poly":
+            raise NoPolynomialAlgorithm(built.error)
+        raise ValueError(built.error)
+    return built.chosen
+
+
+def run(
+    problem: str,
+    method: str,
+    db: IncompleteDatabase,
+    query: BooleanQuery | None,
+    budget: int | None = None,
+    weights: Mapping[Any, Any] | None = None,
+) -> Any:
+    """Execute one *resolved* method through its registry entry."""
+    entry = _REGISTRY.get(problem, {}).get(method)
+    if entry is None:
+        raise ValueError(
+            "no registered method %r for problem %r" % (method, problem)
+        )
+    return entry.run(db, query, budget=budget, weights=weights)
+
+
+# ---------------------------------------------------------------------------
+# applicability predicates (reasons in both directions)
+# ---------------------------------------------------------------------------
+
+
+def _sjf_bcq_gate(query: BooleanQuery | None) -> str | None:
+    """The shared precondition of every Table 1 closed form, or ``None``."""
+    if query is None:
+        return "closed forms need a query"
+    if not isinstance(query, BCQ):
+        return "query is not a BCQ (the Table 1 dichotomies cover sjfBCQs)"
+    if not query.is_self_join_free:
+        return "query has self-joins (outside the sjfBCQ dichotomies)"
+    if not query.is_variable_only:
+        return "query atoms carry constants (outside the sjfBCQ dichotomies)"
+    return None
+
+
+def _applies_single_occurrence(
+    db: IncompleteDatabase, query: BooleanQuery | None
+) -> tuple[bool, str]:
+    gate = _sjf_bcq_gate(query)
+    if gate is not None:
+        return False, gate
+    assert isinstance(query, BCQ)
+    if has_repeated_variable_atom(query):
+        return False, "an atom repeats a variable (R(x,x)-style pattern)"
+    if has_shared_variable(query):
+        return False, "two atoms share a variable (join pattern)"
+    return True, "pattern-free sjfBCQ: Theorem 3.6 closed form"
+
+
+def _applies_codd(
+    db: IncompleteDatabase, query: BooleanQuery | None
+) -> tuple[bool, str]:
+    gate = _sjf_bcq_gate(query)
+    if gate is not None:
+        return False, gate
+    assert isinstance(query, BCQ)
+    if not db.is_codd:
+        return False, "database is not a Codd table (some null occurs twice)"
+    if has_shared_variable(query):
+        return False, "two atoms share a variable (join pattern)"
+    return True, "Codd table, join-free query: Theorem 3.7 per-null independence"
+
+
+def _applies_uniform_val(
+    db: IncompleteDatabase, query: BooleanQuery | None
+) -> tuple[bool, str]:
+    gate = _sjf_bcq_gate(query)
+    if gate is not None:
+        return False, gate
+    assert isinstance(query, BCQ)
+    if not db.is_uniform:
+        return False, "database is not uniform (per-null domains differ)"
+    if has_repeated_variable_atom(query):
+        return False, "an atom repeats a variable (R(x,x)-style pattern)"
+    if has_path_pattern(query):
+        return False, "query contains the path pattern (hard under Theorem 3.9)"
+    if has_double_edge_pattern(query):
+        return (
+            False,
+            "query contains the double-edge pattern (hard under Theorem 3.9)",
+        )
+    return True, "uniform table, pattern-free query: Theorem 3.9 algorithm"
+
+
+def _applies_uniform_unary(
+    db: IncompleteDatabase, query: BooleanQuery | None
+) -> tuple[bool, str]:
+    if query is not None:
+        gate = _sjf_bcq_gate(query)
+        if gate is not None:
+            return False, gate
+        assert isinstance(query, BCQ)
+        if has_repeated_variable_atom(query):
+            return False, "an atom repeats a variable (R(x,x)-style pattern)"
+        if has_atom_with_two_variables(query):
+            return False, "an atom uses two variables (non-unary join shape)"
+    if not db.is_uniform:
+        return False, "database is not uniform (per-null domains differ)"
+    if any(fact.arity != 1 for fact in db.facts):
+        return False, "schema is not unary (some fact has arity > 1)"
+    return True, "uniform unary instance: Theorem 4.6 closed form"
+
+
+def _applies_lineage(
+    db: IncompleteDatabase, query: BooleanQuery | None
+) -> tuple[bool, str]:
+    if not lineage_supports(query):
+        return False, "lineage compilation handles (U)CQs only"
+    return True, "(U)CQ lineage compiles to CNF; exact #SAT search"
+
+
+def _applies_circuit(
+    db: IncompleteDatabase, query: BooleanQuery | None
+) -> tuple[bool, str]:
+    if not lineage_supports(query):
+        return False, "lineage compilation handles (U)CQs only"
+    return True, "(U)CQ lineage compiles to a reusable d-DNNF circuit"
+
+
+def _applies_marginal_circuit(
+    db: IncompleteDatabase, query: BooleanQuery | None
+) -> tuple[bool, str]:
+    if query is None:
+        return False, "marginals are per-null posteriors; a query is required"
+    if not lineage_supports(query):
+        return False, "lineage compilation handles (U)CQs only"
+    return True, "(U)CQ lineage compiles to a reusable d-DNNF circuit"
+
+
+def _applies_always(
+    db: IncompleteDatabase, query: BooleanQuery | None
+) -> tuple[bool, str]:
+    return True, "enumeration works on any query (budgeted)"
+
+
+# ---------------------------------------------------------------------------
+# cost estimates (tier + bounded size term)
+# ---------------------------------------------------------------------------
+
+
+def _fraction(size: int) -> float:
+    """A monotone size proxy in ``[0, 1)`` — orders within a tier only."""
+    return size / (size + 1.0)
+
+
+def _instance_size(db: IncompleteDatabase, query: BooleanQuery | None) -> int:
+    atoms = len(query.atoms) if isinstance(query, BCQ) else 1
+    return len(db.facts) * max(atoms, 1)
+
+
+def _choice_variables(db: IncompleteDatabase) -> int:
+    return sum(len(db.domain_of(null)) for null in db.nulls)
+
+
+def _closed_form_cost(tier: float) -> Cost:
+    def cost(db: IncompleteDatabase, query: BooleanQuery | None) -> float:
+        return tier + _fraction(_instance_size(db, query))
+
+    return cost
+
+
+def _search_cost(tier: float) -> Cost:
+    def cost(db: IncompleteDatabase, query: BooleanQuery | None) -> float:
+        # The search is exponential in lineage treewidth, which no cheap
+        # estimate sees; the choice-variable count is the formula size.
+        return tier + _fraction(_choice_variables(db))
+
+    return cost
+
+
+def _brute_cost(db: IncompleteDatabase, query: BooleanQuery | None) -> float:
+    # Enumeration visits every valuation: the magnitude of the product is
+    # the honest cost signal, capped into the tier's band.  bit_length()
+    # (never str()) keeps this safe past CPython's int-to-str digit limit
+    # on astronomically large totals.
+    bits = count_total_valuations(db).bit_length()
+    return TIER_BRUTE + min(bits, 999) / 1000.0
+
+
+# ---------------------------------------------------------------------------
+# registrations
+# ---------------------------------------------------------------------------
+
+
+def _run_ignoring(function: Callable[..., Any], *forward: str) -> Run:
+    """Adapt a solver to the uniform ``run(db, query, budget, weights)``
+    signature, forwarding only the knobs it takes."""
+
+    def adapted(
+        db: IncompleteDatabase,
+        query: BooleanQuery | None,
+        budget: int | None = None,
+        weights: Any = None,
+    ) -> Any:
+        kwargs = {}
+        if "budget" in forward:
+            kwargs["budget"] = budget
+        if "weights" in forward:
+            kwargs["weights"] = weights
+        return function(db, query, **kwargs)
+
+    return adapted
+
+
+register(Method(
+    name="single-occurrence",
+    problem="val",
+    description="Theorem 3.6 closed formula (pattern-free sjfBCQs)",
+    polynomial=True,
+    supports_weights=True,
+    supports_marginals=False,
+    applies=_applies_single_occurrence,
+    cost=_closed_form_cost(TIER_CLOSED_FORM),
+    run=_run_ignoring(_val_nonuniform.count_valuations_single_occurrence),
+))
+
+register(Method(
+    name="codd",
+    problem="val",
+    description="Theorem 3.7 per-null independence (Codd tables)",
+    polynomial=True,
+    supports_weights=False,
+    supports_marginals=False,
+    applies=_applies_codd,
+    cost=_closed_form_cost(TIER_CLOSED_FORM_CODD),
+    run=_run_ignoring(_val_codd.count_valuations_codd),
+))
+
+register(Method(
+    name="uniform",
+    problem="val",
+    description="Theorem 3.9 algorithm (uniform naive tables)",
+    polynomial=True,
+    supports_weights=False,
+    supports_marginals=False,
+    applies=_applies_uniform_val,
+    cost=_closed_form_cost(TIER_CLOSED_FORM_UNIFORM),
+    run=_run_ignoring(_val_uniform.count_valuations_uniform),
+))
+
+register(Method(
+    name="lineage",
+    problem="val",
+    description="lineage -> CNF, exact #SAT with component caching",
+    polynomial=False,
+    supports_weights=False,
+    supports_marginals=False,
+    applies=_applies_lineage,
+    cost=_search_cost(TIER_LINEAGE),
+    run=_run_ignoring(count_valuations_lineage),
+    fallback="brute",
+))
+
+register(Method(
+    name="circuit",
+    problem="val",
+    description="the same search recorded once as a d-DNNF circuit",
+    polynomial=False,
+    supports_weights=True,
+    supports_marginals=True,
+    applies=_applies_circuit,
+    cost=_search_cost(TIER_CIRCUIT),
+    run=_run_ignoring(count_valuations_circuit),
+    fallback="brute",
+))
+
+register(Method(
+    name="brute",
+    problem="val",
+    description="enumerate all valuations (budgeted)",
+    polynomial=False,
+    supports_weights=True,
+    supports_marginals=False,
+    applies=_applies_always,
+    cost=_brute_cost,
+    run=_run_ignoring(brute.count_valuations_brute, "budget"),
+))
+
+register(Method(
+    name="uniform-unary",
+    problem="comp",
+    description="Theorem 4.6 closed form (uniform, unary schema)",
+    polynomial=True,
+    supports_weights=False,
+    supports_marginals=False,
+    applies=_applies_uniform_unary,
+    cost=_closed_form_cost(TIER_CLOSED_FORM),
+    run=_run_ignoring(_comp_uniform.count_completions_uniform_unary),
+))
+
+register(Method(
+    name="lineage",
+    problem="comp",
+    description="canonical-fact encoding + projected exact model counting",
+    polynomial=False,
+    supports_weights=False,
+    supports_marginals=False,
+    applies=_applies_lineage,
+    cost=_search_cost(TIER_LINEAGE),
+    run=_run_ignoring(count_completions_lineage),
+    fallback="brute",
+))
+
+register(Method(
+    name="circuit",
+    problem="comp",
+    description="the projected search recorded as a d-DNNF circuit",
+    polynomial=False,
+    supports_weights=False,
+    supports_marginals=True,
+    applies=_applies_circuit,
+    cost=_search_cost(TIER_CIRCUIT),
+    run=_run_ignoring(count_completions_circuit),
+    fallback="brute",
+))
+
+register(Method(
+    name="brute",
+    problem="comp",
+    description="enumerate valuations, deduplicate completions (budgeted)",
+    polynomial=False,
+    supports_weights=False,
+    supports_marginals=False,
+    applies=_applies_always,
+    cost=_brute_cost,
+    run=_run_ignoring(brute.count_completions_brute, "budget"),
+))
+
+register(Method(
+    name="single-occurrence",
+    problem="val-weighted",
+    description="Theorem 3.6 cell: the weighted total stays a per-null product",
+    polynomial=True,
+    supports_weights=True,
+    supports_marginals=False,
+    applies=_applies_single_occurrence,
+    cost=_closed_form_cost(TIER_CLOSED_FORM),
+    run=_run_ignoring(
+        _val_nonuniform.count_valuations_weighted_single_occurrence, "weights"
+    ),
+))
+
+
+def _run_weighted_circuit(
+    db: IncompleteDatabase,
+    query: BooleanQuery | None,
+    budget: int | None = None,
+    weights: Any = None,
+) -> Any:
+    from repro.compile.backend import ValuationCircuit
+
+    assert query is not None
+    return ValuationCircuit(db, query).weighted_count(weights)
+
+
+register(Method(
+    name="circuit",
+    problem="val-weighted",
+    description="one weighted upward pass over the compiled d-DNNF",
+    polynomial=False,
+    supports_weights=True,
+    supports_marginals=True,
+    applies=_applies_circuit,
+    cost=_search_cost(TIER_CIRCUIT),
+    run=_run_weighted_circuit,
+    fallback="brute",
+))
+
+register(Method(
+    name="brute",
+    problem="val-weighted",
+    description="weighted enumeration of all valuations (budgeted)",
+    polynomial=False,
+    supports_weights=True,
+    supports_marginals=False,
+    applies=_applies_always,
+    cost=_brute_cost,
+    run=_run_ignoring(
+        brute.count_valuations_weighted_brute, "budget", "weights"
+    ),
+))
+
+
+def _run_marginals(
+    db: IncompleteDatabase,
+    query: BooleanQuery | None,
+    budget: int | None = None,
+    weights: Any = None,
+) -> Any:
+    assert query is not None
+    return valuation_marginals(db, query, weights)
+
+
+register(Method(
+    name="circuit",
+    problem="marginals",
+    description="all (null, value) posteriors in one up+down circuit pass",
+    polynomial=False,
+    supports_weights=True,
+    supports_marginals=True,
+    applies=_applies_marginal_circuit,
+    cost=_search_cost(TIER_CIRCUIT),
+    run=_run_marginals,
+))
+
+
+__all__ = [
+    "Considered",
+    "Method",
+    "NoPolynomialAlgorithm",
+    "PROBLEMS",
+    "Plan",
+    "method_names",
+    "methods_for",
+    "plan",
+    "register",
+    "resolve",
+    "run",
+]

@@ -30,8 +30,6 @@ paper warns).
 from __future__ import annotations
 
 from itertools import combinations
-from math import prod
-from typing import Hashable
 
 from repro.core.patterns import (
     has_double_edge_pattern,

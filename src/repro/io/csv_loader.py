@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 from repro.db.fact import Fact
 from repro.db.incomplete import IncompleteDatabase

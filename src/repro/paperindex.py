@@ -9,7 +9,7 @@ via ``repro-count cite <result>``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

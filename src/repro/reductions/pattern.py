@@ -32,7 +32,7 @@ from repro.core.patterns import PatternEmbedding, find_pattern_embedding
 from repro.core.query import BCQ
 from repro.db.fact import Fact
 from repro.db.incomplete import IncompleteDatabase
-from repro.db.terms import Term, is_null
+from repro.db.terms import Term
 
 
 def _constant_pool(db: IncompleteDatabase) -> list[Term]:

@@ -72,6 +72,102 @@ class TestCount:
         assert int(capsys.readouterr().out.strip()) == 2
 
 
+class TestPlan:
+    def test_val_auto_explains_choice_and_rejections(self, db_file, capsys):
+        assert main(
+            ["plan", "--db", db_file, "--query", "R(x), S(x)"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chosen:" in out
+        assert "considered:" in out
+        # The R(x),S(x) join rules out the Theorem 3.6 closed form — the
+        # rejection and its reason must both be printed.
+        assert "single-occurrence" in out
+        assert "share a variable" in out
+
+    def test_comp_without_query(self, db_file, capsys):
+        assert main(["plan", "--problem", "comp", "--db", db_file]) == 0
+        out = capsys.readouterr().out
+        assert "problem:    comp" in out
+        assert "uniform-unary" in out
+
+    def test_weighted_and_marginals_problems(self, db_file, capsys):
+        assert main(
+            [
+                "plan", "--problem", "val-weighted", "--db", db_file,
+                "--query", "R(x), S(x)",
+            ]
+        ) == 0
+        assert "chosen:     circuit" in capsys.readouterr().out
+        assert main(
+            [
+                "plan", "--problem", "marginals", "--db", db_file,
+                "--query", "R(x), S(x)",
+            ]
+        ) == 0
+        assert "chosen:     circuit" in capsys.readouterr().out
+
+    def test_poly_on_hard_cell_exits_nonzero_with_analysis(
+        self, tmp_path, capsys
+    ):
+        # R(x,x) over a non-Codd naive table: every Table 1 closed form
+        # is rejected, so a poly plan cannot choose.
+        hard = tmp_path / "hard.idb"
+        hard.write_text("domain a b\nR(?n1, ?n1)\nR(a, b)\n", encoding="utf-8")
+        assert main(
+            [
+                "plan", "--db", str(hard), "--query", "R(x,x)",
+                "--method", "poly",
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "#P-hard" in out
+        assert "considered:" in out
+
+    def test_json_plan(self, db_file, capsys):
+        import json
+
+        assert main(
+            ["plan", "--db", db_file, "--query", "R(x), S(x)", "--json"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["problem"] == "val"
+        assert record["chosen"]
+        assert any(
+            not item["applicable"] and item["reason"]
+            for item in record["considered"]
+        )
+
+    def test_unknown_method_is_a_usage_error(self, db_file, capsys):
+        assert main(
+            [
+                "plan", "--db", db_file, "--query", "R(x), S(x)",
+                "--method", "warp",
+            ]
+        ) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_missing_query_is_a_usage_error(self, db_file, capsys):
+        assert main(["plan", "--db", db_file]) == 2
+
+
+class TestBatchSummary:
+    def test_summary_counts_fallbacks_and_worker_circuits(
+        self, tmp_path, db_file, capsys
+    ):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(
+            '{"problem": "val", "db": "%s", "query": "R(x), S(x)"}\n'
+            '{"problem": "marginals", "db": "%s", "query": "R(x), S(x)"}\n'
+            % ("instance.idb", "instance.idb"),
+            encoding="utf-8",
+        )
+        assert main(["batch", "--jobs", str(jobs), "--workers", "0"]) == 0
+        err = capsys.readouterr().err
+        assert "serial fallbacks" in err
+        assert "worker-compiled" in err
+
+
 class TestApproxAndShow:
     def test_approx(self, db_file, capsys):
         assert main(

@@ -1,0 +1,167 @@
+"""Worker-compiled circuit artifacts in the batch engine.
+
+PR 3 ran every circuit-backed job serially in the parent so the jobs could
+share one circuit store.  Now the first job of each unique, not-yet-cached
+instance compiles in a worker, ships its serialized circuit home, and the
+parent installs the artifact — so distinct instances compile in parallel
+while follow-up questions still amortize over the installed circuits, and
+``--cache-mb`` eviction still drops a circuit together with its linked
+memo entries.
+"""
+
+from __future__ import annotations
+
+from repro.compile.backend import ValuationCircuit
+from repro.engine import BatchEngine, CountCache, CountJob
+from repro.engine.jobs import instance_fingerprint_of
+from repro.workloads.generators import scaling_hard_val_instance
+
+
+def _weights_for(db):
+    return {
+        null: {
+            value: 1 + (index + position) % 3
+            for position, value in enumerate(
+                sorted(db.domain_of(null), key=repr)
+            )
+        }
+        for index, null in enumerate(db.nulls)
+    }
+
+
+def _distinct_circuit_jobs(sizes=(8, 9, 10, 11)):
+    jobs = []
+    for size in sizes:
+        db, query = scaling_hard_val_instance(size, seed=size)
+        jobs.append(
+            CountJob("val", db, query, method="circuit",
+                     label="val-%d" % size)
+        )
+        jobs.append(
+            CountJob("val-weighted", db, query, weights=_weights_for(db),
+                     label="weighted-%d" % size)
+        )
+        jobs.append(
+            CountJob("marginals", db, query, label="marginals-%d" % size)
+        )
+    return jobs
+
+
+class TestWorkerCompiledCircuits:
+    def test_answers_bit_identical_to_serial_in_parent(self):
+        jobs = _distinct_circuit_jobs()
+        serial = BatchEngine(workers=0).run(jobs)
+        parallel = BatchEngine(workers=2).run(jobs)
+        assert all(result.ok for result in serial)
+        assert all(result.ok for result in parallel)
+        for serial_result, parallel_result in zip(serial, parallel):
+            assert serial_result.count == parallel_result.count, (
+                serial_result.label
+            )
+
+    def test_artifacts_installed_and_amortized(self):
+        jobs = _distinct_circuit_jobs()
+        engine = BatchEngine(workers=2)
+        results = engine.run(jobs)
+        stats = engine.cache.stats()
+        # One circuit per unique instance, every one compiled in a worker.
+        assert stats["circuits"] == 4
+        assert stats["worker_circuits"] == 4
+        # The first job of each instance records the worker compile...
+        compiled_in_worker = [
+            result for result in results
+            if result.meta.get("compiled_in_worker")
+        ]
+        assert len(compiled_in_worker) == 4
+        # ...and no artifact bytes linger once installed.
+        assert all(result.artifact is None for result in results)
+        # Follow-up questions ran in the parent against the installed
+        # circuits instead of recompiling.
+        assert stats["circuit_hits"] >= 8
+
+    def test_second_batch_served_from_memo(self):
+        jobs = _distinct_circuit_jobs(sizes=(8, 9))
+        engine = BatchEngine(workers=2)
+        engine.run(jobs)
+        again = engine.run(jobs)
+        assert all(result.cache_hit for result in again)
+
+    def test_worker_artifact_matches_parent_compile(self):
+        db, query = scaling_hard_val_instance(9, seed=9)
+        job = CountJob("marginals", db, query, label="m")
+        engine = BatchEngine(workers=2)
+        # Two distinct circuit jobs so the pool path actually engages.
+        other_db, other_query = scaling_hard_val_instance(10, seed=10)
+        engine.run([job, CountJob("marginals", other_db, other_query)])
+        installed = engine.cache.get_circuit(instance_fingerprint_of(job))
+        assert installed is not None
+        reference = ValuationCircuit(db, query)
+        assert installed.count() == reference.count()
+        assert installed.marginals() == reference.marginals()
+        # The installed artifact is accounted at its exact wire size.
+        assert installed.memory_bytes() > 0
+
+    def test_eviction_drops_worker_circuit_with_linked_memo(self):
+        jobs = _distinct_circuit_jobs()
+        # Tight bound: each circuit fits alone (structural estimates run
+        # ~15-23 KiB here) but no two fit together.
+        bound = 25_000
+        cache = CountCache(max_circuit_bytes=bound)
+        engine = BatchEngine(workers=2, cache=cache)
+        results = engine.run(jobs)
+        assert all(result.ok for result in results)
+        stats = cache.stats()
+        assert stats["circuit_bytes"] <= bound
+        assert stats["circuit_evictions"] > 0
+        # The coherence invariant: every linked memo entry's circuit is
+        # still resident — an evicted circuit took its answers with it.
+        for fingerprint, instance in cache._entry_instance.items():
+            assert cache.has_circuit(instance)
+            assert fingerprint in cache._entries
+
+    def test_duplicate_instances_compile_once(self):
+        db, query = scaling_hard_val_instance(9, seed=3)
+        jobs = [
+            CountJob("val", db, query, method="circuit", label="a"),
+            CountJob("val-weighted", db, query,
+                     weights=_weights_for(db), label="b"),
+            CountJob("marginals", db, query, label="c"),
+        ]
+        # A second distinct instance keeps the pool path engaged.
+        other_db, other_query = scaling_hard_val_instance(10, seed=4)
+        jobs.append(CountJob("marginals", other_db, other_query, label="d"))
+        engine = BatchEngine(workers=4)
+        results = engine.run(jobs)
+        assert all(result.ok for result in results)
+        # Two unique instances -> exactly two compiles, both in workers.
+        assert engine.cache.stats()["worker_circuits"] == 2
+
+
+class TestSerialFallbackMetadata:
+    def test_unpicklable_job_records_fallback_reason(self):
+        from repro.core.query import CustomQuery
+
+        db, query = scaling_hard_val_instance(8, seed=1)
+        opaque = CustomQuery("tiny", ["R"], lambda database: True)
+        db2, query2 = scaling_hard_val_instance(9, seed=2)
+        jobs = [
+            CountJob("val", db, opaque, budget=None, label="opaque"),
+            CountJob("val", db, query, label="plain-1"),
+            CountJob("val", db2, query2, label="plain-2"),
+        ]
+        engine = BatchEngine(workers=2)
+        results = engine.run(jobs)
+        assert all(result.ok for result in results)
+        by_label = {result.label: result for result in results}
+        assert "fallback" in by_label["opaque"].meta
+        assert "parent" in by_label["opaque"].meta["fallback"]
+        assert "fallback" not in by_label["plain-1"].meta
+        # The fallback reason survives into the JSONL record.
+        assert by_label["opaque"].to_dict()["meta"]["fallback"]
+
+    def test_meta_absent_from_clean_results(self):
+        db, query = scaling_hard_val_instance(8, seed=1)
+        engine = BatchEngine(workers=0)
+        (result,) = engine.run([CountJob("val", db, query)])
+        assert result.meta == {}
+        assert "meta" not in result.to_dict()
