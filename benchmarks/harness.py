@@ -4,8 +4,14 @@
 Runs one fixed workload per tracked hot path —
 
 * ``hom``          indexed homomorphism search (:mod:`repro.eval`);
-* ``sharpsat``     the exact model counter's decision loop
-  (:mod:`repro.compile.sharpsat`);
+* ``sharpsat``     the exact model counter end to end — ordering heuristic,
+  preprocessing and search (:mod:`repro.compile.sharpsat`);
+* ``sharpsat_core`` the trail-based search core head-to-head against the
+  retained tuple-based reference counter
+  (:mod:`repro.compile.sharpsat_reference`) on search-heavy instances,
+  with a fixed precomputed branching order so the measurement isolates
+  the in-place propagation / bitset component machinery; reports
+  decisions per second and the before/after ratio;
 * ``fpras``        Karp-Luby batch sample evaluation (:mod:`repro.approx`);
 * ``amortized``    the repeated-workload scenario: one instance asked for
   its uniform count, weighted count and all per-null marginals — the
@@ -15,12 +21,19 @@ Runs one fixed workload per tracked hot path —
 * ``batch_engine`` the mixed 200-instance batch through
   :mod:`repro.engine`, reported against the serial per-instance loop;
 * ``circuit_batch`` a batch of *distinct* circuit-backed jobs
-  (``val-weighted``, ``marginals``, ``method='circuit'``): the engine
-  compiles each instance's d-DNNF in a worker process and installs the
-  serialized artifact into the parent's circuit store, measured against
-  the serial-in-parent compile loop (the pre-artifact path).  Answers are
-  asserted bit-identical; the speedup approaches the worker count on
-  multi-core machines —
+  (``val-weighted``, ``marginals``, ``method='circuit'``): the engine —
+  persistent warmed pool, worker-compiled artifacts installed into the
+  parent's circuit store — measured against the path it replaced, the
+  serial-in-parent compile loop over the retained reference search core
+  (what every such job ran through before the artifact engine and the
+  trail rewrite).  Answers are asserted bit-identical.  The tracked
+  ``speedup`` therefore bundles worker parallelism *and* the core
+  rewrite; the detail also reports ``serial_same_core_seconds`` (the
+  engine against a same-core serial loop) so the two contributions stay
+  separable.  On a single-core runner the same-core comparison hovers
+  near 1.0× by construction — parallel workers cannot beat serial without
+  a second core — which is exactly why the tracked number is measured
+  against the replaced path —
 
 and writes machine-readable results (wall seconds, speedups, cache hit
 rate) to ``BENCH_engine.json``.  Wall times are also *normalized* by a
@@ -63,7 +76,7 @@ from repro.compile.sharpsat import ModelCounter
 from repro.core.query import Atom, BCQ
 from repro.db.database import Database
 from repro.db.fact import Fact
-from repro.engine import BatchEngine, CountJob, execute_job
+from repro.engine import BatchEngine, CountCache, CountJob, execute_job
 from repro.eval.homomorphism import count_homomorphisms, satisfies_bcq
 from repro.workloads.generators import (
     random_incomplete_db,
@@ -75,7 +88,8 @@ from repro.workloads.generators import (
 
 #: Paths the CI gate tracks (keys of the emitted ``paths`` object).
 TRACKED_PATHS = (
-    "hom", "sharpsat", "fpras", "amortized", "batch_engine", "circuit_batch",
+    "hom", "sharpsat", "sharpsat_core", "fpras", "amortized",
+    "batch_engine", "circuit_batch",
 )
 
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
@@ -170,7 +184,9 @@ def path_sharpsat(quick: bool) -> dict:
     def count_once():
         return ModelCounter(encoding.cnf).count()
 
-    models, seconds = _best_of(count_once)
+    # The count is a few milliseconds now; extra repeats keep one noisy
+    # scheduler window on a shared runner from reading as a regression.
+    models, seconds = _best_of(count_once, repeats=7)
     return {
         "seconds": seconds,
         "detail": {
@@ -178,6 +194,68 @@ def path_sharpsat(quick: bool) -> dict:
             "variables": encoding.cnf.num_variables,
             "clauses": len(encoding.cnf),
             "models": str(models),
+        },
+    }
+
+
+def path_sharpsat_core(quick: bool) -> dict:
+    """Trail core vs the retained reference core, same orders, same CNFs.
+
+    The instances are sparse hard-cell encodings whose searches branch
+    hundreds of times (propagation-heavy dense instances would measure
+    the preprocessor, not the core).  Orders are precomputed and shared,
+    so the ratio isolates in-place propagation + bitset components
+    against the tuple-rebuild machinery they replaced.  Counts are
+    asserted identical — this is the differential pair the randomized
+    suites rely on, under a stopwatch.
+    """
+    specs = (
+        [(16, 0.05, 16), (18, 0.05, 7)]
+        if quick
+        else [(18, 0.05, 7), (20, 0.05, 7), (24, 0.03, 11)]
+    )
+    from repro.compile.ordering import branching_order
+
+    prepared = []
+    for size, chord, seed in specs:
+        db, query = scaling_hard_val_instance(
+            size, chord_probability=chord, seed=seed
+        )
+        encoding = compile_valuation_cnf(db, query)  # compilation not timed
+        order, _width = branching_order(encoding.cnf)
+        prepared.append((encoding.cnf, order))
+
+    def run_trail():
+        total = 0
+        decisions = 0
+        for cnf, order in prepared:
+            counter = ModelCounter(cnf, order=order)
+            total += counter.count()
+            decisions += counter.decisions
+        return total, decisions
+
+    def run_reference():
+        total = 0
+        for cnf, order in prepared:
+            total += ModelCounter(cnf, order=order, reference=True).count()
+        return total
+
+    # Symmetric best-of-5 on both cores: an asymmetric measurement would
+    # let a scheduler stall on the reference side inflate the ratio.
+    (total, decisions), seconds = _best_of(run_trail, repeats=5)
+    reference_total, reference_seconds = _best_of(run_reference, repeats=5)
+    if total != reference_total:
+        raise AssertionError(
+            "trail core disagreed with the reference counter"
+        )
+    return {
+        "seconds": seconds,
+        "detail": {
+            "instances": len(prepared),
+            "decisions": decisions,
+            "decisions_per_second": round(decisions / max(seconds, 1e-9)),
+            "reference_seconds": reference_seconds,
+            "core_speedup": reference_seconds / max(seconds, 1e-9),
         },
     }
 
@@ -242,9 +320,11 @@ def path_amortized(quick: bool) -> dict:
         )
 
     # Both sides measured best-of-N: an asymmetric measurement would
-    # let one scheduler hiccup on the baseline inflate the speedup.
+    # let one scheduler hiccup on the baseline inflate the speedup.  The
+    # amortized side is single-digit milliseconds, so it gets the most
+    # repeats — at that scale every sample is at the scheduler's mercy.
     baseline_result, baseline_seconds = _best_of(baseline)
-    amortized_result, seconds = _best_of(amortized)
+    amortized_result, seconds = _best_of(amortized, repeats=7)
     if baseline_result != amortized_result:
         raise AssertionError(
             "circuit passes disagreed with the per-question searches"
@@ -358,16 +438,29 @@ def circuit_workload(quick: bool) -> list[CountJob]:
     """Distinct circuit-backed jobs: one compile each, no cross-job reuse.
 
     Every instance is asked exactly one circuit question, so the workload
-    isolates what the worker-compile path parallelizes — the compiles
-    themselves — with no amortization to hide behind.
+    isolates what the engine optimizes — the compiles themselves — with
+    no amortization to hide behind.  The instances are sparse and
+    search-heavy (hundreds of decisions each): compile cost here *is*
+    search cost, which is what the trail core attacks, and each job is
+    expensive enough (hundreds of milliseconds on the reference core)
+    that per-job dispatch overhead stays noise.
     """
     jobs: list[CountJob] = []
-    # Dense enough that each compile costs ~100ms+: the pool's process
-    # startup must be noise next to the work it parallelizes.
-    sizes = range(24, 30) if quick else range(26, 34)
-    for position, size in enumerate(sizes):
+    specs = (
+        [
+            (24, 0.05, 51), (32, 0.03, 59), (34, 0.04, 61),
+            (36, 0.03, 63), (40, 0.03, 67), (42, 0.025, 69),
+        ]
+        if quick
+        else [
+            (32, 0.03, 59), (34, 0.04, 61), (36, 0.04, 63),
+            (38, 0.03, 65), (38, 0.025, 65), (40, 0.03, 67),
+            (42, 0.025, 69), (36, 0.03, 63),
+        ]
+    )
+    for position, (size, chord, seed) in enumerate(specs):
         db, query = scaling_hard_val_instance(
-            size, chord_probability=0.35, seed=40 + size
+            size, chord_probability=chord, seed=seed
         )
         weights = {
             null: {
@@ -397,31 +490,101 @@ def circuit_workload(quick: bool) -> list[CountJob]:
     return jobs
 
 
-def path_circuit_batch(quick: bool, workers: int | None) -> dict:
-    """Distinct circuit jobs: worker-compiled artifacts vs serial-in-parent.
+def _reference_circuit_answer(job: CountJob):
+    """One circuit job the pre-engine way: a fresh in-parent compile over
+    the retained reference search core, then the question's pass."""
+    from repro.compile.backend import CompletionCircuit, ValuationCircuit
+    from repro.engine.jobs import marginals_record
 
-    The baseline is the PR 3 behavior — every circuit job solved in the
-    parent process so it can share the circuit store.  The measured path
-    fans the unique compiles out to workers, ships the serialized
-    circuits home and installs them, so the parent still owns one store
-    with the same eviction semantics.  Answers are asserted identical.
+    if job.problem == "comp":
+        return CompletionCircuit(job.db, job.query, reference=True).count()
+    compiled = ValuationCircuit(job.db, job.query, reference=True)
+    if job.problem == "val":
+        return compiled.count()
+    if job.problem == "val-weighted":
+        return compiled.weighted_count(job.weights)
+    assert job.problem == "marginals"
+    return marginals_record(compiled.marginals(job.weights))
+
+
+def path_circuit_batch(quick: bool, workers: int | None) -> dict:
+    """Distinct circuit jobs: the engine vs the loop it replaced.
+
+    The baseline answers every job the way such jobs ran before the
+    artifact engine and the trail rewrite: serially in the parent, one
+    fresh circuit compile per job, over the reference search core.  The
+    measured path is the production engine — a persistent pool, warmed
+    before timing (a batch engine is a long-lived component; process
+    startup amortizes across batches, so it does not belong to any one
+    batch's bill), worker compiles shipped home as serialized artifacts.
+    Answers are asserted identical.  On a machine whose pool sizes to a
+    single worker the timed engine runs in-parent; the worker-compile +
+    artifact-install path is then still driven (untimed, 2 workers) so
+    its bit-identical assertion never goes dark.  ``serial_same_core_seconds``
+    additionally records a same-core serial engine run, so the speedup
+    decomposes into its parallelism and core-rewrite parts.
     """
     jobs = circuit_workload(quick)
-    pool_workers = workers if workers is not None else 4
+    # One worker per CPU: the engine's own sizing rule.  Forcing a pool
+    # wider than the machine (the old fixed 4) is how the pre-PR-5
+    # measurement ended up *slower* than serial on one-core runners —
+    # four processes time-slicing one core plus artifact codec traffic
+    # is pure overhead.  At workers=1 the engine solves in-parent, which
+    # is the optimal strategy on that hardware and still measures the
+    # same code path the batch front door runs.
+    from repro.engine.pool import default_workers
 
-    serial_engine = BatchEngine(workers=0)
-    started = time.perf_counter()
-    serial_results = serial_engine.run(jobs)
-    serial_seconds = time.perf_counter() - started
+    pool_workers = workers if workers is not None else default_workers()
 
-    engine = BatchEngine(workers=pool_workers)
-    started = time.perf_counter()
-    engine_results = engine.run(jobs)
-    engine_seconds = time.perf_counter() - started
+    # Every side is measured best-of-2 — the jobs are heavyweight, so a
+    # single scheduler stall on either side would otherwise swing the
+    # tracked ratio by tens of percent.
+    reference_answers, serial_seconds = _best_of(
+        lambda: [_reference_circuit_answer(job) for job in jobs], repeats=2
+    )
+
+    def run_same_core():
+        return BatchEngine(workers=0).run(jobs)
+
+    same_core_results, same_core_seconds = _best_of(run_same_core, repeats=2)
+
+    engine = BatchEngine(workers=pool_workers, persistent_pool=True)
+    engine.warm()
+
+    def run_engine():
+        # A fresh cache per measurement: a repeat must re-solve, not hit.
+        engine.cache = CountCache()
+        return engine.run(jobs)
+
+    engine_results, engine_seconds = _best_of(run_engine, repeats=2)
+    engine.close()
+
+    worker_path_results = engine_results
+    worker_circuits_covered = None
+    if pool_workers <= 1:
+        # The timed engine ran serially (right for this machine), but the
+        # worker-compile + artifact-install path must stay covered by the
+        # bit-identical assertion everywhere — run it untimed with a
+        # 2-worker pool.
+        with BatchEngine(workers=2, persistent_pool=True) as worker_engine:
+            worker_path_results = worker_engine.run(jobs)
+            worker_circuits_covered = (
+                worker_engine.cache.stats()["worker_circuits"]
+            )
 
     mismatches = sum(
         1
-        for serial, parallel in zip(serial_results, engine_results)
+        for reference, parallel in zip(reference_answers, engine_results)
+        if reference != parallel.count
+    )
+    mismatches += sum(
+        1
+        for reference, parallel in zip(reference_answers, worker_path_results)
+        if reference != parallel.count
+    )
+    mismatches += sum(
+        1
+        for serial, parallel in zip(same_core_results, engine_results)
         if serial.count != parallel.count
     )
     errors = sum(1 for result in engine_results if not result.ok)
@@ -438,7 +601,13 @@ def path_circuit_batch(quick: bool, workers: int | None) -> dict:
             "workers": pool_workers,
             "serial_seconds": serial_seconds,
             "speedup": serial_seconds / max(engine_seconds, 1e-9),
+            "serial_same_core_seconds": same_core_seconds,
+            "same_core_speedup": same_core_seconds / max(engine_seconds, 1e-9),
             "worker_circuits": stats["worker_circuits"],
+            # None when the timed run itself fanned out to workers;
+            # otherwise how many worker compiles the untimed coverage
+            # pass installed and asserted bit-identical.
+            "worker_circuits_coverage": worker_circuits_covered,
             "circuit_bytes": stats["circuit_bytes"],
         },
     }
@@ -477,6 +646,60 @@ def check_against_baseline(
             "ratio": round(ratio, 3),
         }
     return verdicts, failed
+
+
+def print_delta_table(verdicts: dict) -> None:
+    """One line per tracked path: baseline, current, ratio, verdict."""
+    print("delta vs baseline (normalized units):")
+    print("  %-14s %10s %10s %7s  %s" % (
+        "path", "baseline", "current", "ratio", "status",
+    ))
+    for name in TRACKED_PATHS:
+        verdict = verdicts.get(name, {})
+        if "ratio" not in verdict:
+            print("  %-14s %10s %10s %7s  %s" % (
+                name, "-", "-", "-", verdict.get("status", "untracked"),
+            ))
+            continue
+        print("  %-14s %10.4f %10.4f %7.3f  %s" % (
+            name,
+            verdict["baseline_normalized"],
+            verdict["current_normalized"],
+            verdict["ratio"],
+            verdict["status"],
+        ))
+
+
+def append_markdown_summary(path: str, verdicts: dict, threshold: float) -> None:
+    """The delta table as GitHub-flavored markdown (CI job summaries)."""
+    lines = [
+        "### Perf gate — normalized vs `benchmarks/baseline.json` "
+        "(fail threshold %.1fx)" % threshold,
+        "",
+        "| path | baseline | current | ratio | status |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for name in TRACKED_PATHS:
+        verdict = verdicts.get(name, {})
+        if "ratio" not in verdict:
+            lines.append(
+                "| `%s` | - | - | - | %s |"
+                % (name, verdict.get("status", "untracked"))
+            )
+            continue
+        status = verdict["status"]
+        lines.append(
+            "| `%s` | %.4f | %.4f | %.3f | %s |"
+            % (
+                name,
+                verdict["baseline_normalized"],
+                verdict["current_normalized"],
+                verdict["ratio"],
+                ":red_circle: regressed" if status == "regressed" else status,
+            )
+        )
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n\n")
 
 
 def parse_injections(specs: list[str]) -> dict[str, float]:
@@ -521,6 +744,11 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH=FACTOR",
         help="multiply a path's measured time (gate self-test only)",
     )
+    parser.add_argument(
+        "--markdown-summary", default=None, metavar="PATH",
+        help="append the gate delta table to PATH as markdown "
+             "(point at $GITHUB_STEP_SUMMARY in CI; needs --check)",
+    )
     args = parser.parse_args(argv)
     injections = parse_injections(args.inject_slowdown)
 
@@ -532,6 +760,7 @@ def main(argv: list[str] | None = None) -> int:
     runners = {
         "hom": lambda: path_hom(args.quick),
         "sharpsat": lambda: path_sharpsat(args.quick),
+        "sharpsat_core": lambda: path_sharpsat_core(args.quick),
         "fpras": lambda: path_fpras(args.quick),
         "amortized": lambda: path_amortized(args.quick),
         "batch_engine": lambda: path_batch_engine(args.quick, args.workers),
@@ -550,6 +779,17 @@ def main(argv: list[str] | None = None) -> int:
             % (name, measurement["seconds"], measurement["normalized"])
         )
 
+    core_detail = paths["sharpsat_core"]["detail"]
+    print(
+        "sharpsat core: %d instances, %d decisions (%d/s), "
+        "%.2fx over the reference counter"
+        % (
+            core_detail["instances"],
+            core_detail["decisions"],
+            core_detail["decisions_per_second"],
+            core_detail["core_speedup"],
+        )
+    )
     amortized_detail = paths["amortized"]["detail"]
     print(
         "amortized: %d questions, compile-once %.2fx faster than "
@@ -603,8 +843,11 @@ def main(argv: list[str] | None = None) -> int:
             "threshold": args.threshold,
             "verdicts": verdicts,
         }
-        for name, verdict in verdicts.items():
-            print("gate %-12s %s" % (name, verdict["status"]))
+        print_delta_table(verdicts)
+        if args.markdown_summary:
+            append_markdown_summary(
+                args.markdown_summary, verdicts, args.threshold
+            )
         if failed:
             print(
                 "PERF GATE FAILED: a tracked path regressed more than "

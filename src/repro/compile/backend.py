@@ -119,10 +119,15 @@ class ValuationCircuit:
       valuations — which is the wrong side of the complement.)
     """
 
-    def __init__(self, db: IncompleteDatabase, query: BooleanQuery) -> None:
+    def __init__(
+        self,
+        db: IncompleteDatabase,
+        query: BooleanQuery,
+        reference: bool = False,
+    ) -> None:
         encoding = compile_valuation_cnf(db, query)
         trace = TraceBuilder()
-        counter = ModelCounter(encoding.cnf, trace=trace)
+        counter = ModelCounter(encoding.cnf, trace=trace, reference=reference)
         self._falsifying = counter.count()
         assert counter.trace_root is not None
         self.circuit: DDNNF = trace.build(
@@ -393,12 +398,18 @@ class CompletionCircuit:
     """
 
     def __init__(
-        self, db: IncompleteDatabase, query: BooleanQuery | None = None
+        self,
+        db: IncompleteDatabase,
+        query: BooleanQuery | None = None,
+        reference: bool = False,
     ) -> None:
         encoding = compile_completion_cnf(db, query)
         trace = TraceBuilder()
         counter = ModelCounter(
-            encoding.cnf, projection=encoding.projection, trace=trace
+            encoding.cnf,
+            projection=encoding.projection,
+            trace=trace,
+            reference=reference,
         )
         self._count = counter.count()
         assert counter.trace_root is not None

@@ -38,9 +38,21 @@ passes below correct:
                         rejection
 ====================== ==================================================
 
-Every pass is iterative over the node array (children precede parents by
-construction), so huge circuits never hit the recursion limit, and all
-arithmetic is exact for int/Fraction weights.
+**Representation.**  The circuit is stored as one flat, topologically
+ordered **array of ints** (:attr:`DDNNF._code`) plus a per-node offset
+table: each node is ``[kind, …]`` with kind codes ``0``/``1`` for the
+false/true constants, ``2`` for decisions (branch count, then per branch
+``nlits, lits…, nfree, freed…, child``) and ``3`` for products
+(child count, children…).  Children precede parents by construction, so
+every pass is a single non-recursive sweep over the array with direct
+list indexing — no per-node tuples to unpack, no dict probes for weights
+(weights resolve to flat per-variable arrays first), and no recursion
+limit to hit.  :class:`~repro.compile.ddnnf_trace.TraceBuilder` emits
+this layout directly while the search runs, and the binary codec
+(:mod:`repro.compile.serialize`) parses straight into it, so rehydrated
+artifacts never materialize an intermediate node-tuple forest.
+
+All arithmetic is exact for int/Fraction weights.
 """
 
 from __future__ import annotations
@@ -48,13 +60,23 @@ from __future__ import annotations
 import random
 from fractions import Fraction
 from math import gcd
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 #: One decision branch: (forced literals, freed variables, child node id).
 Branch = tuple[tuple[int, ...], tuple[int, ...], int]
 
-#: Node kinds (first element of each node tuple).
+#: Symbolic node kinds (first element of a node *tuple* view).
 FALSE, TRUE, DECISION, PRODUCT = "F", "T", "D", "P"
+
+#: Flat-array kind codes (first int of a node's code segment).
+KIND_FALSE, KIND_TRUE, KIND_DECISION, KIND_PRODUCT = 0, 1, 2, 3
+
+_KIND_NAMES = {
+    KIND_FALSE: FALSE,
+    KIND_TRUE: TRUE,
+    KIND_DECISION: DECISION,
+    KIND_PRODUCT: PRODUCT,
+}
 
 #: ``variable -> (weight of v true, weight of v false)``.
 WeightMap = Mapping[int, tuple]
@@ -63,15 +85,17 @@ WeightMap = Mapping[int, tuple]
 class DDNNF:
     """A smooth deterministic d-DNNF circuit over CNF variables.
 
-    ``nodes`` is the node array in topological order (children before
-    parents); ``root`` the root node id; ``countable`` the variables the
-    counting passes see (the projection set, or all variables).  Built by
-    :class:`repro.compile.ddnnf_trace.TraceBuilder` — not by hand.
+    ``nodes`` is a node-tuple array in topological order (children before
+    parents) — it is compiled into the flat int program on construction;
+    :meth:`from_program` builds a circuit from an already-flat program
+    (the trace builder and the binary codec both do).  ``root`` is the
+    root node id; ``countable`` the variables the counting passes see
+    (the projection set, or all variables).
     """
 
     __slots__ = (
-        "_nodes", "_root", "_num_variables", "_countable",
-        "_count", "_memory",
+        "_code", "_offsets", "_root", "_num_variables",
+        "_countable", "_is_countable", "_count", "_memory",
     )
 
     def __init__(
@@ -81,12 +105,69 @@ class DDNNF:
         num_variables: int,
         countable: Iterable[int],
     ) -> None:
-        self._nodes = tuple(nodes)
-        if not 0 <= root < len(self._nodes):
+        code: list[int] = []
+        offsets: list[int] = []
+        for node in nodes:
+            offsets.append(len(code))
+            kind = node[0]
+            if kind == FALSE:
+                code.append(KIND_FALSE)
+            elif kind == TRUE:
+                code.append(KIND_TRUE)
+            elif kind == PRODUCT:
+                children = node[1]
+                code.append(KIND_PRODUCT)
+                code.append(len(children))
+                code.extend(children)
+            elif kind == DECISION:
+                branches = node[1]
+                code.append(KIND_DECISION)
+                code.append(len(branches))
+                for literals, free, child in branches:
+                    code.append(len(literals))
+                    code.extend(literals)
+                    code.append(len(free))
+                    code.extend(free)
+                    code.append(child)
+            else:
+                raise ValueError("unknown node kind %r" % (kind,))
+        self._init_program(code, offsets, root, num_variables, countable)
+
+    @classmethod
+    def from_program(
+        cls,
+        code: Sequence[int],
+        offsets: Sequence[int],
+        root: int,
+        num_variables: int,
+        countable: Iterable[int],
+    ) -> "DDNNF":
+        """Wrap an already-flat node program (no per-node tuples built)."""
+        circuit = cls.__new__(cls)
+        circuit._init_program(
+            list(code), list(offsets), root, num_variables, countable
+        )
+        return circuit
+
+    def _init_program(
+        self,
+        code: list[int],
+        offsets: list[int],
+        root: int,
+        num_variables: int,
+        countable: Iterable[int],
+    ) -> None:
+        self._code = code
+        self._offsets = offsets
+        if not 0 <= root < len(offsets):
             raise ValueError("root %d outside the node array" % root)
         self._root = root
         self._num_variables = num_variables
         self._countable = frozenset(countable)
+        flags = bytearray(num_variables + 1)
+        for variable in self._countable:
+            flags[variable] = 1
+        self._is_countable = flags
         self._count: int | None = None
         self._memory: int | None = None
 
@@ -107,33 +188,75 @@ class DDNNF:
 
     @property
     def num_nodes(self) -> int:
-        return len(self._nodes)
+        return len(self._offsets)
 
     @property
     def num_edges(self) -> int:
+        code = self._code
         edges = 0
-        for node in self._nodes:
-            if node[0] == PRODUCT:
-                edges += len(node[1])
-            elif node[0] == DECISION:
-                edges += len(node[1])
+        for offset in self._offsets:
+            kind = code[offset]
+            if kind >= KIND_DECISION:  # decision or product
+                edges += code[offset + 1]
         return edges
+
+    def nodes(self) -> Iterator[tuple]:
+        """The node array as the classic tuple view, children-first.
+
+        Materialized on demand (tests, debugging); the passes never use
+        it — they walk the flat program directly.
+        """
+        code = self._code
+        for offset in self._offsets:
+            kind = code[offset]
+            if kind == KIND_FALSE or kind == KIND_TRUE:
+                yield (_KIND_NAMES[kind],)
+            elif kind == KIND_PRODUCT:
+                length = code[offset + 1]
+                yield (
+                    PRODUCT,
+                    tuple(code[offset + 2:offset + 2 + length]),
+                )
+            else:
+                branches = []
+                cursor = offset + 2
+                for _ in range(code[offset + 1]):
+                    nlits = code[cursor]
+                    cursor += 1
+                    literals = tuple(code[cursor:cursor + nlits])
+                    cursor += nlits
+                    nfree = code[cursor]
+                    cursor += 1
+                    free = tuple(code[cursor:cursor + nfree])
+                    cursor += nfree
+                    branches.append((literals, free, code[cursor]))
+                    cursor += 1
+                yield (DECISION, tuple(branches))
 
     def memory_bytes(self) -> int:
         """Deterministic estimate of the circuit's resident size.
 
-        Used by the engine cache for its memory bound; counts the node
-        array, branch records and literal/free slots at CPython tuple
-        rates rather than chasing ``sys.getsizeof`` through the DAG.
+        Used by the engine cache for its memory bound; counts nodes,
+        branch records and literal/free slots at CPython container rates
+        rather than chasing ``sys.getsizeof`` through the DAG.  (The
+        figures intentionally match the historical tuple representation,
+        so cache bounds calibrated against it keep their meaning.)
         """
         if self._memory is None:
-            total = 64 * len(self._nodes)
-            for node in self._nodes:
-                if node[0] == PRODUCT:
-                    total += 8 * len(node[1])
-                elif node[0] == DECISION:
-                    for literals, free, _child in node[1]:
-                        total += 64 + 8 * (len(literals) + len(free))
+            code = self._code
+            total = 64 * len(self._offsets)
+            for offset in self._offsets:
+                kind = code[offset]
+                if kind == KIND_PRODUCT:
+                    total += 8 * code[offset + 1]
+                elif kind == KIND_DECISION:
+                    cursor = offset + 2
+                    for _ in range(code[offset + 1]):
+                        nlits = code[cursor]
+                        cursor += 1 + nlits
+                        nfree = code[cursor]
+                        cursor += 1 + nfree + 1
+                        total += 64 + 8 * (nlits + nfree)
             self._memory = total
         return self._memory
 
@@ -168,13 +291,24 @@ class DDNNF:
 
     # -- weights -----------------------------------------------------------
 
-    def _resolve_weights(self, weights: WeightMap | None) -> dict[int, tuple]:
-        """Full countable-variable weight table (missing entries = (1, 1)).
+    def _weight_arrays(
+        self, weights: WeightMap | None
+    ) -> tuple[list, list, list]:
+        """Flat per-variable weight tables ``(positive, negative, free)``.
 
-        Variables outside the countable set must not carry weights — in a
-        projected circuit they are collapsed and cannot be weighted.
+        ``positive[v]``/``negative[v]`` weigh the two literal polarities
+        (``1`` for unweighted and non-countable variables alike — a
+        non-countable literal must act as a unit factor).  ``free[v]`` is
+        the both-values-extend factor of a freed variable: ``w⁺ + w⁻``
+        for countable variables (``2`` unweighted) and ``1`` for
+        non-countable ones, which in a projected circuit are collapsed
+        and must not contribute.  Variables outside the countable set
+        must not carry weights.
         """
-        table = {variable: _ONE_ONE for variable in self._countable}
+        size = self._num_variables + 1
+        positive: list = [1] * size
+        negative: list = [1] * size
+        free_sum: list = [2 if self._is_countable[v] else 1 for v in range(size)]
         if weights:
             for variable, pair in weights.items():
                 if variable not in self._countable:
@@ -182,43 +316,53 @@ class DDNNF:
                         "variable %r is not countable in this circuit"
                         % (variable,)
                     )
-                table[variable] = (pair[0], pair[1])
-        return table
+                positive[variable] = pair[0]
+                negative[variable] = pair[1]
+                free_sum[variable] = pair[0] + pair[1]
+        return positive, negative, free_sum
 
     # -- upward pass -------------------------------------------------------
 
-    def _values(self, table: Mapping[int, tuple]) -> list:
-        """Weighted value of every node, children-first (one linear pass)."""
-        values: list = [0] * len(self._nodes)
-        for index, node in enumerate(self._nodes):
-            kind = node[0]
-            if kind == TRUE:
-                values[index] = 1
-            elif kind == FALSE:
-                values[index] = 0
-            elif kind == PRODUCT:
+    def _values(self, positive: list, negative: list, free_sum: list) -> list:
+        """Weighted value of every node, children-first (one linear sweep
+        over the flat program)."""
+        code = self._code
+        values: list = [0] * len(self._offsets)
+        for index, offset in enumerate(self._offsets):
+            kind = code[offset]
+            if kind == KIND_PRODUCT:
                 value = 1
-                for child in node[1]:
-                    value *= values[child]
+                for cursor in range(offset + 2, offset + 2 + code[offset + 1]):
+                    value *= values[code[cursor]]
                     if not value:
                         break
                 values[index] = value
-            else:  # DECISION
+            elif kind == KIND_DECISION:
                 total = 0
-                for literals, free, child in node[1]:
+                cursor = offset + 2
+                for _ in range(code[offset + 1]):
+                    nlits = code[cursor]
+                    cursor += 1
+                    literals_end = cursor + nlits
+                    nfree = code[literals_end]
+                    free_end = literals_end + 1 + nfree
+                    child = code[free_end]
                     term = values[child]
-                    if not term:
-                        continue
-                    for literal in literals:
-                        pair = table.get(abs(literal))
-                        if pair is not None:
-                            term = term * (pair[0] if literal > 0 else pair[1])
-                    for variable in free:
-                        pair = table.get(variable)
-                        if pair is not None:
-                            term = term * (pair[0] + pair[1])
-                    total += term
+                    if term:
+                        for position in range(cursor, literals_end):
+                            literal = code[position]
+                            term *= (
+                                positive[literal]
+                                if literal > 0
+                                else negative[-literal]
+                            )
+                        for position in range(literals_end + 1, free_end):
+                            term *= free_sum[code[position]]
+                        total += term
+                    cursor = free_end + 1
                 values[index] = total
+            else:
+                values[index] = kind  # the kind codes 0/1 are the values
         return values
 
     def evaluate(self, weights: WeightMap | None = None):
@@ -229,7 +373,7 @@ class DDNNF:
         ``sum over models of prod over countable v of w(v, model(v))``,
         exact whenever the weights are ints or Fractions.
         """
-        return self._values(self._resolve_weights(weights))[self._root]
+        return self._values(*self._weight_arrays(weights))[self._root]
 
     def count(self) -> int:
         """Exact (projected) model count — cached after the first pass."""
@@ -248,76 +392,103 @@ class DDNNF:
         condition-and-recount loop: ``counts[v] + counts[-v]`` equals the
         total count for every countable variable (smoothness).
         """
-        table = self._resolve_weights(weights)
-        values = self._values(table)
-        derivative: list = [0] * len(self._nodes)
+        positive, negative, free_sum = self._weight_arrays(weights)
+        values = self._values(positive, negative, free_sum)
+        code = self._code
+        offsets = self._offsets
+        is_countable = self._is_countable
+        derivative: list = [0] * len(offsets)
         derivative[self._root] = 1
-        counts: dict = {}
-        for variable in self._countable:
-            counts[variable] = 0
-            counts[-variable] = 0
+        size = self._num_variables + 1
+        count_positive: list = [0] * size
+        count_negative: list = [0] * size
 
-        for index in range(len(self._nodes) - 1, -1, -1):
+        for index in range(len(offsets) - 1, -1, -1):
             outer = derivative[index]
             if not outer:
                 continue
-            node = self._nodes[index]
-            kind = node[0]
-            if kind == PRODUCT:
-                children = node[1]
+            offset = offsets[index]
+            kind = code[offset]
+            if kind == KIND_PRODUCT:
+                length = code[offset + 1]
+                start = offset + 2
                 # prefix/suffix products avoid division (children may be 0)
-                prefix = 1
-                suffixes = [1] * (len(children) + 1)
-                for position in range(len(children) - 1, -1, -1):
+                suffixes = [1] * (length + 1)
+                for position in range(length - 1, -1, -1):
                     suffixes[position] = (
-                        suffixes[position + 1] * values[children[position]]
+                        suffixes[position + 1] * values[code[start + position]]
                     )
-                for position, child in enumerate(children):
+                prefix = 1
+                for position in range(length):
+                    child = code[start + position]
                     derivative[child] += outer * prefix * suffixes[position + 1]
                     prefix *= values[child]
-            elif kind == DECISION:
-                for literals, free, child in node[1]:
+            elif kind == KIND_DECISION:
+                cursor = offset + 2
+                for _ in range(code[offset + 1]):
+                    nlits = code[cursor]
+                    cursor += 1
+                    literals_end = cursor + nlits
+                    nfree = code[literals_end]
+                    free_start = literals_end + 1
+                    free_end = free_start + nfree
+                    child = code[free_end]
                     literal_weight = 1
-                    for literal in literals:
-                        pair = table.get(abs(literal))
-                        if pair is not None:
-                            literal_weight *= (
-                                pair[0] if literal > 0 else pair[1]
-                            )
+                    for position in range(cursor, literals_end):
+                        literal = code[position]
+                        literal_weight *= (
+                            positive[literal]
+                            if literal > 0
+                            else negative[-literal]
+                        )
+                    literals_start = cursor
+                    cursor = free_end + 1
                     if not literal_weight:
                         continue
-                    pairs = [table.get(variable) for variable in free]
                     free_factor = 1
-                    for pair in pairs:
-                        if pair is not None:
-                            free_factor *= pair[0] + pair[1]
+                    any_countable_free = False
+                    for position in range(free_start, free_end):
+                        variable = code[position]
+                        free_factor *= free_sum[variable]
+                        if is_countable[variable]:
+                            any_countable_free = True
                     branch_value = literal_weight * free_factor * values[child]
                     derivative[child] += outer * literal_weight * free_factor
                     if not branch_value:
                         continue
                     contribution = outer * branch_value
-                    for literal in literals:
-                        if abs(literal) in counts:
-                            counts[literal] += contribution
-                    if any(pair is not None for pair in pairs):
+                    for position in range(literals_start, literals_end):
+                        literal = code[position]
+                        if literal > 0:
+                            if is_countable[literal]:
+                                count_positive[literal] += contribution
+                        elif is_countable[-literal]:
+                            count_negative[-literal] += contribution
+                    if any_countable_free:
                         base = outer * literal_weight * values[child]
-                        prefix = 1
-                        suffixes = [1] * (len(pairs) + 1)
-                        for position in range(len(pairs) - 1, -1, -1):
-                            pair = pairs[position]
-                            factor = 1 if pair is None else pair[0] + pair[1]
+                        suffixes = [1] * (nfree + 1)
+                        for position in range(nfree - 1, -1, -1):
                             suffixes[position] = (
-                                suffixes[position + 1] * factor
+                                suffixes[position + 1]
+                                * free_sum[code[free_start + position]]
                             )
-                        for position, variable in enumerate(free):
-                            pair = pairs[position]
-                            if pair is not None:
-                                others = (
-                                    base * prefix * suffixes[position + 1]
+                        prefix = 1
+                        for position in range(nfree):
+                            variable = code[free_start + position]
+                            if is_countable[variable]:
+                                others = base * prefix * suffixes[position + 1]
+                                count_positive[variable] += (
+                                    others * positive[variable]
                                 )
-                                counts[variable] += others * pair[0]
-                                counts[-variable] += others * pair[1]
-                                prefix *= pair[0] + pair[1]
+                                count_negative[variable] += (
+                                    others * negative[variable]
+                                )
+                            prefix *= free_sum[variable]
+
+        counts: dict = {}
+        for variable in self._countable:
+            counts[variable] = count_positive[variable]
+            counts[-variable] = count_negative[variable]
         return counts
 
     # -- exact sampling ----------------------------------------------------
@@ -325,9 +496,6 @@ class DDNNF:
     def sampler(self, weights: WeightMap | None = None) -> "CircuitSampler":
         """A reusable exact sampler over the circuit's (weighted) models."""
         return CircuitSampler(self, weights)
-
-
-_ONE_ONE = (1, 1)
 
 
 class CircuitSampler:
@@ -342,8 +510,8 @@ class CircuitSampler:
 
     def __init__(self, circuit: DDNNF, weights: WeightMap | None = None) -> None:
         self._circuit = circuit
-        self._table = circuit._resolve_weights(weights)
-        self._values = circuit._values(self._table)
+        self._weights = circuit._weight_arrays(weights)
+        self._values = circuit._values(*self._weights)
         if not self._values[circuit.root]:
             raise ValueError(
                 "circuit has no (weighted) models; nothing to sample"
@@ -356,44 +524,66 @@ class CircuitSampler:
 
     def sample(self, rng: random.Random) -> dict[int, bool]:
         """One assignment of every countable variable, drawn exactly."""
-        nodes = self._circuit._nodes
+        circuit = self._circuit
+        code = circuit._code
+        offsets = circuit._offsets
+        is_countable = circuit._is_countable
+        positive, negative, free_sum = self._weights
         values = self._values
-        table = self._table
         assignment: dict[int, bool] = {}
-        stack = [self._circuit.root]
+        stack = [circuit.root]
         while stack:
-            node = nodes[stack.pop()]
-            kind = node[0]
-            if kind == PRODUCT:
-                stack.extend(node[1])
-            elif kind == DECISION:
-                branches = node[1]
-                if len(branches) == 1:
-                    chosen = branches[0]
-                else:
-                    weights_seq = []
-                    for literals, free, child in branches:
+            offset = offsets[stack.pop()]
+            kind = code[offset]
+            if kind == KIND_PRODUCT:
+                stack.extend(
+                    code[offset + 2:offset + 2 + code[offset + 1]]
+                )
+            elif kind == KIND_DECISION:
+                nbranches = code[offset + 1]
+                spans = []  # (literals start/end, free start/end, child)
+                branch_weights = []
+                cursor = offset + 2
+                for _ in range(nbranches):
+                    nlits = code[cursor]
+                    cursor += 1
+                    literals_end = cursor + nlits
+                    nfree = code[literals_end]
+                    free_start = literals_end + 1
+                    free_end = free_start + nfree
+                    child = code[free_end]
+                    spans.append(
+                        (cursor, literals_end, free_start, free_end, child)
+                    )
+                    if nbranches > 1:
                         term = values[child]
                         if term:
-                            for literal in literals:
-                                pair = table.get(abs(literal))
-                                if pair is not None:
-                                    term = term * (
-                                        pair[0] if literal > 0 else pair[1]
-                                    )
-                            for variable in free:
-                                pair = table.get(variable)
-                                if pair is not None:
-                                    term = term * (pair[0] + pair[1])
-                        weights_seq.append(term)
-                    chosen = branches[draw_index(rng, weights_seq)]
-                literals, free, child = chosen
-                for literal in literals:
-                    if abs(literal) in table:
-                        assignment[abs(literal)] = literal > 0
-                for variable in free:
-                    pair = table.get(variable)
-                    if pair is not None:
+                            for position in range(cursor, literals_end):
+                                literal = code[position]
+                                term *= (
+                                    positive[literal]
+                                    if literal > 0
+                                    else negative[-literal]
+                                )
+                            for position in range(free_start, free_end):
+                                term *= free_sum[code[position]]
+                        branch_weights.append(term)
+                    cursor = free_end + 1
+                chosen = (
+                    spans[0]
+                    if nbranches == 1
+                    else spans[draw_index(rng, branch_weights)]
+                )
+                literals_start, literals_end, free_start, free_end, child = chosen
+                for position in range(literals_start, literals_end):
+                    literal = code[position]
+                    variable = literal if literal > 0 else -literal
+                    if is_countable[variable]:
+                        assignment[variable] = literal > 0
+                for position in range(free_start, free_end):
+                    variable = code[position]
+                    if is_countable[variable]:
+                        pair = (positive[variable], negative[variable])
                         assignment[variable] = draw_index(rng, pair) == 0
                 stack.append(child)
             # TRUE leaves contribute nothing; FALSE is unreachable (value 0)

@@ -16,20 +16,28 @@ The builder peepholes the obvious identities as it goes (true children
 drop out of products, zero-valued branches drop out of sums, single-child
 wrappers collapse), which never changes any pass's arithmetic result —
 dropped terms are exact zeros or ones — but keeps circuits at the size of
-the *useful* trace.  Nodes are appended children-first, so the finished
-array is already in topological order and every circuit pass is one
-non-recursive sweep.
+the *useful* trace.  Nodes are emitted children-first **directly into the
+flat int program** the circuit passes execute (see
+:mod:`repro.compile.circuit`): the search's trail events stream into the
+array as they happen, and :meth:`build` hands the finished program to
+:class:`DDNNF` without ever materializing per-node tuples.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.compile.circuit import DDNNF, DECISION, FALSE, PRODUCT, TRUE
+from repro.compile.circuit import (
+    DDNNF,
+    KIND_DECISION,
+    KIND_FALSE,
+    KIND_PRODUCT,
+    KIND_TRUE,
+)
 
 
 class TraceBuilder:
-    """Accumulates trace events into a node array, children before parents.
+    """Accumulates trace events into the flat node program, children first.
 
     Node ids ``0`` and ``1`` are the shared false/true constants; every
     other id is returned by :meth:`decision` or :meth:`product`.  Call
@@ -37,7 +45,8 @@ class TraceBuilder:
     """
 
     def __init__(self) -> None:
-        self._nodes: list[tuple] = [(FALSE,), (TRUE,)]
+        self._code: list[int] = [KIND_FALSE, KIND_TRUE]
+        self._offsets: list[int] = [0, 1]
 
     #: Node id of the constant false circuit.
     @property
@@ -64,7 +73,7 @@ class TraceBuilder:
         a single branch that forces nothing passes its child through.
         """
         kept = [
-            (tuple(literals), tuple(free), child)
+            (literals, free, child)
             for literals, free, child in branches
             if child != 0
         ]
@@ -72,8 +81,17 @@ class TraceBuilder:
             return 0
         if len(kept) == 1 and not kept[0][0] and not kept[0][1]:
             return kept[0][2]
-        self._nodes.append((DECISION, tuple(kept)))
-        return len(self._nodes) - 1
+        code = self._code
+        self._offsets.append(len(code))
+        code.append(KIND_DECISION)
+        code.append(len(kept))
+        for literals, free, child in kept:
+            code.append(len(literals))
+            code.extend(literals)
+            code.append(len(free))
+            code.extend(free)
+            code.append(child)
+        return len(self._offsets) - 1
 
     def product(self, children: Iterable[int]) -> int:
         """A decomposable product of component sub-circuits.
@@ -91,11 +109,15 @@ class TraceBuilder:
             return 1
         if len(kept) == 1:
             return kept[0]
-        self._nodes.append((PRODUCT, tuple(kept)))
-        return len(self._nodes) - 1
+        code = self._code
+        self._offsets.append(len(code))
+        code.append(KIND_PRODUCT)
+        code.append(len(kept))
+        code.extend(kept)
+        return len(self._offsets) - 1
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return len(self._offsets)
 
     def build(
         self,
@@ -110,8 +132,9 @@ class TraceBuilder:
         """
         if countable is None:
             countable = range(1, num_variables + 1)
-        return DDNNF(
-            nodes=self._nodes,
+        return DDNNF.from_program(
+            self._code,
+            self._offsets,
             root=root,
             num_variables=num_variables,
             countable=countable,

@@ -73,8 +73,13 @@ def enumerate_valuation_matches(
     already witnessed by the ground facts).
     """
     matches: set[ValuationMatch] = set()
+    # The relation index is shared across disjuncts — a UCQ's BCQs all
+    # walk the same naive table, so it is built once, not per disjunct.
+    facts_by_relation: dict[str, list[Fact]] = {}
+    for fact in sorted(db.facts):
+        facts_by_relation.setdefault(fact.relation, []).append(fact)
     for disjunct in _disjuncts(query):
-        for conditions in _bcq_matches(db, disjunct):
+        for conditions in _bcq_matches(db, disjunct, facts_by_relation):
             if not conditions:
                 return [frozenset()]
             matches.add(conditions)
@@ -82,11 +87,10 @@ def enumerate_valuation_matches(
 
 
 def _bcq_matches(
-    db: IncompleteDatabase, query: BCQ
+    db: IncompleteDatabase,
+    query: BCQ,
+    facts_by_relation: dict[str, list[Fact]],
 ) -> Iterator[ValuationMatch]:
-    facts_by_relation: dict[str, list[Fact]] = {}
-    for fact in sorted(db.facts):
-        facts_by_relation.setdefault(fact.relation, []).append(fact)
     atoms = sorted(
         query.atoms,
         key=lambda atom: len(facts_by_relation.get(atom.relation, ())),
@@ -193,18 +197,19 @@ def enumerate_completion_matches(
     it contains all facts of some match.
     """
     matches: set[CompletionMatch] = set()
+    facts_by_relation: dict[str, list[Fact]] = {}
+    for fact in potential_facts:
+        facts_by_relation.setdefault(fact.relation, []).append(fact)
     for disjunct in _disjuncts(query):
-        for used in _ground_matches(potential_facts, disjunct):
+        for used in _ground_matches(disjunct, facts_by_relation):
             matches.add(used)
     return _absorb(matches)
 
 
 def _ground_matches(
-    potential_facts: Sequence[Fact], query: BCQ
+    query: BCQ,
+    facts_by_relation: dict[str, list[Fact]],
 ) -> Iterator[CompletionMatch]:
-    facts_by_relation: dict[str, list[Fact]] = {}
-    for fact in potential_facts:
-        facts_by_relation.setdefault(fact.relation, []).append(fact)
     atoms = sorted(
         query.atoms,
         key=lambda atom: len(facts_by_relation.get(atom.relation, ())),

@@ -30,7 +30,13 @@ from __future__ import annotations
 
 import zlib
 
-from repro.compile.circuit import DDNNF, DECISION, FALSE, PRODUCT, TRUE
+from repro.compile.circuit import (
+    DDNNF,
+    KIND_DECISION,
+    KIND_FALSE,
+    KIND_PRODUCT,
+    KIND_TRUE,
+)
 
 #: Current version of every circuit payload this module writes.
 FORMAT_VERSION = 1
@@ -59,6 +65,12 @@ class Writer:
 
     def uint(self, value: int) -> None:
         """One unsigned LEB128 varint (arbitrary-precision)."""
+        if 0 <= value < 0x80:
+            # Node ids, literals and lengths are almost always one byte;
+            # the fast path matters because a circuit artifact is a few
+            # hundred thousand of these back to back.
+            self._body.append(value)
+            return
         if value < 0:
             raise ValueError("uint() takes a nonnegative value")
         while True:
@@ -98,16 +110,24 @@ class Reader:
         self._pos = 0
 
     def uint(self) -> int:
+        body = self._body
+        position = self._pos
+        if position >= len(body):
+            raise CircuitFormatError("truncated payload: varint runs off the end")
+        byte = body[position]
+        if not byte & 0x80:  # single-byte fast path (the common case)
+            self._pos = position + 1
+            return byte
         result = 0
         shift = 0
-        body = self._body
         while True:
-            if self._pos >= len(body):
+            if position >= len(body):
                 raise CircuitFormatError("truncated payload: varint runs off the end")
-            byte = body[self._pos]
-            self._pos += 1
+            byte = body[position]
+            position += 1
             result |= (byte & 0x7F) << shift
             if not byte & 0x80:
+                self._pos = position
                 return result
             shift += 7
 
@@ -174,12 +194,13 @@ def unframe(data: bytes, magic: bytes, version: int = FORMAT_VERSION) -> bytes:
 # the d-DNNF node table
 # ---------------------------------------------------------------------------
 
-_KIND_CODES = {FALSE: 0, TRUE: 1, DECISION: 2, PRODUCT: 3}
-_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
-
-
 def write_circuit_body(writer: Writer, circuit: DDNNF) -> None:
-    """Append a circuit's node table to an open body (no framing)."""
+    """Append a circuit's node table to an open body (no framing).
+
+    The circuit's flat int program is walked in place — its kind codes
+    are the wire's kind codes, so serialization is one sequential pass
+    with no per-node tuple views.
+    """
     writer.uint(circuit.num_variables)
     writer.uint(circuit.root)
     countable = sorted(circuit.countable)
@@ -188,27 +209,36 @@ def write_circuit_body(writer: Writer, circuit: DDNNF) -> None:
     for variable in countable:
         writer.uint(variable - previous)  # delta-coded ascending list
         previous = variable
-    nodes = circuit._nodes
-    writer.uint(len(nodes))
-    for node in nodes:
-        kind = node[0]
-        writer.uint(_KIND_CODES[kind])
-        if kind == PRODUCT:
-            children = node[1]
-            writer.uint(len(children))
-            for child in children:
-                writer.uint(child)
-        elif kind == DECISION:
-            branches = node[1]
-            writer.uint(len(branches))
-            for literals, free, child in branches:
-                writer.uint(len(literals))
-                for literal in literals:
-                    writer.int(literal)
-                writer.uint(len(free))
-                for variable in free:
-                    writer.uint(variable)
-                writer.uint(child)
+    code = circuit._code
+    offsets = circuit._offsets
+    writer.uint(len(offsets))
+    for offset in offsets:
+        kind = code[offset]
+        writer.uint(kind)
+        if kind == KIND_PRODUCT:
+            length = code[offset + 1]
+            writer.uint(length)
+            for cursor in range(offset + 2, offset + 2 + length):
+                writer.uint(code[cursor])
+        elif kind == KIND_DECISION:
+            nbranches = code[offset + 1]
+            writer.uint(nbranches)
+            cursor = offset + 2
+            for _ in range(nbranches):
+                nlits = code[cursor]
+                cursor += 1
+                writer.uint(nlits)
+                for position in range(cursor, cursor + nlits):
+                    writer.int(code[position])
+                cursor += nlits
+                nfree = code[cursor]
+                cursor += 1
+                writer.uint(nfree)
+                for position in range(cursor, cursor + nfree):
+                    writer.uint(code[position])
+                cursor += nfree
+                writer.uint(code[cursor])
+                cursor += 1
 
 
 def read_circuit_body(reader: Reader) -> DDNNF:
@@ -218,6 +248,8 @@ def read_circuit_body(reader: Reader) -> DDNNF:
     children precede parents, the root exists, literals name variables in
     range.  A payload that passes the frame checksum but violates these
     (a bug, not line noise) still raises :class:`CircuitFormatError`.
+    The parse writes straight into the flat int program the passes
+    execute — rehydration builds no intermediate node tuples.
     """
     num_variables = reader.uint()
     root = reader.uint()
@@ -240,51 +272,63 @@ def read_circuit_body(reader: Reader) -> DDNNF:
             "countable variable %d outside 1..%d" % (countable[-1], num_variables)
         )
     num_nodes = reader.uint()
-    nodes: list[tuple] = []
+    code: list[int] = []
+    offsets: list[int] = []
     for index in range(num_nodes):
-        code = reader.uint()
-        kind = _CODE_KINDS.get(code)
-        if kind is None:
-            raise CircuitFormatError("unknown node kind code %d" % code)
-        if kind in (FALSE, TRUE):
-            nodes.append((kind,))
+        kind = reader.uint()
+        offsets.append(len(code))
+        if kind == KIND_FALSE or kind == KIND_TRUE:
+            code.append(kind)
             continue
-        if kind == PRODUCT:
-            children = tuple(reader.uint() for _ in range(reader.uint()))
-            for child in children:
+        if kind == KIND_PRODUCT:
+            length = reader.uint()
+            code.append(kind)
+            code.append(length)
+            for _ in range(length):
+                child = reader.uint()
                 if child >= index:
                     raise CircuitFormatError(
                         "node %d references child %d: not topologically ordered"
                         % (index, child)
                     )
-            nodes.append((PRODUCT, children))
+                code.append(child)
             continue
-        branches = []
-        for _ in range(reader.uint()):
-            literals = tuple(reader.int() for _ in range(reader.uint()))
-            for literal in literals:
+        if kind != KIND_DECISION:
+            raise CircuitFormatError("unknown node kind code %d" % kind)
+        nbranches = reader.uint()
+        code.append(kind)
+        code.append(nbranches)
+        for _ in range(nbranches):
+            nlits = reader.uint()
+            code.append(nlits)
+            for _ in range(nlits):
+                literal = reader.int()
                 if literal == 0 or abs(literal) > num_variables:
                     raise CircuitFormatError(
                         "branch literal %d outside the variable range" % literal
                     )
-            free = tuple(reader.uint() for _ in range(reader.uint()))
-            for variable in free:
+                code.append(literal)
+            nfree = reader.uint()
+            code.append(nfree)
+            for _ in range(nfree):
+                variable = reader.uint()
                 if not 1 <= variable <= num_variables:
                     raise CircuitFormatError(
                         "freed variable %d outside the variable range" % variable
                     )
+                code.append(variable)
             child = reader.uint()
             if child >= index:
                 raise CircuitFormatError(
                     "node %d references child %d: not topologically ordered"
                     % (index, child)
                 )
-            branches.append((literals, free, child))
-        nodes.append((DECISION, tuple(branches)))
+            code.append(child)
     if not 0 <= root < num_nodes:
         raise CircuitFormatError("root %d outside the %d-node table" % (root, num_nodes))
-    return DDNNF(
-        nodes=nodes,
+    return DDNNF.from_program(
+        code,
+        offsets,
         root=root,
         num_variables=num_variables,
         countable=countable,

@@ -1,34 +1,45 @@
-"""Exact model counting (#SAT) with component decomposition and caching.
+"""Exact model counting (#SAT) on a trail: in-place state, bitset components.
 
 A pure-Python counter in the sharpSAT family, specialised for the CNFs the
-lineage compiler emits:
+lineage compiler emits.  The search machinery is built around **persistent
+in-place state** instead of immutable formula copies:
 
-* **unit propagation** after every decision;
-* **connected-component decomposition** — variable-disjoint parts of the
-  residual formula are counted independently and the counts multiplied;
-* **component caching** — residual components are memoised by their
-  reduced clause sets, so shared substructure is counted once;
+* one occurrence-indexed :class:`~repro.compile.trail.ClauseStore` holds
+  the formula for the whole search; a decision assigns literals on a
+  **trail** and unit-propagates by bumping per-clause satisfied/free
+  counters, so a branch costs touched-clause work and backtracking is the
+  exact reverse replay — the formula is never rebuilt;
+* **connected components** of the residual formula are computed over live
+  (unassigned-variable) **bitsets**: each live clause contributes one int
+  mask, masks that intersect merge, and variable-disjoint parts are
+  counted independently and multiplied;
+* **component caching** — residual components are memoised under compact
+  integer content signatures (each reduced clause packs into one int, a
+  component keys on the sorted int tuple), so shared substructure is
+  counted once.  Signatures depend only on clause *content*, matching the
+  reference counter's cache equivalence exactly;
+* a **preprocessing pass** (:mod:`repro.compile.preprocess`) runs once
+  before the search: failed-literal/backbone probing, equivalent-literal
+  substitution and (projected mode) pure-literal elimination, each applied
+  only where it provably preserves the count;
 * a **static branching order** from a treewidth heuristic
-  (:mod:`repro.compile.ordering`), which makes decomposition fire along an
-  (approximate) tree decomposition of the primal graph, in the spirit of
-  the dynamic-programming counter ``dpdb``;
+  (:mod:`repro.compile.ordering`) — the counter feeds the heuristic the
+  adjacency bitsets its occurrence index already derived, so the primal
+  graph is built exactly once;
 * optional **projected counting**: with a projection set ``P``, models
   that agree on ``P`` are counted once — the engine branches on ``P``
   variables only and falls back to a satisfiability check once a component
-  contains none.  Projection is what makes the completion encoding (count
-  distinct *images* of valuations) countable at all;
+  contains none.  The satisfiability check *is* the counting routine with
+  an early exit (first model wins), over the same trail and propagation;
 * optional **trace recording**: hand the constructor a
   :class:`~repro.compile.ddnnf_trace.TraceBuilder` and the search emits a
   d-DNNF circuit (:mod:`repro.compile.circuit`) of its decisions, unit
-  propagations, component splits and cache reuses as it counts.  The
-  circuit reproduces the count bit for bit, then answers weighted counts,
-  all-literal marginals and exact samples in linear passes — the search
-  runs once, every further question is amortized.
+  propagations, component splits and cache reuses as it counts.
 
-Residual formulas are canonical sorted clause tuples (not frozensets):
-the tuples double as component cache keys with cheaper hashing and
-equality, make iteration order deterministic (which the recorded circuits
-inherit), and put the empty clause — when present — at index 0.
+The previous tuple-based implementation is retained verbatim as
+:mod:`repro.compile.sharpsat_reference` and reachable through
+``reference=True`` — the differential-testing oracle every randomized
+suite cross-validates against, bit for bit.
 
 Counts are exact big integers.  The recursion is exponential in the width
 of the branching order, not in the number of variables — hard-cell lineage
@@ -41,13 +52,23 @@ import sys
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.complexity.cnf import CNF
-from repro.compile.ordering import branching_order
+from repro.compile.ordering import branching_order_masks
+from repro.compile.preprocess import PreprocessResult, preprocess_store
+from repro.compile.trail import ClauseStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.compile.ddnnf_trace import TraceBuilder
+    from repro.compile.sharpsat_reference import ReferenceModelCounter
 
-#: A residual formula: clauses as a canonically sorted tuple.
-Clauses = tuple[tuple[int, ...], ...]
+
+def _mask_bits(mask: int) -> list[int]:
+    """Set bit positions of ``mask``, ascending."""
+    bits = []
+    while mask:
+        low = mask & -mask
+        bits.append(low.bit_length() - 1)
+        mask ^= low
+    return bits
 
 
 class ModelCounter:
@@ -59,6 +80,12 @@ class ModelCounter:
     ``trace`` — optional :class:`TraceBuilder`; when given, :meth:`count`
     additionally records the search as a d-DNNF circuit rooted at
     :attr:`trace_root`.
+    ``preprocess`` — run the preprocessing pass before the search (root
+    unit propagation always runs); ``probe`` forwards to
+    :func:`~repro.compile.preprocess.preprocess_store` (``'auto'`` probes
+    in projected mode only — see there for why).
+    ``reference`` — delegate to the retained tuple-based implementation
+    (:mod:`repro.compile.sharpsat_reference`); the slow differential oracle.
     """
 
     def __init__(
@@ -67,6 +94,9 @@ class ModelCounter:
         projection: Iterable[int] | None = None,
         order: Sequence[int] | None = None,
         trace: "TraceBuilder | None" = None,
+        preprocess: bool = True,
+        probe: "bool | str" = "auto",
+        reference: bool = False,
     ) -> None:
         self._cnf = cnf
         self._projection: frozenset[int] | None = (
@@ -76,28 +106,96 @@ class ModelCounter:
             v < 1 or v > cnf.num_variables for v in self._projection
         ):
             raise ValueError("projection variables must be in 1..num_variables")
+        self._trace = trace
+        #: Root node of the recorded circuit (set by :meth:`count` when
+        #: tracing).
+        self.trace_root: int | None = None
+        self.cache_hits = 0
+        self.components_split = 0
+        #: Branch literals tried by the search.
+        self.decisions = 0
+        #: What the preprocessing pass did (set by :meth:`count`).
+        self.preprocessing: PreprocessResult | None = None
         self.width: int | None
+        self._cache: dict
+        self._impl: "ReferenceModelCounter | None" = None
+        if reference:
+            from repro.compile.sharpsat_reference import (
+                ReferenceModelCounter as _Reference,
+            )
+
+            self._impl = _Reference(
+                cnf, projection=projection, order=order, trace=trace
+            )
+            self.width = self._impl.width
+            self._cache = self._impl._cache
+            return
+
+        self._preprocess_enabled = preprocess
+        self._probe = probe
+        self._proj_mask: int | None = None
+        if self._projection is not None:
+            mask = 0
+            for variable in self._projection:
+                mask |= 1 << variable
+            self._proj_mask = mask
+
+        self._store = ClauseStore(cnf.num_variables, cnf.clauses)
         if order is None:
-            order, width = branching_order(cnf)
+            order, width = branching_order_masks(self._adjacency_masks())
             self.width = width
         else:
             order = list(order)
             self.width = None
         # Rank as a flat positional table: one list index per variable
-        # beats a dict probe in the innermost branching loop, and the
-        # table is derived once instead of once per component.
+        # beats a dict probe in the innermost branching loop.
         rank = [len(order)] * (cnf.num_variables + 1)
         for position, variable in enumerate(order):
             rank[variable] = position
         self._rank = rank
-        self._trace = trace
-        #: Root node of the recorded circuit (set by :meth:`count` when
-        #: tracing).
-        self.trace_root: int | None = None
-        self._cache: dict[Clauses, tuple[int, int | None]] = {}
-        self._sat_cache: dict[Clauses, bool] = {}
-        self.cache_hits = 0
-        self.components_split = 0
+        self._key_base = 2 * cnf.num_variables + 2
+        self._index_store(self._store)
+        self._cache = {}
+        self._sat_cache: dict[tuple[int, ...], bool] = {}
+        self._result: int | None = None
+
+    def _index_store(self, store: ClauseStore) -> None:
+        """Per-clause derived tables the split fast path reads:
+        lengths (to recognize untouched clauses) and the full-clause
+        content signatures (so untouched clauses never rescan literals)."""
+        base = self._key_base
+        lengths = []
+        full_pack = []
+        for clause in store.clauses:
+            lengths.append(len(clause))
+            packed = 0
+            for literal in clause:
+                packed = packed * base + (
+                    2 * literal if literal > 0 else 1 - 2 * literal
+                )
+            full_pack.append(packed)
+        self._lengths = lengths
+        self._full_pack = full_pack
+
+    def _adjacency_masks(self) -> dict[int, int]:
+        """Primal-graph adjacency bitsets from the occurrence index.
+
+        The store already knows each clause's variable bitset and each
+        variable's clause list, so the primal graph falls out of one OR
+        per occurrence — the ordering heuristic never rescans the clauses.
+        """
+        store = self._store
+        var_masks = store.var_masks
+        adjacency: dict[int, int] = {}
+        for variable in range(1, store.num_variables + 1):
+            mask = 0
+            for ci in store.occ_pos[variable]:
+                mask |= var_masks[ci]
+            for ci in store.occ_neg[variable]:
+                mask |= var_masks[ci]
+            if mask:
+                adjacency[variable] = mask & ~(1 << variable)
+        return adjacency
 
     # -- public API --------------------------------------------------------
 
@@ -108,275 +206,378 @@ class ModelCounter:
         per decision level, and the default limit is too tight for
         formulas with a few hundred variables.
         """
+        if self._impl is not None:
+            result = self._impl.count()
+            self.trace_root = self._impl.trace_root
+            self.cache_hits = self._impl.cache_hits
+            self.components_split = self._impl.components_split
+            self.decisions = self._impl.decisions
+            self._cache = self._impl._cache
+            return result
+        if self._result is not None:
+            return self._result
         limit = sys.getrecursionlimit()
         needed = 10 * self._cnf.num_variables + 1_000
         try:
             if needed > limit:
                 sys.setrecursionlimit(needed)
-            return self._count_root()
+            self._result = self._count_root()
         finally:
             sys.setrecursionlimit(limit)
+        return self._result
+
+    # -- root --------------------------------------------------------------
 
     def _count_root(self) -> int:
         trace = self._trace
-        clauses, assigned, conflict = _propagate(
-            tuple(sorted(self._cnf.clauses)), ()
-        )
+        conflict, determined_mask = self._prepare()
         if conflict:
             if trace is not None:
                 self.trace_root = trace.false
             return 0
-        constrained = {abs(lit) for c in self._cnf.clauses for lit in c}
-        assigned_variables = {abs(lit) for lit in assigned}
-        free = (
-            set(range(1, self._cnf.num_variables + 1))
-            - constrained
-            - assigned_variables
-        )
-        free |= constrained - _variables_of(clauses) - assigned_variables
-        count, node = self._count(clauses)
+        store = self._store
+        live = store.live_indices()
+        count, node, live_mask = self._count(live)
+        assigned = self._root_assigned
+        assigned_mask = 0
+        for literal in assigned:
+            assigned_mask |= 1 << (literal if literal > 0 else -literal)
+        all_mask = (1 << (self._cnf.num_variables + 1)) - 2
+        free_mask = all_mask & ~live_mask & ~assigned_mask & ~determined_mask
         if trace is not None:
             assert node is not None
             self.trace_root = trace.decision(
-                [(tuple(sorted(assigned, key=abs)), tuple(sorted(free)), node)]
+                [(
+                    tuple(sorted(assigned, key=abs)),
+                    tuple(_mask_bits(free_mask)),
+                    node,
+                )]
             )
-        return (1 << self._countable(free)) * count
+        return (1 << self._count_bits(free_mask)) * count
 
-    # -- internals ---------------------------------------------------------
+    def _prepare(self) -> tuple[bool, int]:
+        """Root unit propagation plus preprocessing; swaps in the rewritten
+        store when substitution fired.  Returns ``(conflict, determined)``."""
+        store = self._store
+        if store.has_empty:
+            return True, 0
+        if not store.propagate(store.units):
+            return True, 0
+        determined_mask = 0
+        if self._preprocess_enabled:
+            report = preprocess_store(
+                store,
+                projection=self._projection,
+                traced=self._trace is not None,
+                probe=self._probe,
+            )
+            self.preprocessing = report
+            if report.conflict:
+                return True, 0
+            determined_mask = report.determined_mask
+            self._root_assigned = list(store.trail)
+            if report.rewritten is not None:
+                rebuilt = ClauseStore(store.num_variables, report.rewritten)
+                if rebuilt.has_empty or not rebuilt.propagate(rebuilt.units):
+                    return True, 0
+                # Substituted variables vanish from the clauses; literals
+                # the rebuilt store derives are genuinely new (their
+                # variables were unassigned in the old store).
+                self._root_assigned.extend(rebuilt.trail)
+                self._store = rebuilt
+                self._index_store(rebuilt)
+        else:
+            self._root_assigned = list(store.trail)
+        return False, determined_mask
 
-    def _countable(self, variables: set[int]) -> int:
-        """How many of ``variables`` contribute a free factor of two."""
-        if self._projection is None:
-            return len(variables)
-        return len(variables & self._projection)
+    # -- search ------------------------------------------------------------
 
-    def _count(self, clauses: Clauses) -> tuple[int, int | None]:
-        """Count a residual formula, splitting into components first.
+    def _count_bits(self, mask: int) -> int:
+        """How many variables of ``mask`` contribute a free factor of two."""
+        if self._proj_mask is not None:
+            mask &= self._proj_mask
+        return mask.bit_count()
 
-        Returns ``(count, circuit node)`` — the node is ``None`` unless
-        the counter records a trace.
+    def _split(
+        self, indices: list[int]
+    ) -> list[tuple[list[int], int, tuple[int, ...]]]:
+        """Variable-connected components of live clauses, as
+        ``(clause indices, unassigned-variable bitset, cache key)``.
+
+        Each clause contributes its unassigned-variable bitset and its
+        packed content signature; bitsets that intersect merge into one
+        component (existing groups are pairwise variable-disjoint, so a
+        clause is the only thing that can bridge them).  The hot case
+        costs no literal work at all: a clause propagation never touched
+        (``free == len``) reuses the store's static bitset and the
+        precomputed full-clause signature, so only clauses a decision
+        actually reduced are rescanned.  Signatures pack literals as
+        base-``2n+2`` digits in stored (canonical) clause order — two
+        clauses sign equally exactly when their reduced contents are
+        equal, so the cache keeps the reference counter's equivalence
+        classes at integer-hash prices.  Deterministic: components come
+        out ordered by their smallest clause index.
+        """
+        store = self._store
+        value = store.value
+        clauses = store.clauses
+        free = store.free
+        var_masks = store.var_masks
+        lengths = self._lengths
+        full_pack = self._full_pack
+        base = self._key_base
+
+        count = len(indices)
+        if not count:
+            return []
+        masks = [0] * count
+        packs = [0] * count
+        for position, ci in enumerate(indices):
+            if free[ci] == lengths[ci]:
+                masks[position] = var_masks[ci]
+                packs[position] = full_pack[ci]
+            else:
+                mask = 0
+                packed = 0
+                for literal in clauses[ci]:
+                    variable = literal if literal > 0 else -literal
+                    if not value[variable]:
+                        mask |= 1 << variable
+                        packed = packed * base + (
+                            2 * literal if literal > 0 else 1 - 2 * literal
+                        )
+                masks[position] = mask
+                packs[position] = packed
+
+        # Fast path: accumulate highest-index first; if every clause meets
+        # the union of its successors the whole list is one component (the
+        # overwhelmingly common verdict).  Backwards, because the encoder
+        # emits the mutually disjoint exactly-one blocks first and the
+        # match clauses that bridge them last — scanned in reverse the
+        # connectors come first and the union grows without gaps.
+        accumulated = masks[count - 1]
+        connected = True
+        for position in range(count - 2, -1, -1):
+            mask = masks[position]
+            if mask & accumulated:
+                accumulated |= mask
+            else:
+                connected = False
+                break
+        if connected:
+            packs.sort()
+            return [(indices, accumulated, tuple(packs))]
+
+        # General case: disjoint group masks, clauses bridge and merge
+        # them (reversed for the same connectors-first reason: it keeps
+        # the live group count small).
+        group_masks: list[int] = []
+        group_members: list[list[int]] = []
+        group_packed: list[list[int]] = []
+        for position in range(count - 1, -1, -1):
+            ci = indices[position]
+            mask = masks[position]
+            packed = packs[position]
+            hit = -1
+            for gi in range(len(group_masks)):
+                gm = group_masks[gi]
+                if gm and gm & mask:
+                    if hit < 0:
+                        hit = gi
+                        group_masks[gi] = gm | mask
+                        group_members[gi].append(ci)
+                        group_packed[gi].append(packed)
+                    else:
+                        group_masks[hit] |= gm
+                        group_masks[gi] = 0
+                        group_members[hit].extend(group_members[gi])
+                        group_members[gi] = []
+                        group_packed[hit].extend(group_packed[gi])
+                        group_packed[gi] = []
+            if hit < 0:
+                group_masks.append(mask)
+                group_members.append([ci])
+                group_packed.append([packed])
+
+        components = []
+        for gi, group_mask in enumerate(group_masks):
+            if not group_mask:
+                continue  # tombstone of a merged group
+            members = group_members[gi]
+            members.sort()
+            signature = group_packed[gi]
+            signature.sort()
+            components.append((members, group_mask, tuple(signature)))
+        components.sort(key=lambda component: component[0][0])
+        return components
+
+    def _count(
+        self, indices: list[int]
+    ) -> tuple[int, int | None, int]:
+        """Count live clauses ``indices``: split, conquer, multiply.
+
+        Returns ``(count, circuit node or None, live-variable bitset)``.
         """
         trace = self._trace
-        if not clauses:
-            return 1, (None if trace is None else trace.true)
-        if not clauses[0]:  # canonical sort puts the empty clause first
-            return 0, (None if trace is None else trace.false)
-        components = _split_components(clauses)
+        if not indices:
+            return 1, (None if trace is None else trace.true), 0
+        components = self._split(indices)
+        live_mask = 0
+        for _members, mask, _key in components:
+            live_mask |= mask
         if len(components) > 1:
             self.components_split += 1
         result = 1
         nodes: list[int] = []
-        for component in components:
-            count, node = self._count_component(component)
+        for members, mask, key in components:
+            count, node = self._count_component(members, mask, key)
             result *= count
             if trace is None:
                 if result == 0:
-                    return 0, None
+                    return 0, None, live_mask
             else:
                 assert node is not None
                 nodes.append(node)
         if trace is None:
-            return result, None
-        return result, trace.product(nodes)
+            return result, None, live_mask
+        return result, trace.product(nodes), live_mask
 
-    def _count_component(self, clauses: Clauses) -> tuple[int, int | None]:
-        cached = self._cache.get(clauses)
+    def _count_component(
+        self, indices: list[int], comp_mask: int, key: tuple[int, ...]
+    ) -> tuple[int, int | None]:
+        cached = self._cache.get(key)
         if cached is not None:
             self.cache_hits += 1
             return cached
         trace = self._trace
         node: int | None = None
-        component_variables = _variables_of(clauses)
-        variable = self._pick_variable(component_variables)
+        variable = self._pick_variable(comp_mask)
         if variable is None:
             # Projected mode, no projection variable left: the component
             # contributes one projected model iff it is satisfiable.
-            satisfiable = self._satisfiable(clauses)
+            satisfiable = self._satisfiable(indices, comp_mask, key)
             result = 1 if satisfiable else 0
             if trace is not None:
                 node = trace.constant(satisfiable)
         else:
+            store = self._store
             result = 0
             branches = []
             for literal in (variable, -variable):
-                reduced, assigned, conflict = _propagate(clauses, (literal,))
-                if conflict:
+                self.decisions += 1
+                mark = store.mark()
+                if not store.propagate((literal,)):
+                    store.backtrack(mark)
                     continue
-                eliminated = (
-                    component_variables
-                    - _variables_of(reduced)
-                    - {abs(lit) for lit in assigned}
-                )
-                count, child = self._count(reduced)
-                result += (1 << self._countable(eliminated)) * count
-                if trace is not None:
-                    assert child is not None
-                    branches.append(
-                        (
-                            tuple(sorted(assigned, key=abs)),
-                            tuple(sorted(eliminated)),
-                            child,
+                assigned = store.trail[mark:]
+                sat = store.sat
+                live = [ci for ci in indices if not sat[ci]]
+                count, child, live_mask = self._count(live)
+                if count or trace is not None:
+                    assigned_mask = 0
+                    for assigned_literal in assigned:
+                        assigned_mask |= 1 << (
+                            assigned_literal
+                            if assigned_literal > 0
+                            else -assigned_literal
                         )
-                    )
+                    freed_mask = comp_mask & ~assigned_mask & ~live_mask
+                    result += (1 << self._count_bits(freed_mask)) * count
+                    if trace is not None:
+                        assert child is not None
+                        branches.append(
+                            (
+                                tuple(sorted(assigned, key=abs)),
+                                tuple(_mask_bits(freed_mask)),
+                                child,
+                            )
+                        )
+                store.backtrack(mark)
             if trace is not None:
                 node = trace.decision(branches)
         entry = (result, node)
-        self._cache[clauses] = entry
+        self._cache[key] = entry
         return entry
 
-    def _pick_variable(self, candidates: set[int]) -> int | None:
-        """Earliest variable of the branching order among ``candidates``.
+    def _pick_variable(self, comp_mask: int) -> int | None:
+        """Earliest variable of the branching order in the component.
 
         In projected mode only projection variables qualify; ``None`` means
         the component has none left.
         """
-        if self._projection is not None:
-            candidates = candidates & self._projection
-            if not candidates:
+        if self._proj_mask is not None:
+            comp_mask &= self._proj_mask
+            if not comp_mask:
                 return None
-        rank = self._rank
-        return min(candidates, key=lambda v: (rank[v], v))
+        return self._pick_any_variable(comp_mask)
 
-    def _satisfiable(self, clauses: Clauses) -> bool:
-        """Plain DPLL satisfiability of a residual component."""
-        if not clauses:
-            return True
-        if not clauses[0]:
-            return False
-        cached = self._sat_cache.get(clauses)
+    def _satisfiable(
+        self,
+        indices: list[int],
+        comp_mask: int,
+        key: tuple[int, ...],
+    ) -> bool:
+        """Satisfiability of a residual component.
+
+        This *is* the counting branch loop with an early exit — same
+        trail, same propagation, same component split — it just stops at
+        the first branch whose components are all satisfiable instead of
+        summing.  Verdicts memoise under the same content signatures.
+        """
+        cached = self._sat_cache.get(key)
         if cached is not None:
             return cached
-        rank = self._rank
-        variable = min(
-            _variables_of(clauses), key=lambda v: (rank[v], v)
-        )
+        store = self._store
+        variable = self._pick_any_variable(comp_mask)
         result = False
         for literal in (variable, -variable):
-            reduced, _assigned, conflict = _propagate(clauses, (literal,))
-            if conflict:
+            self.decisions += 1
+            mark = store.mark()
+            if not store.propagate((literal,)):
+                store.backtrack(mark)
                 continue
-            if all(
-                self._satisfiable(component)
-                for component in _split_components(reduced)
-            ):
+            sat = store.sat
+            live = [ci for ci in indices if not sat[ci]]
+            satisfied = all(
+                self._satisfiable(members, mask, sub_key)
+                for members, mask, sub_key in self._split(live)
+            )
+            store.backtrack(mark)
+            if satisfied:
                 result = True
                 break
-        self._sat_cache[clauses] = result
+        self._sat_cache[key] = result
         return result
+
+    def _pick_any_variable(self, comp_mask: int) -> int:
+        """Min-rank variable of the component, projection ignored."""
+        rank = self._rank
+        best = -1
+        best_rank = sys.maxsize
+        while comp_mask:
+            low = comp_mask & -comp_mask
+            variable = low.bit_length() - 1
+            comp_mask ^= low
+            if rank[variable] < best_rank:
+                best_rank = rank[variable]
+                best = variable
+        return best
 
 
 def count_models(
     cnf: CNF,
     projection: Iterable[int] | None = None,
     order: Sequence[int] | None = None,
+    preprocess: bool = True,
+    probe: "bool | str" = "auto",
+    reference: bool = False,
 ) -> int:
     """Convenience wrapper: exact (projected) model count of ``cnf``."""
-    return ModelCounter(cnf, projection=projection, order=order).count()
-
-
-# -- clause-set primitives --------------------------------------------------
-
-
-def _variables_of(clauses: Iterable[tuple[int, ...]]) -> set[int]:
-    return {abs(literal) for clause in clauses for literal in clause}
-
-
-def _propagate(
-    clauses: Clauses, decisions: tuple[int, ...]
-) -> tuple[Clauses, tuple[int, ...], bool]:
-    """Assign ``decisions`` and run unit propagation to fixpoint.
-
-    Returns ``(reduced clauses, all literals assigned, conflict)``.
-    Satisfied clauses are dropped and false literals removed; the reduced
-    set never contains a unit clause and is canonically sorted.
-
-    Clauses are indexed by variable once per call, so each propagated
-    literal touches only the clauses that actually contain its variable,
-    and untouched clause tuples are carried over by reference instead of
-    being rebuilt on every branch.
-    """
-    pending = list(decisions)
-    if not pending and not any(len(clause) == 1 for clause in clauses):
-        return clauses, (), False
-
-    occurs: dict[int, list[tuple[int, ...]]] = {}
-    for clause in clauses:
-        if len(clause) == 1 and clause[0] not in pending:
-            pending.append(clause[0])
-        for literal in clause:
-            occurs.setdefault(abs(literal), []).append(clause)
-
-    assignment: set[int] = set()
-    # Original clause -> its current reduced form (None = satisfied).
-    # Untouched clauses have no entry and keep their original tuple.
-    live: dict[tuple[int, ...], tuple[int, ...] | None] = {}
-    cursor = 0
-    while cursor < len(pending):
-        literal = pending[cursor]
-        cursor += 1
-        if literal in assignment:
-            continue
-        if -literal in assignment:
-            return (), tuple(assignment), True
-        assignment.add(literal)
-        for clause in occurs.get(abs(literal), ()):
-            current = live.get(clause, clause)
-            if current is None:
-                continue
-            if literal in current:
-                live[clause] = None
-                continue
-            if -literal not in current:
-                continue
-            filtered = tuple(x for x in current if x != -literal)
-            if not filtered:
-                return (), tuple(assignment), True
-            live[clause] = filtered
-            if len(filtered) == 1:
-                pending.append(filtered[0])
-    if not live:
-        return clauses, tuple(assignment), False
-    reduced = sorted(
-        current
-        for current in (live.get(clause, clause) for clause in clauses)
-        if current is not None
-    )
-    return tuple(reduced), tuple(assignment), False
-
-
-def _split_components(clauses: Clauses) -> list[Clauses]:
-    """Partition clauses into variable-connected components (union-find).
-
-    Each component is again a canonically sorted clause tuple, directly
-    usable as a cache key.
-    """
-    if len(clauses) <= 1:
-        return [clauses] if clauses else []
-    parent: dict[int, int] = {}
-
-    def find(x: int) -> int:
-        root = x
-        while parent[root] != root:
-            root = parent[root]
-        while parent[x] != root:
-            parent[x], x = root, parent[x]
-        return root
-
-    for index, clause in enumerate(clauses):
-        key = -(index + 1)  # clause nodes get negative keys
-        parent[key] = key
-        for literal in clause:
-            variable = abs(literal)
-            if variable not in parent:
-                parent[variable] = variable
-            root_a, root_b = find(key), find(variable)
-            if root_a != root_b:
-                parent[root_a] = root_b
-
-    groups: dict[int, list[tuple[int, ...]]] = {}
-    for index, clause in enumerate(clauses):
-        groups.setdefault(find(-(index + 1)), []).append(clause)
-    if len(groups) == 1:
-        return [clauses]
-    # The input is sorted, so per-group append order stays sorted.
-    return [tuple(group) for group in groups.values()]
+    return ModelCounter(
+        cnf,
+        projection=projection,
+        order=order,
+        preprocess=preprocess,
+        probe=probe,
+        reference=reference,
+    ).count()

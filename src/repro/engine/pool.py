@@ -29,11 +29,21 @@ memo links drop with it.
 
 ``workers=0``/``1`` (or a single-miss batch) skips process creation
 entirely, which keeps tests and tiny batches free of pool overhead.
+
+Pool lifecycle: by default every ``run`` call builds and tears down its
+own pool (nothing to leak, nothing to close).  A long-lived engine —
+a server draining batch after batch — passes ``persistent_pool=True`` to
+pay process startup once: the pool is created lazily, reused across
+``run`` calls, optionally pre-forked with :meth:`BatchEngine.warm`, and
+released by :meth:`BatchEngine.close` (the engine is a context manager).
+Small tasks are dispatched in chunks so a big batch of cheap jobs does
+not pay one IPC round trip each.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import os
 import pickle
 from typing import Iterable, Sequence
@@ -64,9 +74,35 @@ class BatchEngine:
         self,
         workers: int | None = None,
         cache: CountCache | None = None,
+        persistent_pool: bool = False,
     ) -> None:
         self.workers = default_workers() if workers is None else max(workers, 0)
         self.cache = cache if cache is not None else CountCache()
+        self._persistent = persistent_pool
+        self._pool: "multiprocessing.pool.Pool | None" = None
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def warm(self) -> None:
+        """Pre-fork the persistent pool so the first batch pays no startup.
+
+        No-op unless ``persistent_pool=True`` and ``workers > 1``.
+        """
+        if self._persistent and self.workers > 1 and self._pool is None:
+            self._pool = multiprocessing.get_context().Pool(self.workers)
+
+    def close(self) -> None:
+        """Release the persistent pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "BatchEngine":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
 
     def run(self, jobs: Sequence[CountJob]) -> list[JobResult]:
         """Solve every job, in order; errors are per-job, never raised."""
@@ -197,13 +233,28 @@ class BatchEngine:
             return results_serial
 
         results: list[JobResult | None] = [None] * len(jobs)
-        processes = min(self.workers, len(pool_indices))
         tasks = [(jobs[index], False) for index in parallel]
         tasks += [(jobs[index], True) for index in compile_remote]
         try:
-            with multiprocessing.get_context().Pool(processes) as pool:
-                solved = pool.map(_pool_solve, tasks, chunksize=1)
+            if self._persistent:
+                self.warm()
+                assert self._pool is not None
+                chunk = max(1, len(tasks) // (self.workers * 4))
+                solved = self._pool.map(_pool_solve, tasks, chunksize=chunk)
+            else:
+                processes = min(self.workers, len(tasks))
+                # Chunked dispatch: small jobs ride together so a batch of
+                # cheap tasks does not pay one IPC round trip each, while
+                # the divisor keeps enough chunks in flight to balance
+                # heterogeneous job sizes across the pool.
+                chunk = max(1, len(tasks) // (processes * 4))
+                with multiprocessing.get_context().Pool(processes) as pool:
+                    solved = pool.map(_pool_solve, tasks, chunksize=chunk)
         except Exception as exc:
+            # A persistent pool that failed mid-dispatch cannot be trusted
+            # with the next batch; drop it (a fresh one builds on demand).
+            if self._pool is not None:
+                self.close()
             # A job the cheap picklability screen admitted failed to
             # serialize mid-dispatch (e.g. an exotic constant inside a
             # database).  Solvers are deterministic and approx jobs are

@@ -492,6 +492,22 @@ def _choice_variables(db: IncompleteDatabase) -> int:
     return sum(len(db.domain_of(null)) for null in db.nulls)
 
 
+def _effective_search_variables(db: IncompleteDatabase) -> int:
+    """Choice variables the search will actually branch over.
+
+    The counter's preprocessing pass (:mod:`repro.compile.preprocess`)
+    runs before every lineage/circuit search: a singleton-domain null's
+    exactly-one block is a unit clause, so its variable is propagated
+    away at the root and never costs a decision.  The cost estimate sees
+    the formula the search sees, not the raw encoding.
+    """
+    return sum(
+        domain_size
+        for null in db.nulls
+        if (domain_size := len(db.domain_of(null))) > 1
+    )
+
+
 def _closed_form_cost(tier: float) -> Cost:
     def cost(db: IncompleteDatabase, query: BooleanQuery | None) -> float:
         return tier + _fraction(_instance_size(db, query))
@@ -502,8 +518,9 @@ def _closed_form_cost(tier: float) -> Cost:
 def _search_cost(tier: float) -> Cost:
     def cost(db: IncompleteDatabase, query: BooleanQuery | None) -> float:
         # The search is exponential in lineage treewidth, which no cheap
-        # estimate sees; the choice-variable count is the formula size.
-        return tier + _fraction(_choice_variables(db))
+        # estimate sees; the size term is the choice-variable count *after*
+        # the counter's preprocessing strips what root propagation removes.
+        return tier + _fraction(_effective_search_variables(db))
 
     return cost
 

@@ -1,0 +1,215 @@
+"""Array-compiled circuit passes vs a direct dict-recursion evaluator.
+
+:class:`DDNNF` executes every pass over a flat int program.  These tests
+re-implement the passes the *old* way — recursive descent over the
+per-node tuple view with dict-based weights — and assert the array
+sweeps reproduce them exactly: ``count``, ``evaluate`` under int and
+Fraction weights, ``literal_counts`` for both polarities, and sampler
+determinism (same circuit, same seed, same draws — through a serialize
+round trip too).
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.compile.circuit import DDNNF, DECISION, PRODUCT, TRUE
+from repro.compile.ddnnf_trace import TraceBuilder
+from repro.compile.sharpsat import ModelCounter
+from repro.complexity.cnf import CNF
+
+
+def random_cnf(rng, max_variables=8, max_clauses=12):
+    n = rng.randint(1, max_variables)
+    cnf = CNF(n)
+    for _ in range(rng.randint(0, max_clauses)):
+        width = rng.randint(1, min(3, n))
+        variables = rng.sample(range(1, n + 1), width)
+        cnf.add_clause(
+            v if rng.random() < 0.5 else -v for v in variables
+        )
+    return cnf
+
+
+def traced_circuit(cnf, projection=None, seed=None):
+    trace = TraceBuilder()
+    counter = ModelCounter(cnf, projection=projection, trace=trace)
+    count = counter.count()
+    circuit = trace.build(
+        counter.trace_root, cnf.num_variables, countable=projection
+    )
+    return count, circuit
+
+
+def recursive_values(circuit, weights):
+    """The upward pass as plain recursion over the tuple node view."""
+    nodes = list(circuit.nodes())
+    table = {variable: (1, 1) for variable in circuit.countable}
+    for variable, pair in (weights or {}).items():
+        table[variable] = tuple(pair)
+    memo = {}
+
+    def value(index):
+        if index in memo:
+            return memo[index]
+        node = nodes[index]
+        kind = node[0]
+        if kind == TRUE:
+            result = 1
+        elif kind == PRODUCT:
+            result = 1
+            for child in node[1]:
+                result *= value(child)
+        elif kind == DECISION:
+            result = 0
+            for literals, free, child in node[1]:
+                term = value(child)
+                for literal in literals:
+                    pair = table.get(abs(literal))
+                    if pair is not None:
+                        term *= pair[0] if literal > 0 else pair[1]
+                for variable in free:
+                    pair = table.get(variable)
+                    if pair is not None:
+                        term *= pair[0] + pair[1]
+                result += term
+        else:  # FALSE
+            result = 0
+        memo[index] = result
+        return result
+
+    return value(circuit.root), table, nodes
+
+
+def random_weights(rng, circuit, fractions=False):
+    weights = {}
+    for variable in circuit.countable:
+        if rng.random() < 0.6:
+            if fractions:
+                weights[variable] = (
+                    Fraction(rng.randint(0, 5), rng.randint(1, 4)),
+                    Fraction(rng.randint(0, 5), rng.randint(1, 4)),
+                )
+            else:
+                weights[variable] = (rng.randint(0, 4), rng.randint(0, 4))
+    return weights
+
+
+class TestUpwardParity:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_count_and_weighted_evaluate(self, seed):
+        rng = random.Random(1000 + seed)
+        cnf = random_cnf(rng)
+        count, circuit = traced_circuit(cnf)
+        recursive, _table, _nodes = recursive_values(circuit, None)
+        assert circuit.count() == count == recursive
+        weights = random_weights(rng, circuit)
+        recursive_weighted, _t, _n = recursive_values(circuit, weights)
+        assert circuit.evaluate(weights) == recursive_weighted
+
+    @pytest.mark.parametrize("seed", range(25, 40))
+    def test_fraction_weights(self, seed):
+        rng = random.Random(1000 + seed)
+        cnf = random_cnf(rng)
+        _count, circuit = traced_circuit(cnf)
+        weights = random_weights(rng, circuit, fractions=True)
+        recursive, _t, _n = recursive_values(circuit, weights)
+        result = circuit.evaluate(weights)
+        assert result == recursive
+        assert isinstance(result, (int, Fraction))
+
+    @pytest.mark.parametrize("seed", range(40, 55))
+    def test_projected_circuits(self, seed):
+        rng = random.Random(1000 + seed)
+        cnf = random_cnf(rng)
+        if cnf.num_variables < 2:
+            return
+        projection = rng.sample(
+            range(1, cnf.num_variables + 1),
+            rng.randint(1, cnf.num_variables),
+        )
+        count, circuit = traced_circuit(cnf, projection=projection)
+        recursive, _t, _n = recursive_values(circuit, None)
+        assert circuit.count() == count == recursive
+
+
+class TestLiteralCountParity:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_both_polarities_match_conditioned_recursion(self, seed):
+        rng = random.Random(2000 + seed)
+        cnf = random_cnf(rng, max_variables=6)
+        _count, circuit = traced_circuit(cnf)
+        weights = (
+            random_weights(rng, circuit) if seed % 2 else None
+        )
+        counts = circuit.literal_counts(weights)
+        # Reference: condition each literal by zeroing the opposite
+        # polarity's weight, then evaluate recursively.
+        base = {variable: (1, 1) for variable in circuit.countable}
+        for variable, pair in (weights or {}).items():
+            base[variable] = tuple(pair)
+        for variable in circuit.countable:
+            true_weight, false_weight = base[variable]
+            conditioned = dict(base)
+            conditioned[variable] = (true_weight, 0)
+            expected_true, _t, _n = recursive_values(circuit, conditioned)
+            conditioned[variable] = (0, false_weight)
+            expected_false, _t, _n = recursive_values(circuit, conditioned)
+            assert counts[variable] == expected_true
+            assert counts[-variable] == expected_false
+
+
+class TestSamplerDeterminism:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_same_seed_same_draws_across_rebuilds(self, seed):
+        rng = random.Random(3000 + seed)
+        cnf = random_cnf(rng)
+        count, first = traced_circuit(cnf)
+        if not count:
+            return
+        _count, second = traced_circuit(cnf)
+        draws_first = [
+            first.sampler().sample(random.Random(seed * 7 + i))
+            for i in range(20)
+        ]
+        draws_second = [
+            second.sampler().sample(random.Random(seed * 7 + i))
+            for i in range(20)
+        ]
+        assert draws_first == draws_second
+
+    @pytest.mark.parametrize("seed", range(10, 16))
+    def test_serialize_round_trip_preserves_draws(self, seed):
+        rng = random.Random(3000 + seed)
+        cnf = random_cnf(rng)
+        count, circuit = traced_circuit(cnf)
+        if not count:
+            return
+        restored = DDNNF.from_bytes(circuit.to_bytes())
+        draws = [
+            circuit.sampler().sample(random.Random(100 + i))
+            for i in range(20)
+        ]
+        restored_draws = [
+            restored.sampler().sample(random.Random(100 + i))
+            for i in range(20)
+        ]
+        assert draws == restored_draws
+
+    def test_samples_are_models(self):
+        rng = random.Random(4)
+        cnf = random_cnf(rng, max_variables=6)
+        count, circuit = traced_circuit(cnf)
+        if not count:
+            return
+        sampler = circuit.sampler()
+        draw_rng = random.Random(11)
+        for _ in range(30):
+            assignment = sampler.sample(draw_rng)
+            assert set(assignment) == set(circuit.countable)
+            bits = [
+                assignment.get(v, False)
+                for v in range(1, cnf.num_variables + 1)
+            ]
+            assert cnf.satisfied_by(bits)

@@ -108,6 +108,32 @@ class TestCountModels:
         assert count_models(cnf) == 4052739537881
 
 
+class TestReferenceParity:
+    """The trail core agrees bit for bit with the retained tuple core."""
+
+    @given(small_cnfs())
+    @settings(max_examples=120, deadline=None)
+    def test_full_counts_match_reference(self, cnf):
+        assert count_models(cnf) == count_models(cnf, reference=True)
+
+    @given(small_cnfs(), st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_projected_counts_match_reference(self, cnf, data):
+        projection = data.draw(
+            st.sets(st.integers(min_value=1, max_value=cnf.num_variables))
+        )
+        assert count_models(cnf, projection=projection) == count_models(
+            cnf, projection=projection, reference=True
+        )
+
+    def test_reference_flag_surfaces_statistics(self):
+        cnf = CNF(4, [(1, 2), (3, 4)])
+        counter = ModelCounter(cnf, reference=True)
+        assert counter.count() == 9
+        assert counter.components_split >= 1
+        assert counter.width is not None
+
+
 class TestOrdering:
     def test_primal_graph_of_chain(self):
         cnf = CNF(3, [(1, 2), (2, 3)])

@@ -144,6 +144,31 @@ class TestBatchEngine:
         assert result.method == "codd"
 
 
+class TestPersistentPool:
+    def test_pool_survives_batches_and_closes_idempotently(self):
+        jobs = _mixed_jobs()
+        serial = [execute_job(job) for job in jobs]
+        with BatchEngine(workers=2, persistent_pool=True) as engine:
+            engine.warm()
+            pool = engine._pool
+            assert pool is not None
+            first = engine.run(jobs)
+            second = engine.run(jobs)
+            assert engine._pool is pool  # reused, not rebuilt
+            for reference, result in zip(serial, first):
+                assert result.count == reference.count
+            assert all(result.cache_hit for result in second
+                       if result.fingerprint is not None)
+        assert engine._pool is None
+        engine.close()  # idempotent
+
+    def test_warm_is_a_noop_without_persistence(self):
+        engine = BatchEngine(workers=2)
+        engine.warm()
+        assert engine._pool is None
+        engine.close()
+
+
 class TestCountCache:
     def test_lru_eviction(self):
         cache = CountCache(max_entries=2)

@@ -1,0 +1,123 @@
+"""Trail invariants of the in-place clause store.
+
+The trail core's whole soundness argument is that ``propagate`` and
+``backtrack`` are exact inverses over the per-clause counters — these
+tests pin that down directly: every propagate/backtrack round trip (with
+or without conflicts, nested to arbitrary depth) must restore the store's
+full live state bit for bit, and the counters must agree at all times
+with a from-scratch recount of the clause list.
+"""
+
+import random
+
+import pytest
+
+from repro.compile.trail import ClauseStore
+
+
+def random_clauses(rng, num_variables, max_clauses=16):
+    clauses = []
+    for _ in range(rng.randint(0, max_clauses)):
+        width = rng.randint(1, min(3, num_variables))
+        variables = rng.sample(range(1, num_variables + 1), width)
+        clauses.append(tuple(
+            v if rng.random() < 0.5 else -v for v in variables
+        ))
+    return clauses
+
+
+def recount(store):
+    """Per-clause (satisfied, free) recomputed from scratch."""
+    expected = []
+    for clause in store.clauses:
+        satisfied = 0
+        free = 0
+        for literal in clause:
+            value = store.value[abs(literal)]
+            if value == 0:
+                free += 1
+            elif (value > 0) == (literal > 0):
+                satisfied += 1
+        expected.append((satisfied, free))
+    return expected
+
+
+def assert_consistent(store):
+    expected = recount(store)
+    actual = list(zip(store.sat, store.free))
+    assert actual == expected
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_propagate_backtrack_restores_exact_state(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 8)
+        store = ClauseStore(n, random_clauses(rng, n))
+        baseline = store.snapshot()
+        for _ in range(20):
+            mark = store.mark()
+            snapshot = store.snapshot()
+            literals = [
+                rng.choice([1, -1]) * rng.randint(1, n)
+                for _ in range(rng.randint(1, 3))
+            ]
+            ok = store.propagate(literals)
+            if ok:
+                assert_consistent(store)
+            store.backtrack(mark)
+            assert store.snapshot() == snapshot
+        assert store.snapshot() == baseline
+
+    @pytest.mark.parametrize("seed", range(30, 50))
+    def test_nested_marks_unwind_level_by_level(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 8)
+        store = ClauseStore(n, random_clauses(rng, n))
+        stack = []
+        for _ in range(6):
+            stack.append((store.mark(), store.snapshot()))
+            store.propagate([rng.choice([1, -1]) * rng.randint(1, n)])
+        while stack:
+            mark, snapshot = stack.pop()
+            store.backtrack(mark)
+            assert store.snapshot() == snapshot
+
+    def test_conflict_state_is_fully_restorable(self):
+        # x1 and the implication chain x1 -> x2 -> -x1 conflict.
+        store = ClauseStore(2, [(-1, 2), (-2, -1)])
+        snapshot = store.snapshot()
+        mark = store.mark()
+        assert not store.propagate([1])
+        store.backtrack(mark)
+        assert store.snapshot() == snapshot
+        # the other polarity is fine, and propagation reports it
+        assert store.propagate([-1])
+        assert store.value[1] == -1
+
+
+class TestPropagation:
+    def test_unit_chain_propagates_to_fixpoint(self):
+        store = ClauseStore(4, [(1,), (-1, 2), (-2, 3), (-3, 4)])
+        assert store.propagate(store.units)
+        assert store.trail == [1, 2, 3, 4]
+        assert all(satisfied > 0 for satisfied in store.sat)
+
+    def test_contradicting_inputs_conflict(self):
+        store = ClauseStore(1, [])
+        mark = store.mark()
+        assert not store.propagate([1, -1])
+        store.backtrack(mark)
+        assert store.value[1] == 0
+
+    def test_empty_clause_flagged(self):
+        store = ClauseStore(2, [(), (1, 2)])
+        assert store.has_empty
+
+    def test_live_indices_and_reduced_clause(self):
+        store = ClauseStore(3, [(1, 2, 3), (2, 3)])
+        store.propagate([-1])  # ternary clause shortens, nothing is unit
+        assert store.live_indices() == [0, 1]
+        assert store.reduced_clause(0) == (2, 3)
+        store.propagate([2])
+        assert store.live_indices() == []
