@@ -78,6 +78,7 @@ from repro.db.database import Database
 from repro.db.fact import Fact
 from repro.engine import BatchEngine, CountCache, CountJob, execute_job
 from repro.eval.homomorphism import count_homomorphisms, satisfies_bcq
+from repro.obs import JsonlSink, add_sink, capture, remove_sink
 from repro.workloads.generators import (
     random_incomplete_db,
     scaling_codd_instance,
@@ -231,7 +232,7 @@ def path_sharpsat_core(quick: bool) -> dict:
         for cnf, order in prepared:
             counter = ModelCounter(cnf, order=order)
             total += counter.count()
-            decisions += counter.decisions
+            decisions += counter.stats()["decisions"]
         return total, decisions
 
     def run_reference():
@@ -670,36 +671,64 @@ def print_delta_table(verdicts: dict) -> None:
         ))
 
 
-def append_markdown_summary(path: str, verdicts: dict, threshold: float) -> None:
-    """The delta table as GitHub-flavored markdown (CI job summaries)."""
+def append_markdown_summary(
+    path: str, verdicts: dict, threshold: float, paths: dict | None = None
+) -> None:
+    """The delta table as GitHub-flavored markdown (CI job summaries),
+    with each path's heaviest phases alongside its verdict."""
+    paths = paths or {}
     lines = [
         "### Perf gate — normalized vs `benchmarks/baseline.json` "
         "(fail threshold %.1fx)" % threshold,
         "",
-        "| path | baseline | current | ratio | status |",
-        "| --- | ---: | ---: | ---: | --- |",
+        "| path | baseline | current | ratio | status | top phases |",
+        "| --- | ---: | ---: | ---: | --- | --- |",
     ]
     for name in TRACKED_PATHS:
         verdict = verdicts.get(name, {})
+        phases = format_phase_column(
+            paths.get(name, {}).get("phases", {})
+        )
         if "ratio" not in verdict:
             lines.append(
-                "| `%s` | - | - | - | %s |"
-                % (name, verdict.get("status", "untracked"))
+                "| `%s` | - | - | - | %s | %s |"
+                % (name, verdict.get("status", "untracked"), phases)
             )
             continue
         status = verdict["status"]
         lines.append(
-            "| `%s` | %.4f | %.4f | %.3f | %s |"
+            "| `%s` | %.4f | %.4f | %.3f | %s | %s |"
             % (
                 name,
                 verdict["baseline_normalized"],
                 verdict["current_normalized"],
                 verdict["ratio"],
                 ":red_circle: regressed" if status == "regressed" else status,
+                phases,
             )
         )
     with open(path, "a", encoding="utf-8") as handle:
         handle.write("\n".join(lines) + "\n\n")
+
+
+def phase_breakdown(captured: capture, limit: int = 8) -> dict[str, float]:
+    """A path's phase profile: total inclusive seconds per span name, the
+    ``limit`` heaviest first.  Inclusive — nested phases overlap their
+    parents, so the column reads as "time attributed to", not a sum."""
+    totals = sorted(
+        captured.phase_totals().items(), key=lambda item: -item[1]
+    )
+    return {name: round(seconds, 4) for name, seconds in totals[:limit]}
+
+
+def format_phase_column(phases: dict[str, float], top: int = 2) -> str:
+    """The markdown cell: the heaviest ``top`` phases of one path."""
+    if not phases:
+        return "-"
+    return "; ".join(
+        "`%s` %.2fs" % (name, seconds)
+        for name, seconds in list(phases.items())[:top]
+    )
 
 
 def parse_injections(specs: list[str]) -> dict[str, float]:
@@ -749,12 +778,22 @@ def main(argv: list[str] | None = None) -> int:
         help="append the gate delta table to PATH as markdown "
              "(point at $GITHUB_STEP_SUMMARY in CI; needs --check)",
     )
+    parser.add_argument(
+        "--metrics-jsonl", default=None, metavar="PATH",
+        help="stream every phase span and event of the run to PATH, one "
+             "JSON record per line (uploaded as a CI artifact)",
+    )
     args = parser.parse_args(argv)
     injections = parse_injections(args.inject_slowdown)
 
     calibration = calibrate()
     mode = "quick" if args.quick else "full"
     print("calibration: %.4fs (mode=%s)" % (calibration, mode))
+
+    sink = None
+    if args.metrics_jsonl:
+        sink = JsonlSink(args.metrics_jsonl)
+        add_sink(sink)
 
     paths: dict[str, dict] = {}
     runners = {
@@ -766,18 +805,29 @@ def main(argv: list[str] | None = None) -> int:
         "batch_engine": lambda: path_batch_engine(args.quick, args.workers),
         "circuit_batch": lambda: path_circuit_batch(args.quick, args.workers),
     }
-    for name in TRACKED_PATHS:
-        measurement = runners[name]()
-        measurement["seconds"] *= injections.get(name, 1.0)
-        measurement["normalized"] = round(
-            measurement["seconds"] / calibration, 4
-        )
-        measurement["seconds"] = round(measurement["seconds"], 4)
-        paths[name] = measurement
-        print(
-            "path %-12s %8.3fs  (normalized %.2f)"
-            % (name, measurement["seconds"], measurement["normalized"])
-        )
+    try:
+        for name in TRACKED_PATHS:
+            with capture() as captured:
+                measurement = runners[name]()
+            measurement["seconds"] *= injections.get(name, 1.0)
+            measurement["normalized"] = round(
+                measurement["seconds"] / calibration, 4
+            )
+            measurement["seconds"] = round(measurement["seconds"], 4)
+            measurement["phases"] = phase_breakdown(captured)
+            paths[name] = measurement
+            print(
+                "path %-12s %8.3fs  (normalized %.2f)"
+                % (name, measurement["seconds"], measurement["normalized"])
+            )
+    finally:
+        if sink is not None:
+            remove_sink(sink)
+            sink.close()
+            print(
+                "metrics: %d span/event records -> %s"
+                % (sink.records, args.metrics_jsonl)
+            )
 
     core_detail = paths["sharpsat_core"]["detail"]
     print(
@@ -846,7 +896,7 @@ def main(argv: list[str] | None = None) -> int:
         print_delta_table(verdicts)
         if args.markdown_summary:
             append_markdown_summary(
-                args.markdown_summary, verdicts, args.threshold
+                args.markdown_summary, verdicts, args.threshold, paths
             )
         if failed:
             print(

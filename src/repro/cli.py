@@ -44,6 +44,15 @@ def _load_db(path: str):
         return parse_database(handle.read())
 
 
+def _print_trace(captured) -> None:
+    """Render a capture's phase tree to stderr (stdout stays parseable)."""
+    from repro.obs import render_span_tree
+
+    if captured.roots:
+        print("phase trace:", file=sys.stderr)
+        print(render_span_tree(captured.roots), file=sys.stderr)
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     if not isinstance(query, BCQ):
@@ -54,20 +63,30 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
+    from repro.obs import capture, span
+
     db = _load_db(args.db)
     query = parse_query(args.query) if args.query else None
     started = time.perf_counter()
-    if args.mode == "val":
-        if query is None:
-            resolved = "total"
-            count = count_total_valuations(db)
-        else:
-            resolved = resolve_valuation_method(db, query, args.method)
-            count = count_valuations(db, query, method=resolved, budget=args.budget)
-    else:
-        resolved = resolve_completion_method(db, query, args.method)
-        count = count_completions(db, query, method=resolved, budget=args.budget)
+    with capture() as captured:
+        with span("cli.count", mode=args.mode):
+            if args.mode == "val":
+                if query is None:
+                    resolved = "total"
+                    count = count_total_valuations(db)
+                else:
+                    resolved = resolve_valuation_method(db, query, args.method)
+                    count = count_valuations(
+                        db, query, method=resolved, budget=args.budget
+                    )
+            else:
+                resolved = resolve_completion_method(db, query, args.method)
+                count = count_completions(
+                    db, query, method=resolved, budget=args.budget
+                )
     elapsed = time.perf_counter() - started
+    if args.trace:
+        _print_trace(captured)
     if args.json:
         print(
             json.dumps(
@@ -96,40 +115,46 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.obs import capture, span
+
     db = _load_db(args.db)
     query = parse_query(args.query) if args.query else None
     started = time.perf_counter()
     marginals = None
-    if args.mode == "comp":
-        if args.marginals:
-            print(
-                "--marginals applies to --mode val (per-null tables)",
-                file=sys.stderr,
-            )
-            return 2
-        report = explain_completions(db, query)
-    else:
-        if query is None:
-            print("--mode val needs --query", file=sys.stderr)
-            return 2
-        report, compiled = explain_valuations_circuit(db, query)
-        if args.marginals:
-            weights = None
-            if args.weights:
-                from repro.engine.jsonl import parse_weights
+    with capture() as captured:
+        with span("cli.explain", mode=args.mode):
+            if args.mode == "comp":
+                if args.marginals:
+                    print(
+                        "--marginals applies to --mode val (per-null tables)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                report = explain_completions(db, query)
+            else:
+                if query is None:
+                    print("--mode val needs --query", file=sys.stderr)
+                    return 2
+                report, compiled = explain_valuations_circuit(db, query)
+                if args.marginals:
+                    weights = None
+                    if args.weights:
+                        from repro.engine.jsonl import parse_weights
 
-                weights = parse_weights(
-                    json.loads(args.weights), db, "--weights"
-                )
-            try:
-                marginals = compiled.marginals(weights)
-            except ValueError as exc:
-                # Unsatisfiable query, or weights zeroing out every
-                # satisfying valuation — either way there is no
-                # distribution to report on.
-                print("%s" % exc, file=sys.stderr)
-                return 1
+                        weights = parse_weights(
+                            json.loads(args.weights), db, "--weights"
+                        )
+                    try:
+                        marginals = compiled.marginals(weights)
+                    except ValueError as exc:
+                        # Unsatisfiable query, or weights zeroing out every
+                        # satisfying valuation — either way there is no
+                        # distribution to report on.
+                        print("%s" % exc, file=sys.stderr)
+                        return 1
     elapsed = time.perf_counter() - started
+    if args.trace:
+        _print_trace(captured)
 
     if args.json:
         record = {
@@ -251,9 +276,26 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache = CountCache(
             max_circuit_bytes=int(args.cache_mb * 1024 * 1024)
         )
+    from repro.obs import (
+        JsonlSink,
+        add_sink,
+        format_latency_summary,
+        remove_sink,
+        summarize_latencies,
+    )
+
     engine = BatchEngine(workers=args.workers, cache=cache)
+    sink = None
+    if args.metrics_jsonl:
+        sink = JsonlSink(args.metrics_jsonl)
+        add_sink(sink)
     started = time.perf_counter()
-    results = engine.run(jobs)
+    try:
+        results = engine.run(jobs)
+    finally:
+        if sink is not None:
+            remove_sink(sink)
+            sink.close()
     elapsed = time.perf_counter() - started
 
     lines = "".join(
@@ -284,7 +326,85 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         ),
         file=sys.stderr,
     )
+    print(
+        format_latency_summary(summarize_latencies(), stats), file=sys.stderr
+    )
+    if sink is not None:
+        print(
+            "metrics: %d span/event records -> %s"
+            % (sink.records, args.metrics_jsonl),
+            file=sys.stderr,
+        )
     return 1 if errors else 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Render an observability snapshot.
+
+    Two sources: ``--metrics-jsonl`` aggregates a span/event stream a
+    previous run wrote (exact quantiles, recomputed from the raw records);
+    ``--db`` runs one instrumented solve right here and reports what the
+    registry saw.
+    """
+    from repro.obs import (
+        aggregate_metrics_jsonl,
+        capture,
+        default_registry,
+        format_snapshot,
+        render_span_tree,
+        span,
+    )
+
+    if args.metrics_jsonl:
+        digest = aggregate_metrics_jsonl(args.metrics_jsonl)
+        if args.json:
+            print(json.dumps(digest))
+            return 0
+        print("records: %d" % digest["records"])
+        print(
+            format_snapshot(
+                {
+                    "counters": digest["events"],
+                    "gauges": {},
+                    "histograms": digest["spans"],
+                }
+            )
+        )
+        return 0
+
+    if not args.db:
+        print("stats needs --metrics-jsonl or --db", file=sys.stderr)
+        return 2
+    db = _load_db(args.db)
+    query = parse_query(args.query) if args.query else None
+    with capture() as captured:
+        with span("cli.stats", mode=args.mode):
+            if args.mode == "val":
+                if query is None:
+                    count = count_total_valuations(db)
+                else:
+                    resolved = resolve_valuation_method(db, query, args.method)
+                    count = count_valuations(db, query, method=resolved)
+            else:
+                resolved = resolve_completion_method(db, query, args.method)
+                count = count_completions(db, query, method=resolved)
+    snapshot = default_registry().snapshot()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "count": count,
+                    "snapshot": snapshot,
+                    "trace": [root.to_dict() for root in captured.roots],
+                },
+                default=str,
+            )
+        )
+        return 0
+    print("count: %d" % count)
+    print(render_span_tree(captured.roots))
+    print(format_snapshot(snapshot))
+    return 0
 
 
 def _cmd_cite(args: argparse.Namespace) -> int:
@@ -346,6 +466,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit {mode, count, method, seconds} as JSON",
     )
+    p_count.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the nested phase tree with timings to stderr",
+    )
     p_count.set_defaults(func=_cmd_count)
 
     p_explain = sub.add_parser(
@@ -371,6 +496,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the report (and marginals) as JSON",
+    )
+    p_explain.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the nested phase tree with timings to stderr",
     )
     p_explain.set_defaults(func=_cmd_explain)
 
@@ -434,7 +564,34 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: unbounded; eviction drops a circuit together with "
         "the answers derived from it)",
     )
+    p_batch.add_argument(
+        "--metrics-jsonl", default=None,
+        help="stream one JSON record per phase span / planner event here "
+        "(aggregate later with 'stats --metrics-jsonl')",
+    )
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="observability snapshot: aggregate a --metrics-jsonl stream, "
+        "or run one instrumented solve and report what the registry saw",
+    )
+    p_stats.add_argument(
+        "--metrics-jsonl", default=None,
+        help="span/event JSONL written by 'batch --metrics-jsonl'",
+    )
+    p_stats.add_argument("--db", default=None, help="database file")
+    p_stats.add_argument("--query", help="query text (optional for comp)")
+    p_stats.add_argument("--mode", choices=("val", "comp"), default="val")
+    p_stats.add_argument(
+        "--method", default="auto",
+        help="auto | poly | lineage | circuit | brute | algorithm name",
+    )
+    p_stats.add_argument(
+        "--json", action="store_true",
+        help="emit the snapshot (and trace) as JSON",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_cite = sub.add_parser(
         "cite", help="map a paper result to the code implementing it"

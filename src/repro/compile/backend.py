@@ -53,6 +53,7 @@ from repro.db.valuation import (
     count_total_valuations,
     resolve_null_weights,
 )
+from repro.obs import span as _span
 
 #: Frame magics of the two wrapper artifacts (see ``to_bytes``).
 VALUATION_MAGIC = b"RVAL"
@@ -125,23 +126,26 @@ class ValuationCircuit:
         query: BooleanQuery,
         reference: bool = False,
     ) -> None:
-        encoding = compile_valuation_cnf(db, query)
+        with _span("compile.encode", mode="val"):
+            encoding = compile_valuation_cnf(db, query)
         trace = TraceBuilder()
         counter = ModelCounter(encoding.cnf, trace=trace, reference=reference)
         self._falsifying = counter.count()
         assert counter.trace_root is not None
-        self.circuit: DDNNF = trace.build(
-            counter.trace_root, encoding.cnf.num_variables
-        )
+        with _span("compile.trace_build"):
+            self.circuit = trace.build(
+                counter.trace_root, encoding.cnf.num_variables
+            )
         self._db = db
         self._choices = encoding.choices
         self.total_valuations = encoding.total_valuations
         self._count = encoding.count_from_models(self._falsifying)
         self.num_matches = encoding.num_matches
         self.num_clauses = len(encoding.cnf)
-        self.heuristic_width = counter.width
-        self.cache_entries = len(counter._cache)
-        self.components_split = counter.components_split
+        stats = counter.stats()
+        self.heuristic_width = stats["width"]
+        self.cache_entries = stats["cache_entries"]
+        self.components_split = stats["components_split"]
         self._wire_bytes: int | None = None
 
     # -- serialization -----------------------------------------------------
@@ -162,7 +166,8 @@ class ValuationCircuit:
         _write_optional_uint(writer, self.heuristic_width)
         writer.uint(self.cache_entries)
         writer.uint(self.components_split)
-        writer.blob(dumps_circuit(self.circuit))
+        with _span("compile.serialize", nodes=self.circuit.num_nodes):
+            writer.blob(dumps_circuit(self.circuit))
         return frame(VALUATION_MAGIC, writer.getvalue())
 
     @classmethod
@@ -403,7 +408,8 @@ class CompletionCircuit:
         query: BooleanQuery | None = None,
         reference: bool = False,
     ) -> None:
-        encoding = compile_completion_cnf(db, query)
+        with _span("compile.encode", mode="comp"):
+            encoding = compile_completion_cnf(db, query)
         trace = TraceBuilder()
         counter = ModelCounter(
             encoding.cnf,
@@ -413,16 +419,18 @@ class CompletionCircuit:
         )
         self._count = counter.count()
         assert counter.trace_root is not None
-        self.circuit: DDNNF = trace.build(
-            counter.trace_root,
-            encoding.cnf.num_variables,
-            countable=encoding.projection,
-        )
+        with _span("compile.trace_build"):
+            self.circuit = trace.build(
+                counter.trace_root,
+                encoding.cnf.num_variables,
+                countable=encoding.projection,
+            )
         self._facts = encoding.facts
         self.num_clauses = len(encoding.cnf)
-        self.heuristic_width = counter.width
-        self.cache_entries = len(counter._cache)
-        self.components_split = counter.components_split
+        stats = counter.stats()
+        self.heuristic_width = stats["width"]
+        self.cache_entries = stats["cache_entries"]
+        self.components_split = stats["components_split"]
         self._sampler_cache: CircuitSampler | None = None
         self._wire_bytes: int | None = None
 
@@ -437,7 +445,8 @@ class CompletionCircuit:
         _write_optional_uint(writer, self.heuristic_width)
         writer.uint(self.cache_entries)
         writer.uint(self.components_split)
-        writer.blob(dumps_circuit(self.circuit))
+        with _span("compile.serialize", nodes=self.circuit.num_nodes):
+            writer.blob(dumps_circuit(self.circuit))
         return frame(COMPLETION_MAGIC, writer.getvalue())
 
     @classmethod
@@ -668,14 +677,15 @@ def explain_valuations_circuit(
 
 
 def _report(mode, count, cnf, counter) -> LineageReport:
+    stats = counter.stats()
     return LineageReport(
         mode=mode,
         count=count,
         num_variables=cnf.num_variables,
         num_clauses=len(cnf),
-        heuristic_width=counter.width,
-        cache_entries=len(counter._cache),
-        components_split=counter.components_split,
+        heuristic_width=stats["width"],
+        cache_entries=stats["cache_entries"],
+        components_split=stats["components_split"],
     )
 
 

@@ -62,6 +62,8 @@ from fractions import Fraction
 from math import gcd
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from repro.obs import span as _span
+
 #: One decision branch: (forced literals, freed variables, child node id).
 Branch = tuple[tuple[int, ...], tuple[int, ...], int]
 
@@ -326,6 +328,12 @@ class DDNNF:
     def _values(self, positive: list, negative: list, free_sum: list) -> list:
         """Weighted value of every node, children-first (one linear sweep
         over the flat program)."""
+        with _span("circuit.upward", nodes=len(self._offsets)):
+            return self._values_pass(positive, negative, free_sum)
+
+    def _values_pass(
+        self, positive: list, negative: list, free_sum: list
+    ) -> list:
         code = self._code
         values: list = [0] * len(self._offsets)
         for index, offset in enumerate(self._offsets):
@@ -392,6 +400,10 @@ class DDNNF:
         condition-and-recount loop: ``counts[v] + counts[-v]`` equals the
         total count for every countable variable (smoothness).
         """
+        with _span("circuit.literal_counts", nodes=len(self._offsets)):
+            return self._literal_counts_pass(weights)
+
+    def _literal_counts_pass(self, weights: WeightMap | None) -> dict:
         positive, negative, free_sum = self._weight_arrays(weights)
         values = self._values(positive, negative, free_sum)
         code = self._code

@@ -49,12 +49,13 @@ CNFs with bounded-treewidth structure count in polynomial time.
 from __future__ import annotations
 
 import sys
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.complexity.cnf import CNF
 from repro.compile.ordering import branching_order_masks
 from repro.compile.preprocess import PreprocessResult, preprocess_store
 from repro.compile.trail import ClauseStore
+from repro.obs import incr as _incr, observe as _observe, span as _span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.compile.ddnnf_trace import TraceBuilder
@@ -118,6 +119,7 @@ class ModelCounter:
         self.preprocessing: PreprocessResult | None = None
         self.width: int | None
         self._cache: dict
+        self._stats_flushed = False
         self._impl: "ReferenceModelCounter | None" = None
         if reference:
             from repro.compile.sharpsat_reference import (
@@ -142,7 +144,8 @@ class ModelCounter:
 
         self._store = ClauseStore(cnf.num_variables, cnf.clauses)
         if order is None:
-            order, width = branching_order_masks(self._adjacency_masks())
+            with _span("compile.ordering", variables=cnf.num_variables):
+                order, width = branching_order_masks(self._adjacency_masks())
             self.width = width
         else:
             order = list(order)
@@ -207,12 +210,14 @@ class ModelCounter:
         formulas with a few hundred variables.
         """
         if self._impl is not None:
-            result = self._impl.count()
+            with _span("compile.search", core="reference"):
+                result = self._impl.count()
             self.trace_root = self._impl.trace_root
             self.cache_hits = self._impl.cache_hits
             self.components_split = self._impl.components_split
             self.decisions = self._impl.decisions
             self._cache = self._impl._cache
+            self._flush_stats()
             return result
         if self._result is not None:
             return self._result
@@ -221,10 +226,73 @@ class ModelCounter:
         try:
             if needed > limit:
                 sys.setrecursionlimit(needed)
-            self._result = self._count_root()
+            with _span("compile.search", core="trail"):
+                self._result = self._count_root()
         finally:
             sys.setrecursionlimit(limit)
+        self._flush_stats()
         return self._result
+
+    def stats(self) -> dict[str, Any]:
+        """The uniform search-statistics vocabulary, both cores.
+
+        Keys are stable across cores; values the trail core tracks but the
+        reference core does not (propagations, conflicts, trail depth,
+        preprocessing) come back ``None`` there.  Meaningful after
+        :meth:`count`; consumers read this instead of the raw attributes.
+        """
+        if self._impl is not None:
+            return self._impl.stats()
+        pre = self.preprocessing
+        store = self._store
+        return {
+            "core": "trail",
+            "decisions": self.decisions,
+            "propagations": store.propagations,
+            "conflicts": store.conflicts,
+            "max_trail_depth": store.max_trail_depth,
+            "cache_hits": self.cache_hits,
+            "cache_entries": len(self._cache),
+            "sat_cache_entries": len(self._sat_cache),
+            "components_split": self.components_split,
+            "width": self.width,
+            "preprocessing": None
+            if pre is None
+            else {
+                "probes": pre.probes,
+                "failed_literals": pre.failed_literals,
+                "equivalences": pre.equivalences,
+                "forced": len(pre.forced),
+                "pure_fixed": len(pre.pure_fixed),
+            },
+        }
+
+    def _flush_stats(self) -> None:
+        """Mirror one finished search into the observability layer: the
+        stats vocabulary becomes ``sharpsat.*`` counters (visible to any
+        active capture), trail depth an observation.  Runs once."""
+        if self._stats_flushed:
+            return
+        self._stats_flushed = True
+        stats = self.stats()
+        for key in (
+            "decisions",
+            "propagations",
+            "conflicts",
+            "cache_hits",
+            "components_split",
+        ):
+            value = stats.get(key)
+            if value:
+                _incr("sharpsat.%s" % key, value)
+        depth = stats.get("max_trail_depth")
+        if depth:
+            _observe("sharpsat.max_trail_depth", depth)
+        pre = stats.get("preprocessing")
+        if pre:
+            for key, value in pre.items():
+                if value:
+                    _incr("sharpsat.preprocess.%s" % key, value)
 
     # -- root --------------------------------------------------------------
 
@@ -265,12 +333,13 @@ class ModelCounter:
             return True, 0
         determined_mask = 0
         if self._preprocess_enabled:
-            report = preprocess_store(
-                store,
-                projection=self._projection,
-                traced=self._trace is not None,
-                probe=self._probe,
-            )
+            with _span("compile.preprocess"):
+                report = preprocess_store(
+                    store,
+                    projection=self._projection,
+                    traced=self._trace is not None,
+                    probe=self._probe,
+                )
             self.preprocessing = report
             if report.conflict:
                 return True, 0

@@ -106,6 +106,27 @@ class ReferenceModelCounter:
         finally:
             sys.setrecursionlimit(limit)
 
+    def stats(self) -> dict:
+        """The uniform stats vocabulary (see ``ModelCounter.stats``).
+
+        Keys the reference algorithm does not track — propagations,
+        conflicts, trail depth, preprocessing — are ``None``; the
+        algorithm itself stays untouched.
+        """
+        return {
+            "core": "reference",
+            "decisions": self.decisions,
+            "propagations": None,
+            "conflicts": None,
+            "max_trail_depth": None,
+            "cache_hits": self.cache_hits,
+            "cache_entries": len(self._cache),
+            "sat_cache_entries": len(self._sat_cache),
+            "components_split": self.components_split,
+            "width": self.width,
+            "preprocessing": None,
+        }
+
     def _count_root(self) -> int:
         trace = self._trace
         clauses, assigned, conflict = _propagate(

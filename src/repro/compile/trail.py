@@ -37,6 +37,7 @@ class ClauseStore:
         "num_variables", "clauses", "occ_pos", "occ_neg",
         "free", "sat", "value", "trail", "var_masks",
         "has_empty", "units",
+        "propagations", "conflicts", "max_trail_depth",
     )
 
     def __init__(
@@ -63,6 +64,11 @@ class ClauseStore:
         self.has_empty = False
         #: Literals of the input's unit clauses (root propagation seeds).
         self.units: list[int] = []
+        #: Lifetime search statistics, maintained at propagate-call
+        #: boundaries only (plain int adds; never touched per literal).
+        self.propagations = 0
+        self.conflicts = 0
+        self.max_trail_depth = 0
         for index, clause in enumerate(self.clauses):
             mask = 0
             for literal in clause:
@@ -104,6 +110,7 @@ class ClauseStore:
         queue = list(literals)
         cursor = 0
         conflict = False
+        height = len(trail)
         while cursor < len(queue):
             literal = queue[cursor]
             cursor += 1
@@ -111,6 +118,8 @@ class ClauseStore:
             current = value[variable]
             if current:
                 if (current > 0) != (literal > 0):
+                    self.propagations += len(trail) - height
+                    self.conflicts += 1
                     return False
                 continue
             value[variable] = 1 if literal > 0 else -1
@@ -139,7 +148,13 @@ class ClauseStore:
                                 queue.append(unit)
                                 break
             if conflict:
+                self.propagations += len(trail) - height
+                self.conflicts += 1
                 return False
+        depth = len(trail)
+        self.propagations += depth - height
+        if depth > self.max_trail_depth:
+            self.max_trail_depth = depth
         return True
 
     def backtrack(self, mark: int) -> None:

@@ -25,6 +25,7 @@ from typing import Any, Mapping
 from repro.core.query import BooleanQuery
 from repro.db.incomplete import IncompleteDatabase
 from repro.exact.brute import DEFAULT_BUDGET
+from repro.obs import capture as _capture
 
 #: Problem kinds the engine understands.
 PROBLEMS = ("val", "comp", "approx-val", "val-weighted", "marginals")
@@ -141,13 +142,14 @@ def execute_job(job: CountJob, circuits: Any = None) -> JobResult:
     problems compile a throwaway circuit per job.
     """
     started = time.perf_counter()
-    try:
-        count, method = _solve(job, circuits)
-        error = None
-    except Exception as exc:  # noqa: BLE001 - batch isolation by design
-        count, method = None, None
-        error = "%s: %s" % (type(exc).__name__, exc)
-    return JobResult(
+    with _capture() as captured:
+        try:
+            count, method = _solve(job, circuits)
+            error = None
+        except Exception as exc:  # noqa: BLE001 - batch isolation by design
+            count, method = None, None
+            error = "%s: %s" % (type(exc).__name__, exc)
+    result = JobResult(
         problem=job.problem,
         count=count,
         method=method,
@@ -155,6 +157,31 @@ def execute_job(job: CountJob, circuits: Any = None) -> JobResult:
         label=job.label,
         error=error,
     )
+    metrics = capture_metrics(captured)
+    if metrics:
+        result.meta["metrics"] = metrics
+    return result
+
+
+def capture_metrics(captured: "_capture") -> dict[str, Any]:
+    """A job's observability payload: the compact, picklable digest of one
+    solve's capture — inclusive per-phase seconds plus solver counters.
+
+    This is the ``meta['metrics']`` schema the JSONL result format
+    round-trips: ``{"phases": {name: seconds}, "counters": {name: n}}``,
+    either key omitted when empty, the whole dict empty when nothing was
+    captured (observability disabled).
+    """
+    metrics: dict[str, Any] = {}
+    phases = {
+        name: round(seconds, 6)
+        for name, seconds in sorted(captured.phase_totals().items())
+    }
+    if phases:
+        metrics["phases"] = phases
+    if captured.counters:
+        metrics["counters"] = dict(sorted(captured.counters.items()))
+    return metrics
 
 
 class _CapturedCircuitStore:

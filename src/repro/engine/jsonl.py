@@ -24,11 +24,11 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Iterator, TextIO
+from typing import Iterable, Iterator, TextIO
 
 from repro.db.incomplete import IncompleteDatabase
 from repro.db.terms import Null, Term
-from repro.engine.jobs import CountJob
+from repro.engine.jobs import CountJob, JobResult
 from repro.exact.brute import DEFAULT_BUDGET
 from repro.io.databases import parse_database
 from repro.io.queries import parse_query
@@ -104,6 +104,64 @@ def _job_from_record(
         ),
         label=record.get("label", "job-%d" % line_number),
     )
+
+
+#: Keys of a serialized result record (see :meth:`JobResult.to_dict`);
+#: ``meta`` appears only when non-empty.  The schema-stability test pins
+#: this tuple and the shape of ``meta['metrics']``.
+RESULT_KEYS = (
+    "label", "problem", "count", "method", "seconds", "cache_hit", "error",
+)
+
+
+def write_results(handle: TextIO, results: "Iterable[JobResult]") -> int:
+    """Write one JSON line per result (the ``batch --out`` format).
+
+    The record is :meth:`JobResult.to_dict` verbatim, so the per-job
+    observability payload (``meta['metrics']``: phase seconds, solver
+    counters, queue share) rides along.  Returns the record count.
+    """
+    written = 0
+    for result in results:
+        handle.write(json.dumps(result.to_dict(), default=str) + "\n")
+        written += 1
+    return written
+
+
+def read_results(handle: TextIO) -> "Iterator[JobResult]":
+    """Parse a result stream :func:`write_results` wrote back into
+    :class:`JobResult` values (counts stay as JSON left them: exact ints
+    for the counting problems, floats where serialization rounded)."""
+    for line_number, raw_line in enumerate(handle, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JobSyntaxError(
+                "line %d: invalid JSON (%s)" % (line_number, exc)
+            ) from exc
+        if not isinstance(record, dict):
+            raise JobSyntaxError(
+                "line %d: expected a JSON object" % line_number
+            )
+        missing = [key for key in RESULT_KEYS if key not in record]
+        if missing:
+            raise JobSyntaxError(
+                "line %d: result record is missing %s"
+                % (line_number, ", ".join(missing))
+            )
+        yield JobResult(
+            problem=record["problem"],
+            count=record["count"],
+            method=record["method"],
+            seconds=record["seconds"],
+            label=record["label"],
+            cache_hit=record["cache_hit"],
+            error=record["error"],
+            meta=record.get("meta", {}),
+        )
 
 
 def parse_weights(

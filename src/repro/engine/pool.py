@@ -46,6 +46,7 @@ import multiprocessing
 import multiprocessing.pool
 import os
 import pickle
+import time
 from typing import Iterable, Sequence
 
 from repro.compile.serialize import CircuitFormatError
@@ -59,6 +60,14 @@ from repro.engine.jobs import (
     execute_job_capturing,
     instance_fingerprint_of,
     needs_circuit,
+)
+from repro.obs import (
+    default_registry,
+    emit_record as _emit_record,
+    enabled as _obs_enabled,
+    incr as _incr,
+    observe as _observe,
+    span as _span,
 )
 
 
@@ -89,7 +98,14 @@ class BatchEngine:
         No-op unless ``persistent_pool=True`` and ``workers > 1``.
         """
         if self._persistent and self.workers > 1 and self._pool is None:
+            started = time.perf_counter()
             self._pool = multiprocessing.get_context().Pool(self.workers)
+            if _obs_enabled():
+                registry = default_registry()
+                registry.gauge("engine.pool.warm_seconds").set(
+                    time.perf_counter() - started
+                )
+                registry.gauge("engine.pool.workers").set(self.workers)
 
     def close(self) -> None:
         """Release the persistent pool (idempotent)."""
@@ -106,6 +122,23 @@ class BatchEngine:
 
     def run(self, jobs: Sequence[CountJob]) -> list[JobResult]:
         """Solve every job, in order; errors are per-job, never raised."""
+        with _span("engine.batch", jobs=len(jobs)):
+            results = self._run(jobs)
+        if _obs_enabled():
+            for result in results:
+                queue = (result.meta.get("metrics") or {}).get(
+                    "queue_seconds", 0.0
+                )
+                _observe("engine.job.queue_seconds", queue)
+                _observe("engine.job.execute_seconds", result.seconds)
+                _observe("engine.job.total_seconds", queue + result.seconds)
+                if result.cache_hit:
+                    _incr("engine.memo_hits")
+            _incr("engine.jobs", len(jobs))
+            self.cache.publish(default_registry())
+        return results
+
+    def _run(self, jobs: Sequence[CountJob]) -> list[JobResult]:
         fingerprints = [fingerprint_job(job) for job in jobs]
         results: list[JobResult | None] = [None] * len(jobs)
 
@@ -240,7 +273,9 @@ class BatchEngine:
                 self.warm()
                 assert self._pool is not None
                 chunk = max(1, len(tasks) // (self.workers * 4))
-                solved = self._pool.map(_pool_solve, tasks, chunksize=chunk)
+                solved = self._consume(
+                    self._pool.imap(_pool_solve, tasks, chunksize=chunk)
+                )
             else:
                 processes = min(self.workers, len(tasks))
                 # Chunked dispatch: small jobs ride together so a batch of
@@ -249,7 +284,9 @@ class BatchEngine:
                 # heterogeneous job sizes across the pool.
                 chunk = max(1, len(tasks) // (processes * 4))
                 with multiprocessing.get_context().Pool(processes) as pool:
-                    solved = pool.map(_pool_solve, tasks, chunksize=chunk)
+                    solved = self._consume(
+                        pool.imap(_pool_solve, tasks, chunksize=chunk)
+                    )
         except Exception as exc:
             # A persistent pool that failed mid-dispatch cannot be trusted
             # with the next batch; drop it (a fresh one builds on demand).
@@ -281,6 +318,58 @@ class BatchEngine:
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 
+    def _consume(self, arrivals: "Iterable[JobResult]") -> list[JobResult]:
+        """Drain a pool's ordered result stream, timestamping each arrival.
+
+        Ordered ``imap`` (same chunking as the old ``map``) lets the
+        parent decompose per-job latency: *total* is dispatch-to-arrival
+        wall time, *execute* the worker's own solve time, *queue* the
+        difference — time spent waiting for a worker slot, in IPC, or
+        behind earlier results of the ordered stream.  The queue share is
+        recorded into the job's ``meta['metrics']`` (it rides the same
+        payload workers already ship) and each worker's captured metrics
+        are folded into the parent registry here, at the only point that
+        knows the result crossed a process boundary.
+        """
+        solved = []
+        dispatched = time.perf_counter()
+        for result in arrivals:
+            if _obs_enabled():
+                total = time.perf_counter() - dispatched
+                queue = max(0.0, total - result.seconds)
+                result.meta.setdefault("metrics", {})["queue_seconds"] = round(
+                    queue, 6
+                )
+                self._absorb_worker_metrics(result)
+            solved.append(result)
+        return solved
+
+    def _absorb_worker_metrics(self, result: JobResult) -> None:
+        """Fold a worker-process result's shipped metrics into the parent:
+        counters add (visible to any active capture), each phase total
+        lands as one observation in the phase's histogram, and each phase
+        is re-emitted to the attached sinks (the sinks never saw the
+        worker's own spans)."""
+        metrics = result.meta.get("metrics")
+        if not metrics:
+            return
+        registry = default_registry()
+        for name, seconds in (metrics.get("phases") or {}).items():
+            registry.histogram(name).observe(seconds)
+            _emit_record(
+                {
+                    "type": "span",
+                    "name": name,
+                    "path": name,
+                    "depth": 0,
+                    "seconds": seconds,
+                    "label": result.label,
+                    "worker": True,
+                }
+            )
+        for name, value in (metrics.get("counters") or {}).items():
+            _incr(name, value)
+
     def _install_artifact(self, job: CountJob, result: JobResult | None) -> None:
         """Rehydrate a worker-shipped circuit into the parent's store.
 
@@ -311,12 +400,18 @@ class BatchEngine:
         # bound; only claim the install when the store actually holds it.
         if self.cache.has_circuit(instance):
             result.meta["compiled_in_worker"] = True
+            _incr("engine.worker_circuit_installs")
         else:
             result.meta["artifact_rejected"] = "circuit exceeds the cache bound"
 
 
 def _pool_solve(task: tuple[CountJob, bool]) -> JobResult:
     """Worker task body: solve, optionally capturing the circuit artifact."""
+    # A forked worker inherits the parent's active span stack (the engine
+    # forks mid-span); drop it so this job's spans land in its own capture.
+    from repro.obs import reset_thread_state
+
+    reset_thread_state()
     job, capture = task
     return execute_job_capturing(job) if capture else execute_job(job)
 

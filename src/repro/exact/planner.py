@@ -58,6 +58,7 @@ from repro.exact import comp_uniform as _comp_uniform
 from repro.exact import val_codd as _val_codd
 from repro.exact import val_nonuniform as _val_nonuniform
 from repro.exact import val_uniform as _val_uniform
+from repro.obs import event as _obs_event, incr as _incr, span as _span
 
 
 class NoPolynomialAlgorithm(ValueError):
@@ -293,6 +294,23 @@ def plan(
                     "apply (%s); the solver will raise its own error"
                     % (method, reason)
                 )
+    _obs_event(
+        "planner.decision",
+        problem=problem,
+        requested=method,
+        chosen=chosen,
+        rejected={
+            item.method: item.reason for item in considered if not item.applicable
+        },
+        costs={
+            item.method: item.cost
+            for item in considered
+            if item.cost is not None
+        },
+        failed=error is not None,
+    )
+    if chosen is not None:
+        _incr("planner.chosen.%s" % chosen)
     return Plan(
         problem=problem,
         requested=method,
@@ -352,7 +370,8 @@ def run(
         raise ValueError(
             "no registered method %r for problem %r" % (method, problem)
         )
-    return entry.run(db, query, budget=budget, weights=weights)
+    with _span("planner.run", problem=problem, method=method):
+        return entry.run(db, query, budget=budget, weights=weights)
 
 
 # ---------------------------------------------------------------------------

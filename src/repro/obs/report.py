@@ -1,0 +1,225 @@
+"""Text reports over spans and registries: the human side of `repro.obs`.
+
+Everything here is pure formatting/aggregation over data the other two
+modules produce — span trees from :func:`repro.obs.spans.capture`,
+snapshots from :meth:`repro.obs.metrics.Metrics.snapshot`, and JSONL
+event streams written by :class:`repro.obs.spans.JsonlSink`.  The CLI
+(``repro stats``, ``count --trace``, ``batch``) and the benchmark
+harness render through these helpers so the vocabulary stays in one
+place.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from repro.obs.metrics import Metrics, default_registry, quantile
+from repro.obs.spans import Span
+
+#: Histogram names behind the per-job latency summary, in display order.
+JOB_LATENCY_STAGES = ("queue", "execute", "total")
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return "%.2fs" % seconds
+    if seconds >= 0.001:
+        return "%.1fms" % (seconds * 1e3)
+    return "%.0fus" % (seconds * 1e6)
+
+
+def render_span_tree(
+    roots: "Span | Iterable[Span]",
+    min_fraction: float = 0.0,
+) -> str:
+    """Render span trees as an indented phase tree with timings.
+
+    Each line shows the span name, its wall seconds, and its share of the
+    root's wall time; ``fields`` the instrumentation attached (decision
+    counts, node counts, ...) trail the line.  Spans below
+    ``min_fraction`` of the root are elided (their time still shows in
+    the parent).
+    """
+    if isinstance(roots, Span):
+        roots = [roots]
+    lines: list[str] = []
+    for root in roots:
+        total = root.seconds or 1e-12
+        for node, depth in root.walk():
+            if node.seconds < min_fraction * total and depth > 0:
+                continue
+            share = 100.0 * node.seconds / total
+            extras = " ".join(
+                "%s=%s" % (key, value) for key, value in node.fields.items()
+            )
+            lines.append(
+                "%s%-*s %9s %5.1f%%%s"
+                % (
+                    "  " * depth,
+                    max(1, 36 - 2 * depth),
+                    node.name,
+                    _fmt_seconds(node.seconds),
+                    share,
+                    "  [%s]" % extras if extras else "",
+                )
+            )
+    return "\n".join(lines)
+
+
+def summarize_latencies(registry: Metrics | None = None) -> dict[str, Any]:
+    """Digest the engine's per-job latency histograms.
+
+    Returns ``{"queue": summary, "execute": summary, "total": summary}``
+    where each summary is :meth:`Histogram.summary` output (empty-count
+    summaries when the engine has not run).
+    """
+    if registry is None:
+        registry = default_registry()
+    return {
+        stage: registry.histogram("engine.job.%s_seconds" % stage).summary()
+        for stage in JOB_LATENCY_STAGES
+    }
+
+
+def format_latency_summary(
+    latencies: Mapping[str, Mapping[str, Any]],
+    cache_stats: Mapping[str, Any] | None = None,
+) -> str:
+    """The ``repro batch`` closing table: per-job latency percentiles per
+    stage plus cache hit rates, as aligned plain text."""
+    lines = [
+        "%-8s %6s %9s %9s %9s %9s"
+        % ("stage", "jobs", "p50", "p90", "p99", "total")
+    ]
+    for stage in JOB_LATENCY_STAGES:
+        summary = latencies.get(stage) or {}
+        count = summary.get("count", 0)
+        if not count:
+            lines.append("%-8s %6d %9s %9s %9s %9s" % (stage, 0, "-", "-", "-", "-"))
+            continue
+        lines.append(
+            "%-8s %6d %9s %9s %9s %9s"
+            % (
+                stage,
+                count,
+                _fmt_seconds(summary["p50"]),
+                _fmt_seconds(summary["p90"]),
+                _fmt_seconds(summary["p99"]),
+                _fmt_seconds(summary["sum"]),
+            )
+        )
+    if cache_stats:
+        lines.append(
+            "cache: memo %d hit / %d miss (rate %.2f), "
+            "circuits %d stored / %d B, %d hit / %d miss, %d evicted"
+            % (
+                cache_stats.get("hits", 0),
+                cache_stats.get("misses", 0),
+                cache_stats.get("hit_rate", 0.0),
+                cache_stats.get("circuits", 0),
+                cache_stats.get("circuit_bytes", 0),
+                cache_stats.get("circuit_hits", 0),
+                cache_stats.get("circuit_misses", 0),
+                cache_stats.get("circuit_evictions", 0),
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_snapshot(snapshot: Mapping[str, Any]) -> str:
+    """Render a :meth:`Metrics.snapshot` as a sectioned text report."""
+    lines: list[str] = []
+    counters = snapshot.get("counters") or {}
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append("  %-*s %s" % (width, name, value))
+    gauges = {
+        name: value
+        for name, value in (snapshot.get("gauges") or {}).items()
+        if value is not None
+    }
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            shown = _fmt_seconds(value) if name.endswith("_seconds") else value
+            lines.append("  %-*s %s" % (width, name, shown))
+    histograms = {
+        name: summary
+        for name, summary in (snapshot.get("histograms") or {}).items()
+        if summary.get("count")
+    }
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        for name, summary in histograms.items():
+            if name.endswith("_seconds") or "." in name and isinstance(
+                summary.get("sum"), float
+            ):
+                fmt = _fmt_seconds
+            else:
+                fmt = lambda v: str(v)  # noqa: E731 - tiny local formatter
+            lines.append(
+                "  %-*s n=%-6d sum=%-9s p50=%-9s p99=%s"
+                % (
+                    width,
+                    name,
+                    summary["count"],
+                    fmt(summary["sum"]),
+                    fmt(summary["p50"]),
+                    fmt(summary["p99"]),
+                )
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def aggregate_metrics_jsonl(path: str) -> dict[str, Any]:
+    """Aggregate a :class:`JsonlSink` stream back into summary form.
+
+    Reads one JSON record per line and returns::
+
+        {"records": N,
+         "spans": {name: {count, sum, min, max, p50, p90, p99}},
+         "events": {name: count}}
+
+    Span quantiles are exact — computed over every record's seconds, the
+    same nearest-rank statistic the live histograms use.
+    """
+    span_values: dict[str, list[float]] = {}
+    events: dict[str, int] = {}
+    records = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            records += 1
+            kind = record.get("type")
+            name = record.get("name", "?")
+            if kind == "span":
+                span_values.setdefault(name, []).append(
+                    float(record.get("seconds", 0.0))
+                )
+            elif kind == "event":
+                events[name] = events.get(name, 0) + 1
+    spans: dict[str, Any] = {}
+    for name, values in sorted(span_values.items()):
+        ordered = sorted(values)
+        spans[name] = {
+            "count": len(ordered),
+            "sum": sum(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": quantile(ordered, 0.50),
+            "p90": quantile(ordered, 0.90),
+            "p99": quantile(ordered, 0.99),
+        }
+    return {
+        "records": records,
+        "spans": spans,
+        "events": dict(sorted(events.items())),
+    }
