@@ -18,6 +18,11 @@ Runs one fixed workload per tracked hot path —
   d-DNNF circuit compiles once and answers by linear passes
   (:mod:`repro.compile.circuit`), measured against re-running the
   model-counting search per question;
+* ``amortized_vectorized`` the sweep scenario: one compiled circuit asked
+  for its weighted count under 1000 different weightings — the vectorized
+  batched pass (:meth:`repro.compile.backend.ValuationCircuit.weighted_count_many`,
+  one numpy column per node) measured against looping the scalar pass per
+  weighting; answers are asserted bit-identical;
 * ``batch_engine`` the mixed 200-instance batch through
   :mod:`repro.engine`, reported against the serial per-instance loop;
 * ``circuit_batch`` a batch of *distinct* circuit-backed jobs
@@ -90,7 +95,7 @@ from repro.workloads.generators import (
 #: Paths the CI gate tracks (keys of the emitted ``paths`` object).
 TRACKED_PATHS = (
     "hom", "sharpsat", "sharpsat_core", "fpras", "amortized",
-    "batch_engine", "circuit_batch",
+    "amortized_vectorized", "batch_engine", "circuit_batch",
 )
 
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
@@ -338,6 +343,66 @@ def path_amortized(quick: bool) -> dict:
             "count": str(amortized_result[0]),
             "per_question_seconds": baseline_seconds,
             "speedup": baseline_seconds / max(seconds, 1e-9),
+        },
+    }
+
+
+def path_amortized_vectorized(quick: bool) -> dict:
+    """The sweep scenario: 1000 weightings of one circuit, batched vs looped.
+
+    Both sides share one compiled circuit (compilation is the ``amortized``
+    path's story, not this one's); the question is purely how fast N
+    answers come out of it.  The looped baseline runs the scalar weighted
+    pass once per weighting — the only option before the batched passes
+    existed.  The vectorized side makes a single
+    :meth:`~repro.compile.backend.ValuationCircuit.weighted_count_many`
+    call, which holds one length-N numpy column per circuit node.  The
+    weightings sweep a fixed handful of nulls (a parameter grid; every
+    other null keeps default weights), which keeps the batched pass's
+    magnitude bound inside int64 — the shape the fast path is built for.
+    Answers are asserted bit-identical — the vectorized pass is a drop-in
+    for the loop, not an approximation of it.
+    """
+    size, chord, seed = (32, 0.03, 59) if quick else (36, 0.03, 63)
+    db, query = scaling_hard_val_instance(
+        size, chord_probability=chord, seed=seed
+    )
+    compiled = ValuationCircuit(db, query)  # compilation not timed
+    rng = random.Random(17)
+    swept = db.nulls[:4]
+    rows = [
+        {
+            null: {
+                value: rng.randrange(1, 4)
+                for value in sorted(db.domain_of(null), key=repr)
+            }
+            for null in swept
+        }
+        for _ in range(1000)
+    ]
+
+    def looped():
+        return [compiled.weighted_count(row) for row in rows]
+
+    def vectorized():
+        return compiled.weighted_count_many(rows)
+
+    # The looped side is ~three orders of magnitude heavier per repeat,
+    # so it gets fewer; the vectorized side is milliseconds and needs
+    # the extra repeats to shake off scheduler noise.
+    looped_result, looped_seconds = _best_of(looped, repeats=2)
+    vectorized_result, seconds = _best_of(vectorized, repeats=7)
+    if looped_result != vectorized_result:
+        raise AssertionError(
+            "vectorized weighted counts disagreed with the scalar loop"
+        )
+    return {
+        "seconds": seconds,
+        "detail": {
+            "cycle_size": size,
+            "weightings": len(rows),
+            "looped_seconds": looped_seconds,
+            "speedup": looped_seconds / max(seconds, 1e-9),
         },
     }
 
@@ -802,6 +867,7 @@ def main(argv: list[str] | None = None) -> int:
         "sharpsat_core": lambda: path_sharpsat_core(args.quick),
         "fpras": lambda: path_fpras(args.quick),
         "amortized": lambda: path_amortized(args.quick),
+        "amortized_vectorized": lambda: path_amortized_vectorized(args.quick),
         "batch_engine": lambda: path_batch_engine(args.quick, args.workers),
         "circuit_batch": lambda: path_circuit_batch(args.quick, args.workers),
     }
@@ -845,6 +911,15 @@ def main(argv: list[str] | None = None) -> int:
         "amortized: %d questions, compile-once %.2fx faster than "
         "search-per-question"
         % (amortized_detail["questions"], amortized_detail["speedup"])
+    )
+    vectorized_detail = paths["amortized_vectorized"]["detail"]
+    print(
+        "amortized vectorized: %d weightings, batched pass %.2fx faster "
+        "than the scalar loop"
+        % (
+            vectorized_detail["weightings"],
+            vectorized_detail["speedup"],
+        )
     )
     batch_detail = paths["batch_engine"]["detail"]
     print(

@@ -6,14 +6,32 @@ Public API highlights::
 
     from repro import (
         Atom, BCQ, Fact, IncompleteDatabase, Null,
-        classify, count_valuations, count_completions,
+        classify, solve, count_valuations, count_completions,
     )
+
+:func:`solve` is the unified front door — one call for every planner
+problem (``val``, ``comp``, ``val-weighted``, ``marginals``, ``sweep``)
+returning a structured :class:`Answer`; the per-problem functions remain
+as thin wrappers.
 """
 
 from repro.core.query import Atom, BCQ, Const, Negation, UCQ, Var
 from repro.core.classify import classify
 from repro.db import Database, Fact, IncompleteDatabase, Null
-from repro.exact import count_completions, count_valuations
+from repro.exact import (
+    Answer,
+    NoPolynomialAlgorithm,
+    Plan,
+    count_completions,
+    count_valuations,
+    count_valuations_sweep,
+    count_valuations_weighted,
+    plan_completions,
+    plan_sweep,
+    plan_valuations,
+    plan_valuations_weighted,
+    solve,
+)
 
 __version__ = "1.0.0"
 
@@ -29,7 +47,17 @@ __all__ = [
     "Fact",
     "IncompleteDatabase",
     "Null",
+    "Answer",
+    "NoPolynomialAlgorithm",
+    "Plan",
     "count_completions",
     "count_valuations",
+    "count_valuations_sweep",
+    "count_valuations_weighted",
+    "plan_completions",
+    "plan_sweep",
+    "plan_valuations",
+    "plan_valuations_weighted",
+    "solve",
     "__version__",
 ]

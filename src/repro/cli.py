@@ -9,6 +9,8 @@ Examples::
         --method circuit --json                              # machine-readable
     repro-count explain --query "R(x,x)" --db instance.idb --marginals
     repro-count approx --query "R(x,y)" --db instance.idb --epsilon 0.05
+    repro-count sweep --query "R(x,y)" --db instance.idb \
+        --weights '[{"n1": {"a": 2, "b": 1}}, null]'     # one count per row
     repro-count batch --jobs jobs.jsonl --workers 4 --cache-mb 64 \
         --out results.jsonl
     repro-count show --db instance.idb
@@ -34,6 +36,7 @@ from repro.exact.dispatch import (
     count_valuations,
     resolve_completion_method,
     resolve_valuation_method,
+    solve,
 )
 from repro.io.databases import parse_database
 from repro.io.queries import parse_query
@@ -254,6 +257,80 @@ def _cmd_approx(args: argparse.Namespace) -> int:
             report.samples,
             report.total_event_weight,
         )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Answer many weightings of one instance from a single plan/compile.
+
+    Rows arrive as a JSON array (inline ``--weights`` or one-array-per-file
+    ``--weights-jsonl`` with one JSON row object per line); ``null`` rows
+    mean default (uniform-unit) weights.  The whole batch is one ``solve``
+    call on the ``sweep`` problem, so a circuit-backed plan compiles once
+    and evaluates every row as a vectorized pass.
+    """
+    from repro.engine.jsonl import JobSyntaxError, parse_weights
+
+    if (args.weights is None) == (args.weights_jsonl is None):
+        print(
+            "provide exactly one of --weights (inline JSON array) or "
+            "--weights-jsonl (file of JSON row objects)",
+            file=sys.stderr,
+        )
+        return 2
+    db = _load_db(args.db)
+    query = parse_query(args.query)
+    if args.weights is not None:
+        raw_rows = json.loads(args.weights)
+        if not isinstance(raw_rows, list):
+            print("--weights must be a JSON array of rows", file=sys.stderr)
+            return 2
+        contexts = ["--weights[%d]" % i for i in range(len(raw_rows))]
+    else:
+        raw_rows = []
+        contexts = []
+        with open(args.weights_jsonl, "r", encoding="utf-8") as handle:
+            for line_number, raw_line in enumerate(handle, start=1):
+                line = raw_line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                raw_rows.append(json.loads(line))
+                contexts.append(
+                    "%s line %d" % (args.weights_jsonl, line_number)
+                )
+    try:
+        rows = [
+            None if row is None else parse_weights(row, db, context)
+            for row, context in zip(raw_rows, contexts)
+        ]
+    except JobSyntaxError as exc:
+        print("%s" % exc, file=sys.stderr)
+        return 2
+
+    answer = solve(
+        "sweep", db, query,
+        method=args.method, weights=rows, budget=args.budget,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "problem": "sweep",
+                    "rows": len(rows),
+                    "counts": answer.count,
+                    "method": answer.method,
+                    "seconds": round(answer.seconds, 6),
+                }
+            )
+        )
+        return 0
+    for count in answer.count:
+        print(count)
+    print(
+        "sweep: %d weightings, method %s, %.3fs"
+        % (len(rows), answer.method, answer.seconds),
+        file=sys.stderr,
     )
     return 0
 
@@ -511,7 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_plan.add_argument(
         "--problem",
-        choices=("val", "comp", "val-weighted", "marginals"),
+        choices=("val", "comp", "val-weighted", "marginals", "sweep"),
         default="val",
         help="problem kind the plan is for (default val)",
     )
@@ -542,6 +619,37 @@ def build_parser() -> argparse.ArgumentParser:
         "seconds} as JSON",
     )
     p_approx.set_defaults(func=_cmd_approx)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="answer many weightings of one #Val instance from a single "
+        "plan (circuit plans compile once, evaluate all rows vectorized)",
+    )
+    p_sweep.add_argument("--db", required=True, help="database file")
+    p_sweep.add_argument("--query", required=True, help="query text")
+    p_sweep.add_argument(
+        "--weights", default=None,
+        help="inline JSON array of rows, each {null: {value: weight}} or "
+        "null for default weights",
+    )
+    p_sweep.add_argument(
+        "--weights-jsonl", default=None,
+        help="file with one JSON row object (or null) per line",
+    )
+    p_sweep.add_argument(
+        "--method", default="auto",
+        help="auto | a concrete sweep method (single-occurrence, circuit, "
+        "brute)",
+    )
+    p_sweep.add_argument(
+        "--budget", type=int, default=2_000_000,
+        help="max valuations for brute force",
+    )
+    p_sweep.add_argument(
+        "--json", action="store_true",
+        help="emit {problem, rows, counts, method, seconds} as JSON",
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_batch = sub.add_parser(
         "batch", help="run a JSONL job stream through the batch engine"

@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import Mapping, Sequence
 
 from repro.complexity.cnf import CNF
 from repro.compile.circuit import CircuitSampler, DDNNF, draw_index
@@ -254,18 +255,72 @@ class ValuationCircuit:
         valuation satisfies the query.
         """
         resolved = resolve_null_weights(self._db, weights)
-        table: dict[Null, dict[Term, Fraction]] = {}
-        satisfying, pair_counts = self._satisfying_pair_masses(resolved)
+        return self._marginal_table(*self._satisfying_pair_masses(resolved))
+
+    def _marginal_table(
+        self, satisfying, pair_counts
+    ) -> dict[Null, dict[Term, Fraction]]:
         if not satisfying:
             raise ValueError(
                 "no satisfying valuation has nonzero weight; "
                 "marginals are undefined"
             )
+        table: dict[Null, dict[Term, Fraction]] = {}
         for (null, value), _variable in self._choices.items():
             table.setdefault(null, {})[value] = Fraction(
                 pair_counts[(null, value)]
             ) / Fraction(satisfying)
         return table
+
+    def weighted_count_many(
+        self, weight_rows: Sequence[NullWeights | None]
+    ) -> list:
+        """:meth:`weighted_count` for N weight tables in one batched pass.
+
+        Exactly ``[self.weighted_count(row) for row in weight_rows]`` —
+        the circuit's upward pass runs once with length-N columns
+        (:meth:`~repro.compile.circuit.DDNNF.evaluate_many`) instead of
+        once per table.
+        """
+        resolved_rows = [
+            resolve_null_weights(self._db, row) for row in weight_rows
+        ]
+        if not resolved_rows:
+            return []
+        if self.total_valuations == 0:
+            return [0] * len(resolved_rows)
+        falsifying = self.circuit.evaluate_many(
+            [self._variable_weights(resolved) for resolved in resolved_rows]
+        )
+        return [
+            self._weighted_total(resolved) - mass
+            for resolved, mass in zip(resolved_rows, falsifying)
+        ]
+
+    def marginals_many(
+        self, weight_rows: Sequence[NullWeights | None]
+    ) -> list[dict[Null, dict[Term, Fraction]]]:
+        """:meth:`marginals` for N weight tables in one batched pass.
+
+        One batched upward+downward sweep
+        (:meth:`~repro.compile.circuit.DDNNF.literal_counts_many`)
+        replaces the per-table pass loop; each returned table equals the
+        scalar result exactly.
+        """
+        resolved_rows = [
+            resolve_null_weights(self._db, row) for row in weight_rows
+        ]
+        if not resolved_rows:
+            return []
+        counts_rows = self.circuit.literal_counts_many(
+            [self._variable_weights(resolved) for resolved in resolved_rows]
+        )
+        return [
+            self._marginal_table(
+                *self._pair_masses_from_counts(resolved, counts)
+            )
+            for resolved, counts in zip(resolved_rows, counts_rows)
+        ]
 
     def sample_valuation(
         self,
@@ -345,12 +400,18 @@ class ValuationCircuit:
         ``counts[v] + counts[-v]`` of any choice variable, so no separate
         upward evaluation is needed.
         """
+        counts = self.circuit.literal_counts(self._variable_weights(resolved))
+        return self._pair_masses_from_counts(resolved, counts)
+
+    def _pair_masses_from_counts(self, resolved: dict, counts: dict) -> tuple:
+        """The pair-mass arithmetic of :meth:`_satisfying_pair_masses`
+        applied to an already-computed literal-count table (which is how
+        the batched pass shares one sweep across N weight rows)."""
         totals = {
             null: sum(resolved[null].values()) for null in self._db.nulls
         }
         grand = self._weighted_total(resolved)
         pairs = self._choices.items()
-        counts = self.circuit.literal_counts(self._variable_weights(resolved))
         if pairs:
             _pair, any_variable = pairs[0]
             falsifying = counts[any_variable] + counts[-any_variable]
@@ -506,6 +567,66 @@ class CompletionCircuit:
             fact: Fraction(counts[self._facts.var(fact)], self._count)
             for fact in self._facts.facts()
         }
+
+    def _fact_variable_weights(
+        self, fact_weights: "Mapping[Fact, object] | None"
+    ) -> dict:
+        """Per-variable ``(present, absent)`` weights from a per-fact
+        table: a listed fact weighs ``w`` when the completion contains it
+        and ``1`` when it does not (unlisted facts always weigh 1)."""
+        table = {}
+        for fact, weight in (fact_weights or {}).items():
+            table[self._facts.var(fact)] = (weight, 1)
+        return table
+
+    def weighted_count(
+        self, fact_weights: "Mapping[Fact, object] | None" = None
+    ):
+        """Weighted ``#Comp``: each counted completion weighs the product
+        of ``fact_weights[g]`` over the potential facts ``g`` it contains.
+        Exact for int/Fraction weights; equals :meth:`count` when no
+        weights are given."""
+        return self.circuit.evaluate(self._fact_variable_weights(fact_weights))
+
+    def weighted_count_many(
+        self, fact_weight_rows: "Sequence[Mapping[Fact, object] | None]"
+    ) -> list:
+        """:meth:`weighted_count` for N per-fact tables in one batched
+        upward pass over the projected circuit."""
+        return self.circuit.evaluate_many(
+            [self._fact_variable_weights(row) for row in fact_weight_rows]
+        )
+
+    def fact_marginals_many(
+        self, fact_weight_rows: "Sequence[Mapping[Fact, object] | None]"
+    ) -> list[dict[Fact, Fraction]]:
+        """:meth:`fact_marginals` under each of N completion weightings at
+        once (one batched upward+downward pass); each table is exact.
+        Raises :class:`ValueError` for a row whose weighted total is 0."""
+        counts_rows = self.circuit.literal_counts_many(
+            [self._fact_variable_weights(row) for row in fact_weight_rows]
+        )
+        facts = self._facts.facts()
+        tables: list[dict[Fact, Fraction]] = []
+        for counts in counts_rows:
+            if facts:
+                anchor = self._facts.var(facts[0])
+                # Smoothness: both polarities of any projected variable
+                # sum to the row's weighted completion total.
+                total = counts[anchor] + counts[-anchor]
+            else:
+                total = self._count
+            if not total:
+                raise ValueError(
+                    "no completion has nonzero weight; "
+                    "marginals are undefined"
+                )
+            tables.append({
+                fact: Fraction(counts[self._facts.var(fact)])
+                / Fraction(total)
+                for fact in facts
+            })
+        return tables
 
     def sample_completion(
         self, rng: random.Random | None = None, seed: int | None = None

@@ -64,6 +64,14 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.obs import span as _span
 
+try:  # numpy accelerates the batched passes; everything works without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the scalar fallback
+    _np = None  # type: ignore[assignment]
+
+#: Largest clamped-magnitude bound for which int64 columns cannot overflow.
+_INT64_SAFE = 1 << 62
+
 #: One decision branch: (forced literals, freed variables, child node id).
 Branch = tuple[tuple[int, ...], tuple[int, ...], int]
 
@@ -389,6 +397,328 @@ class DDNNF:
             self._count = self.evaluate(None)
         return self._count
 
+    # -- batched passes: one interpreter sweep, N weight rows --------------
+
+    def _weight_columns(
+        self, weight_rows: Sequence[WeightMap | None]
+    ) -> tuple[list, list, list, bool]:
+        """Per-variable weight *columns* across N rows, plus an int flag.
+
+        The batched analogue of :meth:`_weight_arrays`: ``positive[v]``
+        is the length-N list of w⁺ for variable ``v``, one entry per
+        row (defaults as in the scalar tables).  ``all_int`` is True
+        when every explicit weight is a machine int, which is what
+        gates the int64 fast path.
+        """
+        size = self._num_variables + 1
+        n = len(weight_rows)
+        positive: list = [[1] * n for _ in range(size)]
+        negative: list = [[1] * n for _ in range(size)]
+        free_sum: list = [
+            [2 if self._is_countable[v] else 1] * n for v in range(size)
+        ]
+        all_int = True
+        for column, row in enumerate(weight_rows):
+            if not row:
+                continue
+            for variable, pair in row.items():
+                if variable not in self._countable:
+                    raise ValueError(
+                        "variable %r is not countable in this circuit"
+                        % (variable,)
+                    )
+                w_pos, w_neg = pair[0], pair[1]
+                positive[variable][column] = w_pos
+                negative[variable][column] = w_neg
+                free_sum[variable][column] = w_pos + w_neg
+                if all_int and not (
+                    isinstance(w_pos, int) and isinstance(w_neg, int)
+                ):
+                    all_int = False
+        return positive, negative, free_sum, all_int
+
+    def _magnitude_bound(self, positive: list, negative: list) -> int:
+        """Upper bound on |any intermediate| of the batched int passes.
+
+        One scalar sweep with every weight replaced by its clamped
+        per-variable magnitude ``max(max_rows |w|, 1)`` (free factors by
+        the *sum* of the two polarity bounds) and every node value
+        clamped to ``>= 1``.  Clamping makes products monotone in the
+        number of factors, so every partial product/sum of the upward
+        pass is bounded by the maximum node value; determinism bounds
+        each downward-pass derivative and count contribution by the
+        root's value.  If the returned bound fits int64, so does every
+        number the batched passes touch.
+        """
+
+        def clamped(column: list) -> int:
+            bound = 1
+            for weight in column:
+                magnitude = weight if weight >= 0 else -weight
+                if magnitude > bound:
+                    bound = magnitude
+            return bound
+
+        bound_pos = [clamped(column) for column in positive]
+        bound_neg = [clamped(column) for column in negative]
+        bound_free = [p + q for p, q in zip(bound_pos, bound_neg)]
+        maximum = max(max(bound_pos), max(bound_neg), max(bound_free))
+        code = self._code
+        values = [1] * len(self._offsets)
+        for index, offset in enumerate(self._offsets):
+            kind = code[offset]
+            if kind == KIND_PRODUCT:
+                value = 1
+                for cursor in range(offset + 2, offset + 2 + code[offset + 1]):
+                    value *= values[code[cursor]]
+            elif kind == KIND_DECISION:
+                value = 0
+                cursor = offset + 2
+                for _ in range(code[offset + 1]):
+                    nlits = code[cursor]
+                    cursor += 1
+                    literals_end = cursor + nlits
+                    nfree = code[literals_end]
+                    free_end = literals_end + 1 + nfree
+                    term = values[code[free_end]]
+                    for position in range(cursor, literals_end):
+                        literal = code[position]
+                        term *= (
+                            bound_pos[literal]
+                            if literal > 0
+                            else bound_neg[-literal]
+                        )
+                    for position in range(literals_end + 1, free_end):
+                        term *= bound_free[code[position]]
+                    value += term
+                    cursor = free_end + 1
+                if value < 1:
+                    value = 1
+            else:
+                value = 1
+            values[index] = value
+            if value > maximum:
+                maximum = value
+        return maximum
+
+    def _column_arrays(
+        self, positive: list, negative: list, free_sum: list, all_int: bool
+    ) -> tuple:
+        """The weight columns as numpy arrays of the exactness-safe dtype:
+        int64 when every weight is a machine int and the magnitude bound
+        proves no intermediate can overflow, else exact object columns."""
+        dtype: object = object
+        if all_int and self._magnitude_bound(positive, negative) < _INT64_SAFE:
+            dtype = _np.int64
+        return (
+            _np.array(positive, dtype=dtype),
+            _np.array(negative, dtype=dtype),
+            _np.array(free_sum, dtype=dtype),
+        )
+
+    def _values_many(self, pos, neg, free) -> list:
+        """Length-N value column of every node, children-first: the
+        upward pass with each scalar replaced by a numpy column."""
+        np = _np
+        n = pos.shape[1]
+        code = self._code
+        zeros = np.zeros(n, dtype=pos.dtype)
+        ones = zeros + 1
+        values: list = [None] * len(self._offsets)
+        for index, offset in enumerate(self._offsets):
+            kind = code[offset]
+            if kind == KIND_PRODUCT:
+                length = code[offset + 1]
+                if length:
+                    value = values[code[offset + 2]]
+                    for cursor in range(offset + 3, offset + 2 + length):
+                        value = value * values[code[cursor]]
+                else:
+                    value = ones
+                values[index] = value
+            elif kind == KIND_DECISION:
+                total = zeros
+                cursor = offset + 2
+                for _ in range(code[offset + 1]):
+                    nlits = code[cursor]
+                    cursor += 1
+                    literals_end = cursor + nlits
+                    nfree = code[literals_end]
+                    free_end = literals_end + 1 + nfree
+                    term = values[code[free_end]]
+                    for position in range(cursor, literals_end):
+                        literal = code[position]
+                        term = term * (
+                            pos[literal] if literal > 0 else neg[-literal]
+                        )
+                    for position in range(literals_end + 1, free_end):
+                        term = term * free[code[position]]
+                    total = total + term
+                    cursor = free_end + 1
+                values[index] = total
+            else:
+                values[index] = ones if kind else zeros
+        return values
+
+    def evaluate_many(self, weight_rows: Sequence[WeightMap | None]) -> list:
+        """The weighted model count under each of N weight rows at once.
+
+        Exactly ``[self.evaluate(row) for row in weight_rows]`` — bit
+        identical for int weights, exactly rational for Fractions — but
+        the circuit program is interpreted once, each node holding a
+        length-N column instead of a scalar.  Machine-int rows whose
+        intermediates provably fit in int64 run on the numpy fast path;
+        everything else uses exact object columns; without numpy the
+        scalar pass is looped per row.
+        """
+        rows = list(weight_rows)
+        if not rows:
+            return []
+        with _span(
+            "circuit.evaluate_many",
+            nodes=len(self._offsets),
+            rows=len(rows),
+        ):
+            if _np is None:
+                return [self.evaluate(row) for row in rows]
+            columns = self._weight_columns(rows)
+            values = self._values_many(*self._column_arrays(*columns))
+            return values[self._root].tolist()
+
+    def literal_counts_many(
+        self, weight_rows: Sequence[WeightMap | None]
+    ) -> list[dict]:
+        """:meth:`literal_counts` for N weight rows in one batched pass.
+
+        Returns one ``literal -> weighted count`` dict per row, exactly
+        equal to the looped scalar results; the upward and downward
+        sweeps each run once over the program with length-N columns.
+        """
+        rows = list(weight_rows)
+        if not rows:
+            return []
+        with _span(
+            "circuit.literal_counts_many",
+            nodes=len(self._offsets),
+            rows=len(rows),
+        ):
+            if _np is None:
+                return [self.literal_counts(row) for row in rows]
+            return self._literal_counts_many_pass(rows)
+
+    def _literal_counts_many_pass(self, rows: list) -> list[dict]:
+        pos, neg, free = self._column_arrays(*self._weight_columns(rows))
+        values = self._values_many(pos, neg, free)
+        n = len(rows)
+        code = self._code
+        offsets = self._offsets
+        is_countable = self._is_countable
+        ones = _np.zeros(n, dtype=pos.dtype) + 1
+        # None marks an all-zero column nobody has touched yet: untouched
+        # nodes are skipped exactly like the scalar pass's zero check.
+        derivative: list = [None] * len(offsets)
+        derivative[self._root] = ones
+        size = self._num_variables + 1
+        count_positive: list = [None] * size
+        count_negative: list = [None] * size
+
+        for index in range(len(offsets) - 1, -1, -1):
+            outer = derivative[index]
+            if outer is None:
+                continue
+            offset = offsets[index]
+            kind = code[offset]
+            if kind == KIND_PRODUCT:
+                length = code[offset + 1]
+                start = offset + 2
+                suffixes: list = [1] * (length + 1)
+                for position in range(length - 1, -1, -1):
+                    suffixes[position] = (
+                        suffixes[position + 1] * values[code[start + position]]
+                    )
+                prefix = 1
+                for position in range(length):
+                    child = code[start + position]
+                    _column_add(
+                        derivative, child,
+                        outer * prefix * suffixes[position + 1],
+                    )
+                    prefix = prefix * values[child]
+            elif kind == KIND_DECISION:
+                cursor = offset + 2
+                for _ in range(code[offset + 1]):
+                    nlits = code[cursor]
+                    cursor += 1
+                    literals_end = cursor + nlits
+                    nfree = code[literals_end]
+                    free_start = literals_end + 1
+                    free_end = free_start + nfree
+                    child = code[free_end]
+                    literal_weight = 1
+                    for position in range(cursor, literals_end):
+                        literal = code[position]
+                        literal_weight = literal_weight * (
+                            pos[literal] if literal > 0 else neg[-literal]
+                        )
+                    literals_start = cursor
+                    cursor = free_end + 1
+                    free_factor = 1
+                    any_countable_free = False
+                    for position in range(free_start, free_end):
+                        variable = code[position]
+                        free_factor = free_factor * free[variable]
+                        if is_countable[variable]:
+                            any_countable_free = True
+                    down = outer * literal_weight * free_factor
+                    _column_add(derivative, child, down)
+                    contribution = down * values[child]
+                    for position in range(literals_start, literals_end):
+                        literal = code[position]
+                        if literal > 0:
+                            if is_countable[literal]:
+                                _column_add(
+                                    count_positive, literal, contribution
+                                )
+                        elif is_countable[-literal]:
+                            _column_add(
+                                count_negative, -literal, contribution
+                            )
+                    if any_countable_free:
+                        base = outer * literal_weight * values[child]
+                        suffixes = [1] * (nfree + 1)
+                        for position in range(nfree - 1, -1, -1):
+                            suffixes[position] = (
+                                suffixes[position + 1]
+                                * free[code[free_start + position]]
+                            )
+                        prefix = 1
+                        for position in range(nfree):
+                            variable = code[free_start + position]
+                            if is_countable[variable]:
+                                others = base * prefix * suffixes[position + 1]
+                                _column_add(
+                                    count_positive, variable,
+                                    others * pos[variable],
+                                )
+                                _column_add(
+                                    count_negative, variable,
+                                    others * neg[variable],
+                                )
+                            prefix = prefix * free[variable]
+
+        zero_row = [0] * n
+        counts_rows: list[dict] = [{} for _ in range(n)]
+        for variable in self._countable:
+            column = count_positive[variable]
+            positives = zero_row if column is None else column.tolist()
+            column = count_negative[variable]
+            negatives = zero_row if column is None else column.tolist()
+            for row_index in range(n):
+                row = counts_rows[row_index]
+                row[variable] = positives[row_index]
+                row[-variable] = negatives[row_index]
+        return counts_rows
+
     # -- downward pass: all-literals marginal counts -----------------------
 
     def literal_counts(self, weights: WeightMap | None = None) -> dict:
@@ -600,6 +930,15 @@ class CircuitSampler:
                 stack.append(child)
             # TRUE leaves contribute nothing; FALSE is unreachable (value 0)
         return assignment
+
+
+def _column_add(columns: list, index: int, contribution) -> None:
+    """Accumulate a column into a lazily-allocated column table (``None``
+    entries stand for all-zero columns that were never touched)."""
+    previous = columns[index]
+    columns[index] = (
+        contribution if previous is None else previous + contribution
+    )
 
 
 def draw_index(rng: random.Random, weights_seq: Sequence) -> int:

@@ -42,6 +42,9 @@ class IncompleteDatabase:
         self._facts: frozenset[Fact] = frozenset(facts)
         self._check_arities()
         occurring = self._occurring_nulls()
+        # The class is immutable, so the null scan is done exactly once;
+        # `nulls` is on the per-row hot path of the batched sweep passes.
+        self._nulls: tuple[Null, ...] = tuple(sorted(occurring))
 
         if uniform_domain is not None:
             shared = frozenset(uniform_domain)
@@ -121,7 +124,7 @@ class IncompleteDatabase:
     @property
     def nulls(self) -> list[Null]:
         """Distinct nulls occurring in ``T``, deterministically ordered."""
-        return sorted(self._occurring_nulls())
+        return list(self._nulls)
 
     def domain_of(self, null: Null) -> frozenset[Term]:
         """``dom(⊥)`` for a null occurring in ``T``."""
@@ -176,7 +179,7 @@ class IncompleteDatabase:
         return all(count <= 1 for count in self.null_occurrences().values())
 
     def is_ground(self) -> bool:
-        return not self._occurring_nulls()
+        return not self._nulls
 
     # -- transformations -----------------------------------------------------
 

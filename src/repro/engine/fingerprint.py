@@ -256,6 +256,16 @@ def fingerprint_job(job: "CountJob") -> str | None:
         # invariant under null renamings that carry the weights along.
         db_form, index = _canonical_db(job.db)
         extras = (_weights_form(job.weights, index),)
+    elif job.problem == "sweep":
+        # An ordered list of scalar answers, one per weight table: each
+        # entry is renaming-invariant like 'val-weighted', and the table
+        # order is part of the key.
+        db_form, index = _canonical_db(job.db)
+        extras = (
+            tuple(
+                _weights_form(row, index) for row in (job.weights or ())
+            ),
+        )
     elif job.problem == "marginals":
         # The answer is keyed by null labels, so the fingerprint must be
         # label-exact — a renamed twin has a differently-keyed answer.

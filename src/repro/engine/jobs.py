@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.core.query import BooleanQuery
 from repro.db.incomplete import IncompleteDatabase
@@ -28,10 +28,15 @@ from repro.exact.brute import DEFAULT_BUDGET
 from repro.obs import capture as _capture
 
 #: Problem kinds the engine understands.
-PROBLEMS = ("val", "comp", "approx-val", "val-weighted", "marginals")
+PROBLEMS = ("val", "comp", "approx-val", "val-weighted", "marginals", "sweep")
 
 #: Problems answered by passes over a compiled circuit.
-CIRCUIT_PROBLEMS = ("val-weighted", "marginals")
+CIRCUIT_PROBLEMS = ("val-weighted", "marginals", "sweep")
+
+#: Problems whose ``weights`` knob is meaningful: the scalar circuit
+#: problems take one per-null table, ``sweep`` takes a *sequence* of
+#: tables (one answer each).
+WEIGHTED_PROBLEMS = ("val-weighted", "marginals", "sweep")
 
 
 @dataclass(frozen=True)
@@ -41,11 +46,12 @@ class CountJob:
     ``problem`` is ``'val'`` (``#Val``), ``'comp'`` (``#Comp``; ``query``
     may be ``None`` to count all completions), ``'approx-val'`` (the
     Karp-Luby FPRAS; ``epsilon``/``delta``/``seed`` apply),
-    ``'val-weighted'`` (weighted ``#Val``; ``weights`` applies) or
+    ``'val-weighted'`` (weighted ``#Val``; ``weights`` applies),
     ``'marginals'`` (all per-null value marginals of ``#Val``; ``weights``
-    optionally biases the valuation distribution).  ``method`` and
-    ``budget`` are forwarded to :mod:`repro.exact.dispatch` for the exact
-    problems.
+    optionally biases the valuation distribution) or ``'sweep'`` (weighted
+    ``#Val`` under a *sequence* of weight tables — ``weights`` is that
+    sequence, the result one count per table).  ``method`` and ``budget``
+    are forwarded to :mod:`repro.exact.dispatch` for the exact problems.
     """
 
     problem: str
@@ -56,7 +62,11 @@ class CountJob:
     epsilon: float = 0.1
     delta: float = 0.25
     seed: int | None = 0
-    weights: Mapping[Any, Mapping[Any, Any]] | None = None
+    weights: (
+        Mapping[Any, Mapping[Any, Any]]
+        | Sequence[Mapping[Any, Mapping[Any, Any]] | None]
+        | None
+    ) = None
     label: str | None = None
 
     def __post_init__(self) -> None:
@@ -69,9 +79,16 @@ class CountJob:
                 "problem %r needs a query (only 'comp' allows query=None)"
                 % self.problem
             )
-        if self.weights is not None and self.problem not in CIRCUIT_PROBLEMS:
+        if self.problem == "sweep":
+            if self.weights is None or isinstance(self.weights, Mapping):
+                raise ValueError(
+                    "'sweep' takes a sequence of per-null weight tables"
+                )
+            # Normalized to a tuple so the job stays a hashable value.
+            object.__setattr__(self, "weights", tuple(self.weights))
+        elif self.weights is not None and self.problem not in WEIGHTED_PROBLEMS:
             raise ValueError(
-                "weights only apply to problems %s" % (CIRCUIT_PROBLEMS,)
+                "weights only apply to problems %s" % (WEIGHTED_PROBLEMS,)
             )
 
 
@@ -81,8 +98,9 @@ class JobResult:
 
     ``count`` is the exact count for the counting problems, the estimate
     for ``approx-val``, the (possibly Fraction) weighted count for
-    ``val-weighted``, and the nested ``{null: {value: probability}}``
-    record for ``marginals``.  ``method`` is the *resolved* algorithm that
+    ``val-weighted``, the nested ``{null: {value: probability}}``
+    record for ``marginals``, and the per-table list of weighted counts
+    for ``sweep``.  ``method`` is the *resolved* algorithm that
     produced it (e.g. ``'lineage'`` for an ``'auto'`` job), ``seconds``
     the solve wall time (``0.0`` for cache hits), ``cache_hit`` whether
     the memo layer answered.
@@ -131,6 +149,8 @@ def _jsonable(value: Any) -> Any:
         return float(value)
     if isinstance(value, dict):
         return {key: _jsonable(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(inner) for inner in value]
     return value
 
 
@@ -235,13 +255,21 @@ def needs_circuit(job: CountJob) -> bool:
     """
     # Imported lazily: dispatch builds on the engine (circular otherwise).
     from repro.compile.backend import lineage_supports
-    from repro.exact.dispatch import resolve_weighted_method
+    from repro.exact.dispatch import (
+        resolve_sweep_method,
+        resolve_weighted_method,
+    )
 
     if job.problem == "marginals":
         return True
-    if job.problem == "val-weighted":
+    if job.problem in ("val-weighted", "sweep"):
+        resolver = (
+            resolve_sweep_method
+            if job.problem == "sweep"
+            else resolve_weighted_method
+        )
         try:
-            resolved = resolve_weighted_method(job.db, job.query, job.method)
+            resolved = resolver(job.db, job.query, job.method)
         except ValueError:
             # Invalid method for this problem: execute_job will turn it
             # into a per-job error — the partition must not raise.
@@ -299,8 +327,10 @@ def _solve(job: CountJob, circuits: Any = None) -> tuple[Any, str]:
     from repro.exact.dispatch import (
         count_completions,
         count_valuations,
+        count_valuations_sweep,
         count_valuations_weighted,
         resolve_completion_method,
+        resolve_sweep_method,
         resolve_valuation_method,
         resolve_weighted_method,
     )
@@ -339,6 +369,19 @@ def _solve(job: CountJob, circuits: Any = None) -> tuple[Any, str]:
                 job.weights,
                 method=resolved,
                 budget=job.budget,
+            ),
+            resolved,
+        )
+    if job.problem == "sweep":
+        assert job.query is not None
+        rows = list(job.weights or ())
+        resolved = resolve_sweep_method(job.db, job.query, job.method)
+        if resolved == "circuit":
+            compiled = _instance_circuit(job, circuits)
+            return compiled.weighted_count_many(rows), resolved
+        return (
+            count_valuations_sweep(
+                job.db, job.query, rows, method=resolved, budget=job.budget
             ),
             resolved,
         )

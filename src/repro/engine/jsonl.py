@@ -3,8 +3,8 @@
 One JSON object per line; blank lines and ``#`` comment lines are skipped.
 Recognized keys (only a database is mandatory)::
 
-    {"problem": "val",            # val | comp | approx-val |
-                                  #   val-weighted | marginals (default val)
+    {"problem": "val",            # val | comp | approx-val | val-weighted
+                                  #   | marginals | sweep (default val)
      "db": "instance.idb",        # path, relative to the jobs file — or:
      "db_text": "domain a b\\nR(?n1, a)",   # inline database text
      "query": "R(x), S(x)",       # query text; omit for problem=comp
@@ -13,7 +13,10 @@ Recognized keys (only a database is mandatory)::
      "epsilon": 0.1, "delta": 0.25, "seed": 0,   # approx-val only
      "weights": {"n1": {"a": 2, "b": 1}},   # val-weighted / marginals:
                                   # per-null value weights, null names as
-                                  # in the database text (without the ?)
+                                  # in the database text (without the ?).
+                                  # problem=sweep takes an *array* of such
+                                  # tables (null for a default-weight row)
+                                  # and answers one count per table.
      "label": "my-job"}           # defaults to "job-<line number>"
 
 Databases referenced by path are parsed once and shared across jobs, so a
@@ -88,7 +91,22 @@ def _job_from_record(
 
     query_text = record.get("query")
     query = parse_query(query_text) if query_text else None
-    weights = record.get("weights")
+    weights: object = record.get("weights")
+    if weights is not None:
+        if record.get("problem") == "sweep":
+            if not isinstance(weights, list):
+                raise JobSyntaxError(
+                    "line %d: 'sweep' weights must be an array of per-null "
+                    "weight tables" % line_number
+                )
+            weights = [
+                None if row is None else parse_weights(
+                    row, db, "line %d, weights[%d]" % (line_number, position)
+                )
+                for position, row in enumerate(weights)
+            ]
+        else:
+            weights = parse_weights(weights, db, "line %d" % line_number)
     return CountJob(
         problem=record.get("problem", "val"),
         db=db,
@@ -98,10 +116,7 @@ def _job_from_record(
         epsilon=record.get("epsilon", 0.1),
         delta=record.get("delta", 0.25),
         seed=record.get("seed", 0),
-        weights=(
-            None if weights is None
-            else parse_weights(weights, db, "line %d" % line_number)
-        ),
+        weights=weights,  # type: ignore[arg-type]  # parsed above
         label=record.get("label", "job-%d" % line_number),
     )
 

@@ -30,11 +30,22 @@ from repro.exact.comp_uniform import (
 )
 from repro.exact.completion_check import is_completion_of_codd
 from repro.exact.dispatch import (
+    Answer,
     NoPolynomialAlgorithm,
+    Plan,
     count_completions,
     count_valuations,
+    count_valuations_sweep,
+    count_valuations_weighted,
+    plan_completions,
+    plan_sweep,
+    plan_valuations,
+    plan_valuations_weighted,
     resolve_completion_method,
+    resolve_sweep_method,
     resolve_valuation_method,
+    resolve_weighted_method,
+    solve,
 )
 
 __all__ = [
@@ -47,9 +58,20 @@ __all__ = [
     "count_completions_single_unary",
     "count_completions_uniform_unary",
     "is_completion_of_codd",
+    "Answer",
     "NoPolynomialAlgorithm",
+    "Plan",
     "count_completions",
     "count_valuations",
+    "count_valuations_sweep",
+    "count_valuations_weighted",
+    "plan_completions",
+    "plan_sweep",
+    "plan_valuations",
+    "plan_valuations_weighted",
     "resolve_completion_method",
+    "resolve_sweep_method",
     "resolve_valuation_method",
+    "resolve_weighted_method",
+    "solve",
 ]

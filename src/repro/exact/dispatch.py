@@ -1,11 +1,17 @@
 """Front-door counting API: plan, then run the chosen registry method.
 
-``count_valuations`` / ``count_completions`` /
-:func:`count_valuations_weighted` resolve their ``method`` argument through
-the solver planner (:mod:`repro.exact.planner`) — a registry in which every
+:func:`solve` is the one front door: ``solve(problem, db, query,
+method=..., weights=..., budget=...)`` plans the instance through the
+solver planner (:mod:`repro.exact.planner`) — a registry in which every
 algorithm declares its problem kinds, applicability conditions, capability
-flags and a cheap cost estimate — and then execute the chosen entry.  There
-is no per-method conditional here: adding a solver is one
+flags and a cheap cost estimate — executes the chosen entry, and returns a
+structured :class:`Answer` carrying the count, the explainable
+:class:`Plan`, wall seconds, and the observability stats captured during
+the run.  The historical per-problem functions (``count_valuations`` /
+``count_completions`` / :func:`count_valuations_weighted` /
+:func:`count_valuations_sweep`) are thin wrappers over :func:`solve` with
+their signatures and behavior unchanged.  There is no per-method
+conditional here: adding a solver is one
 :func:`repro.exact.planner.register` call, and ``repro-count plan`` prints
 the full decision (chosen method, rejected alternatives, reasons) for any
 instance.
@@ -35,29 +41,116 @@ the search rather than by a valuation count.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
 from repro.core.query import BooleanQuery
 from repro.db.incomplete import IncompleteDatabase
 from repro.exact import brute
 from repro.exact import planner
 from repro.exact.planner import NoPolynomialAlgorithm, Plan
+from repro.obs import capture as _capture
 
 __all__ = [
+    "Answer",
     "NoPolynomialAlgorithm",
     "Plan",
     "count_completions",
     "count_completions_batch",
     "count_valuations",
     "count_valuations_batch",
+    "count_valuations_sweep",
     "count_valuations_weighted",
     "plan_completions",
+    "plan_sweep",
     "plan_valuations",
     "plan_valuations_weighted",
     "resolve_completion_method",
+    "resolve_sweep_method",
     "resolve_valuation_method",
     "resolve_weighted_method",
     "select_completion_algorithm",
     "select_valuation_algorithm",
+    "solve",
 ]
+
+
+# -- the unified front door -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One solved counting question, with how it was answered.
+
+    ``count`` is the problem's result (an int for ``val``/``comp``, a
+    number for ``val-weighted``, a marginal table for ``marginals``, a
+    list of numbers for ``sweep``); ``method`` the concrete registry
+    method that ran; ``plan`` the full explainable decision;
+    ``seconds`` the wall time of the run; ``stats`` the observability
+    digest captured while solving (``phases``/``counters``, empty when
+    the obs layer is disabled).
+    """
+
+    problem: str
+    count: Any
+    method: str
+    plan: Plan
+    seconds: float
+    stats: dict[str, Any] = field(default_factory=dict)
+
+
+def solve(
+    problem: str,
+    db: IncompleteDatabase,
+    query: BooleanQuery | None = None,
+    *,
+    method: str = "auto",
+    weights: Any = None,
+    budget: int | None = brute.DEFAULT_BUDGET,
+) -> Answer:
+    """Answer one counting question: plan, run, report.
+
+    ``problem`` is a planner problem kind (:data:`repro.exact.planner.
+    PROBLEMS`): ``'val'``, ``'comp'``, ``'val-weighted'``,
+    ``'marginals'`` or ``'sweep'``.  ``method`` is the problem's planner
+    vocabulary (``'auto'``, ``'poly'`` where offered, or a concrete
+    method name); ``weights`` is one per-null weight table for the
+    weighted problems and a *sequence* of tables for ``'sweep'``;
+    ``budget`` only limits ``brute``.
+
+    Raises :class:`ValueError` for an unknown problem or method,
+    :class:`NoPolynomialAlgorithm` when ``method='poly'`` hits a #P-hard
+    cell — exactly the errors the per-problem wrappers have always
+    raised.
+    """
+    built = planner.plan(problem, db, query, method)
+    if built.chosen is None:
+        if method == "poly":
+            raise NoPolynomialAlgorithm(built.error)
+        raise ValueError(built.error)
+    started = time.perf_counter()
+    with _capture() as captured:
+        count = planner.run(
+            problem, built.chosen, db, query, budget=budget, weights=weights
+        )
+    seconds = time.perf_counter() - started
+    stats: dict[str, Any] = {}
+    phases = captured.phase_totals()
+    if phases:
+        stats["phases"] = {
+            name: round(value, 6) for name, value in sorted(phases.items())
+        }
+    if captured.counters:
+        stats["counters"] = dict(sorted(captured.counters.items()))
+    return Answer(
+        problem=problem,
+        count=count,
+        method=built.chosen,
+        plan=built,
+        seconds=seconds,
+        stats=stats,
+    )
 
 
 # -- polynomial-cell selection ---------------------------------------------
@@ -116,6 +209,14 @@ def plan_valuations_weighted(
     return planner.plan("val-weighted", db, query, method)
 
 
+def plan_sweep(
+    db: IncompleteDatabase, query: BooleanQuery, method: str = "auto"
+) -> Plan:
+    """The explainable plan for a weighted-``#Val`` sweep (one instance,
+    many weight tables)."""
+    return planner.plan("sweep", db, query, method)
+
+
 # -- resolution ------------------------------------------------------------
 
 
@@ -154,7 +255,20 @@ def resolve_weighted_method(
     return planner.resolve("val-weighted", db, query, method)
 
 
-# -- execution -------------------------------------------------------------
+def resolve_sweep_method(
+    db: IncompleteDatabase, query: BooleanQuery, method: str = "auto"
+) -> str:
+    """The concrete algorithm :func:`count_valuations_sweep` will run.
+
+    Same preference order as :func:`resolve_weighted_method` — the
+    closed form on the Theorem 3.6 cell (one per-null product per
+    table), else the circuit backend, which compiles once and answers
+    every table in one batched pass, else brute enumeration per table.
+    """
+    return planner.resolve("sweep", db, query, method)
+
+
+# -- execution (thin wrappers over ``solve``) -------------------------------
 
 
 def count_valuations(
@@ -170,8 +284,7 @@ def count_valuations(
     explicit method names force one algorithm.  ``budget`` only limits
     ``brute``.
     """
-    resolved = resolve_valuation_method(db, query, method)
-    return planner.run("val", resolved, db, query, budget=budget)
+    return solve("val", db, query, method=method, budget=budget).count
 
 
 def count_completions(
@@ -183,8 +296,7 @@ def count_completions(
     """``#Comp(q)(D)`` (or the total number of completions for
     ``query=None``) with planner-backed algorithm selection.  ``budget``
     only limits ``brute``."""
-    resolved = resolve_completion_method(db, query, method)
-    return planner.run("comp", resolved, db, query, budget=budget)
+    return solve("comp", db, query, method=method, budget=budget).count
 
 
 def count_valuations_weighted(
@@ -202,10 +314,33 @@ def count_valuations_weighted(
     ``1`` per value, so ``weights=None`` degenerates to the plain count.
     Exact for int/Fraction weights.  ``budget`` only limits ``brute``.
     """
-    resolved = resolve_weighted_method(db, query, method)
-    return planner.run(
-        "val-weighted", resolved, db, query, budget=budget, weights=weights
-    )
+    return solve(
+        "val-weighted", db, query, method=method, weights=weights,
+        budget=budget,
+    ).count
+
+
+def count_valuations_sweep(
+    db: IncompleteDatabase,
+    query: BooleanQuery,
+    weight_rows,
+    method: str = "auto",
+    budget: int | None = brute.DEFAULT_BUDGET,
+) -> list:
+    """Weighted ``#Val(q)(D)`` under each of N weight tables: one answer
+    per table, in order.
+
+    Equivalent to ``[count_valuations_weighted(db, query, row) for row
+    in weight_rows]`` but planned **once**: the circuit method compiles
+    the instance a single time and answers every table in one batched
+    circuit pass (:meth:`~repro.compile.backend.ValuationCircuit.
+    weighted_count_many`).  Exact for int/Fraction weights; ``budget``
+    only limits ``brute``.
+    """
+    return solve(
+        "sweep", db, query, method=method, weights=list(weight_rows),
+        budget=budget,
+    ).count
 
 
 # -- batch wrappers --------------------------------------------------------

@@ -5,7 +5,7 @@ lineage #SAT backend, the d-DNNF circuit pipeline, brute enumeration — is
 registered here as a :class:`Method` with
 
 * the **problem kinds** it serves (``val``, ``comp``, ``val-weighted``,
-  ``marginals``),
+  ``marginals``, ``sweep``),
 * an **applicability predicate** returning a human-readable reason either
   way (the dichotomy conditions, database shape, query class),
 * **capability flags** (polynomial? weighted counting? marginals?),
@@ -66,8 +66,11 @@ class NoPolynomialAlgorithm(ValueError):
     i.e. the instance sits in a #P-hard cell of Table 1."""
 
 
-#: Problem kinds the planner understands.
-PROBLEMS = ("val", "comp", "val-weighted", "marginals")
+#: Problem kinds the planner understands.  ``sweep`` is the batched form
+#: of ``val-weighted``: one instance, a *sequence* of weight tables, one
+#: answer per table (the circuit method compiles once and answers all of
+#: them in a single vectorized pass).
+PROBLEMS = ("val", "comp", "val-weighted", "marginals", "sweep")
 
 #: Problems for which ``method='poly'`` is a valid request (the weighted
 #: and marginal problems never offered a poly mode; keep their method
@@ -777,6 +780,84 @@ register(Method(
     applies=_applies_marginal_circuit,
     cost=_search_cost(TIER_CIRCUIT),
     run=_run_marginals,
+))
+
+
+def _run_sweep_single_occurrence(
+    db: IncompleteDatabase,
+    query: BooleanQuery | None,
+    budget: int | None = None,
+    weights: Any = None,
+) -> Any:
+    return [
+        _val_nonuniform.count_valuations_weighted_single_occurrence(
+            db, query, weights=row
+        )
+        for row in (weights or ())
+    ]
+
+
+def _run_sweep_circuit(
+    db: IncompleteDatabase,
+    query: BooleanQuery | None,
+    budget: int | None = None,
+    weights: Any = None,
+) -> Any:
+    from repro.compile.backend import ValuationCircuit
+
+    assert query is not None
+    return ValuationCircuit(db, query).weighted_count_many(list(weights or ()))
+
+
+def _run_sweep_brute(
+    db: IncompleteDatabase,
+    query: BooleanQuery | None,
+    budget: int | None = None,
+    weights: Any = None,
+) -> Any:
+    return [
+        brute.count_valuations_weighted_brute(
+            db, query, weights=row, budget=budget
+        )
+        for row in (weights or ())
+    ]
+
+
+register(Method(
+    name="single-occurrence",
+    problem="sweep",
+    description="Theorem 3.6 cell: one per-null product per weight table",
+    polynomial=True,
+    supports_weights=True,
+    supports_marginals=False,
+    applies=_applies_single_occurrence,
+    cost=_closed_form_cost(TIER_CLOSED_FORM),
+    run=_run_sweep_single_occurrence,
+))
+
+register(Method(
+    name="circuit",
+    problem="sweep",
+    description="compile once, answer every weight table in one batched pass",
+    polynomial=False,
+    supports_weights=True,
+    supports_marginals=True,
+    applies=_applies_circuit,
+    cost=_search_cost(TIER_CIRCUIT),
+    run=_run_sweep_circuit,
+    fallback="brute",
+))
+
+register(Method(
+    name="brute",
+    problem="sweep",
+    description="weighted enumeration repeated per weight table (budgeted)",
+    polynomial=False,
+    supports_weights=True,
+    supports_marginals=False,
+    applies=_applies_always,
+    cost=_brute_cost,
+    run=_run_sweep_brute,
 ))
 
 
