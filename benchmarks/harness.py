@@ -25,6 +25,10 @@ Runs one fixed workload per tracked hot path —
   weighting; answers are asserted bit-identical;
 * ``batch_engine`` the mixed 200-instance batch through
   :mod:`repro.engine`, reported against the serial per-instance loop;
+* ``dpdb``         the tree-decomposition DP backend
+  (:mod:`repro.compile.dpdb`) head-to-head against the trail core on the
+  width-bounded grid/long-cycle hard-cell workloads, answers asserted
+  bit-identical and the DP-over-search speedup recorded;
 * ``circuit_batch`` a batch of *distinct* circuit-backed jobs
   (``val-weighted``, ``marginals``, ``method='circuit'``): the engine —
   persistent warmed pool, worker-compiled artifacts installed into the
@@ -76,6 +80,11 @@ from repro.compile.backend import (
     count_valuations_lineage,
     valuation_marginals_recount,
 )
+from repro.compile.dpdb import (
+    count_valuations_dpdb,
+    dpdb_probe,
+    probe_cache_clear,
+)
 from repro.compile.encode import compile_valuation_cnf
 from repro.compile.sharpsat import ModelCounter
 from repro.core.query import Atom, BCQ
@@ -87,15 +96,17 @@ from repro.obs import JsonlSink, add_sink, capture, remove_sink
 from repro.workloads.generators import (
     random_incomplete_db,
     scaling_codd_instance,
+    scaling_grid_val_instance,
     scaling_hard_comp_instance,
     scaling_hard_val_instance,
+    scaling_long_cycle_val_instance,
     scaling_uniform_val_instance,
 )
 
 #: Paths the CI gate tracks (keys of the emitted ``paths`` object).
 TRACKED_PATHS = (
     "hom", "sharpsat", "sharpsat_core", "fpras", "amortized",
-    "amortized_vectorized", "batch_engine", "circuit_batch",
+    "amortized_vectorized", "batch_engine", "circuit_batch", "dpdb",
 )
 
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
@@ -403,6 +414,59 @@ def path_amortized_vectorized(quick: bool) -> dict:
             "weightings": len(rows),
             "looped_seconds": looped_seconds,
             "speedup": looped_seconds / max(seconds, 1e-9),
+        },
+    }
+
+
+def path_dpdb(quick: bool) -> dict:
+    """Tree-decomposition DP vs the trail core on width-bounded hard cells.
+
+    The instances are the low-treewidth ``#Val`` workloads the dpdb
+    backend exists for: a grid-shaped coloring lineage (treewidth =
+    ``min(rows, cols)``) and a long-cycle coloring lineage (constant
+    width at any length) — *wide but width-bounded*, so the DP's
+    ``O(nodes * 2^width)`` tables stay small while the trail search keeps
+    paying for the cycles.  Both sides run their full front doors
+    (encoding compile included); answers are asserted bit-identical — the
+    DP is a drop-in for the search on these cells, not an approximation.
+    The dpdb side's width probe is memoized exactly as the planner's is,
+    so best-of timing reflects the steady state the engine sees.
+    """
+    if quick:
+        grid = scaling_grid_val_instance(3, 16, num_colors=3)
+        cycle = scaling_long_cycle_val_instance(120, 1, num_colors=3)
+    else:
+        grid = scaling_grid_val_instance(3, 20, num_colors=3)
+        cycle = scaling_long_cycle_val_instance(160, 1, num_colors=3)
+    instances = [("grid", *grid), ("long-cycle", *cycle)]
+    probe_cache_clear()
+
+    def run_dpdb():
+        return [
+            count_valuations_dpdb(db, query) for _, db, query in instances
+        ]
+
+    def run_trail():
+        return [
+            count_valuations_lineage(db, query) for _, db, query in instances
+        ]
+
+    # Symmetric best-of on both sides; the trail side is an order of
+    # magnitude heavier per repeat, so it gets fewer.
+    dpdb_counts, seconds = _best_of(run_dpdb, repeats=5)
+    trail_counts, trail_seconds = _best_of(run_trail, repeats=2)
+    if dpdb_counts != trail_counts:
+        raise AssertionError("dpdb disagreed with the trail core")
+    return {
+        "seconds": seconds,
+        "detail": {
+            "instances": [shape for shape, _, _ in instances],
+            "widths": [
+                dpdb_probe("val", db, query).width
+                for _, db, query in instances
+            ],
+            "trail_seconds": trail_seconds,
+            "speedup": trail_seconds / max(seconds, 1e-9),
         },
     }
 
@@ -870,6 +934,7 @@ def main(argv: list[str] | None = None) -> int:
         "amortized_vectorized": lambda: path_amortized_vectorized(args.quick),
         "batch_engine": lambda: path_batch_engine(args.quick, args.workers),
         "circuit_batch": lambda: path_circuit_batch(args.quick, args.workers),
+        "dpdb": lambda: path_dpdb(args.quick),
     }
     try:
         for name in TRACKED_PATHS:
@@ -941,6 +1006,15 @@ def main(argv: list[str] | None = None) -> int:
             circuit_detail["workers"],
             circuit_detail["worker_circuits"],
             circuit_detail["speedup"],
+        )
+    )
+    dpdb_detail = paths["dpdb"]["detail"]
+    print(
+        "dpdb: widths %s on %s, DP %.2fx faster than the trail core"
+        % (
+            dpdb_detail["widths"],
+            "/".join(dpdb_detail["instances"]),
+            dpdb_detail["speedup"],
         )
     )
 

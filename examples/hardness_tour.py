@@ -142,10 +142,11 @@ print("every reduction recovered the source count exactly.")
 # Epilogue: hard cells beyond the brute-force budget.
 #
 # #Val(R(x,x)) is #P-hard (Prop. 3.4, first stop of the tour), so `poly`
-# refuses it and `brute` dies at ~10^6 valuations.  The lineage backend
-# (method='lineage', what `auto` now picks on hard (U)CQ cells) compiles
-# the instance to CNF and counts models along a treewidth-style
-# decomposition instead.
+# refuses it and `brute` dies at ~10^6 valuations.  The compiled backends
+# turn the instance into a CNF over "null = value" indicators instead:
+# `auto` probes the elimination width and — on a cycle, whose width stays
+# tiny — picks the tree-decomposition DP (method='dpdb'); wider lineages
+# fall back to the search-based 'lineage' counter.
 # ---------------------------------------------------------------------------
 
 import time
@@ -156,13 +157,15 @@ from repro.exact.dispatch import count_valuations, resolve_valuation_method
 
 big_db = build_three_coloring_db(cycle_graph(40))
 hard_query = BCQ([Atom("R", ["x", "x"])])
-assert resolve_valuation_method(big_db, hard_query) == "lineage"
+chosen = resolve_valuation_method(big_db, hard_query)
+assert chosen == "dpdb"  # the 40-cycle's elimination width is far below the cap
 started = time.perf_counter()
 hard_count = count_valuations(big_db, hard_query)
 elapsed = time.perf_counter() - started
+assert hard_count == count_valuations(big_db, hard_query, method="lineage")
 print(
     "\nhard cell at scale: #Valu(R(x,x)) on the 40-cycle coloring database"
     "\n    valuations: %d (brute budget: 2,000,000)"
-    "\n    count: %d  via method='lineage' in %.2fs"
-    % (count_total_valuations(big_db), hard_count, elapsed)
+    "\n    count: %d  via method='%s' in %.2fs"
+    % (count_total_valuations(big_db), hard_count, chosen, elapsed)
 )

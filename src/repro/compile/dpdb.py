@@ -1,0 +1,768 @@
+"""Width-bounded model counting by DP over a tree decomposition.
+
+The ``method='dpdb'`` backend: instead of *searching* for models the way
+the trail core does, run a **join/project/sum dynamic program** over the
+rooted tree decomposition of :mod:`repro.compile.decompose` — the
+dp_on_dbs idea (Fichte, Hecher, Thier, Woltran) with vectorized in-memory
+tables in place of SQL relations.  Cost is ``O(nodes * 2^(width+1))``
+table cells: linear in formula size once the width is bounded, and
+entirely immune to bad branching orders — the exact opposite cost profile
+of DPLL-style search, which is why the planner keeps both.
+
+**The DP.**  Processing elimination positions in ascending order (parents
+always come later) each node holds a dense table of ``2^|bag|`` cells,
+one per assignment of its bag:
+
+* *join* — multiply in each child's message, aligned on the child's
+  separator (a subset of this bag by construction);
+* *introduce* — the table starts as ones over the whole bag, and the
+  clauses attached to this bag zero out the violating cells;
+* *project* (forget) — sum out the node's eliminated variable, weighting
+  the two polarities by the variable's ``(w⁺, w⁻)`` pair, and pass the
+  result up as this node's message.
+
+Every root's message is a scalar; the model count is the product of the
+root scalars times a free factor ``w⁺+w⁻`` per variable in no clause —
+the same per-variable weight-table convention as
+:mod:`repro.compile.circuit` (``WeightMap``: variable → ``(w⁺, w⁻)``,
+unweighted = ``(1, 1)``).
+
+**Projected counting.**  For ``#Comp``-style questions the decomposition
+eliminates every auxiliary variable before any projected one, so the
+forest splits into a pure-auxiliary zone whose subtrees sit below a
+pure-projected zone.  Auxiliary-zone messages are plain extension counts;
+the moment a message crosses into the projected zone (or leaves a
+pure-auxiliary component at its root) it is clamped to an existence
+indicator ``[count > 0]``.  That is sound because extension counts are
+nonnegative and multiply across disjoint subtrees:
+``[a*b > 0] = [a > 0] * [b > 0]``.  Above the boundary the DP sums
+projected variables normally, so the root scalars count *distinct
+projected assignments* — the projected model count, bit-identical to the
+trail core's.  (Projected counting is unweighted; mixing ``weights`` and
+``projection`` is rejected.)
+
+**Table dtypes.**  With numpy present, tables are int64 columns when a
+magnitude sweep proves no intermediate can overflow — first a cheap
+product bound, then (mirroring PR 7's ``evaluate_many`` gating) a float64
+*guard pass* that runs the very same DP on clamped magnitudes and checks
+the running maximum against ``2^61`` — and exact Python-int/Fraction
+object columns otherwise.  Without numpy a scalar fallback runs the same
+recurrences over plain lists.
+
+The planner talks to this module through :func:`dpdb_probe` — a memoized
+width probe that compiles the encoding once, reads the two-phase greedy
+elimination width off the (cached) primal masks, and hands the order to
+the runner so probing and solving share one elimination — and falls back
+to the trail core when the width exceeds :data:`DPDB_HARD_WIDTH_CAP` or
+the probe blows its budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.compile.decompose import (
+    Decomposition,
+    decompose,
+    decompose_from_elimination,
+)
+from repro.compile.encode import (
+    compile_completion_cnf,
+    compile_valuation_cnf,
+)
+from repro.compile.lineage import lineage_supports
+from repro.compile.ordering import primal_masks, refined_elimination_masks
+from repro.complexity.cnf import CNF
+from repro.core.query import BooleanQuery
+from repro.db.incomplete import IncompleteDatabase
+from repro.obs import (
+    event as _obs_event,
+    incr as _incr,
+    observe as _observe,
+    span as _span,
+)
+
+try:  # numpy is optional at runtime; the scalar fallback keeps results exact
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _np = None  # type: ignore[assignment]
+
+#: Planner preference threshold: at or below this width the DP is treated
+#: as the cheap method for a hard cell (tables of at most
+#: ``2^(limit+1)`` cells per node).
+DPDB_WIDTH_LIMIT = 12
+
+#: Hard safety cap for *forced* ``method='dpdb'``: above this width a
+#: single table would exceed half a million cells, so the runner
+#: delegates to the trail core instead of honoring the request literally.
+DPDB_HARD_WIDTH_CAP = 18
+
+#: Probe budget: instances whose encoding would exceed these sizes are
+#: not probed at all (the probe reports itself over budget and the
+#: planner prefers the trail core).
+DPDB_PROBE_VARIABLE_LIMIT = 4_000
+DPDB_PROBE_CLAUSE_LIMIT = 50_000
+
+#: int64 is safe while the guard pass's running maximum stays below this
+#: (one bit of slack under ``2^62`` absorbs float64 rounding).
+_INT64_GUARD = float(1 << 61)
+_INT64_SAFE = 1 << 62
+
+
+# ---------------------------------------------------------------------------
+# the solver
+# ---------------------------------------------------------------------------
+
+
+def count_models_dpdb(
+    cnf: CNF,
+    projection: Iterable[int] | None = None,
+    weights: Mapping[int, tuple] | None = None,
+    decomposition: Decomposition | None = None,
+    stats: dict[str, Any] | None = None,
+) -> Any:
+    """Model count of ``cnf`` by tree-decomposition DP.
+
+    Semantics match :func:`repro.compile.sharpsat.count_models` exactly:
+    counts over all ``cnf.num_variables`` variables (a variable in no
+    clause contributes a free factor), and ``projection`` switches to the
+    distinct-restrictions projected count where only free *projected*
+    variables contribute factors.  ``weights`` maps ``variable ->
+    (w_pos, w_neg)`` in the :mod:`repro.compile.circuit` convention and
+    is exact for int/Fraction weights; it cannot be combined with
+    ``projection``.  ``stats``, when given a dict, is filled with the
+    width/table numbers the obs spans record.
+    """
+    if weights and projection is not None:
+        raise ValueError("projected counting is unweighted; pass one of the two")
+
+    if any(not clause for clause in cnf.clauses):
+        if stats is not None:
+            stats["path"] = "empty-clause"
+        return 0
+
+    projection_mask = 0
+    projected = projection is not None
+    if projected:
+        assert projection is not None
+        for variable in projection:
+            if variable < 1 or variable > cnf.num_variables:
+                raise ValueError(
+                    "projection variables must be in 1..num_variables"
+                )
+            projection_mask |= 1 << variable
+
+    if decomposition is None:
+        decomposition = decompose(cnf, projection=projection)
+    elif decomposition.projection_mask != projection_mask:
+        raise ValueError(
+            "decomposition was built for a different projection; "
+            "rebuild it with decompose(cnf, projection=...)"
+        )
+
+    positive, negative, all_int = _weight_columns(cnf.num_variables, weights)
+
+    _incr("dpdb.runs")
+    _observe("dpdb.width", decomposition.width)
+    with _span(
+        "dpdb.tables",
+        nodes=len(decomposition),
+        width=decomposition.width,
+        max_bag=decomposition.max_bag,
+        projected=projected,
+    ):
+        path, factors, rows = _solve(
+            decomposition, positive, negative, all_int, projected
+        )
+    _observe("dpdb.rows", rows)
+
+    result: Any = 1
+    for factor in factors:
+        result = result * factor
+    if projected:
+        result = result * (
+            1 << (projection_mask & _free_mask(decomposition)).bit_count()
+        )
+    else:
+        for variable in decomposition.free_variables:
+            result = result * (positive[variable] + negative[variable])
+
+    if stats is not None:
+        stats.update(decomposition.stats())
+        stats["path"] = path
+        stats["rows"] = rows
+    return result
+
+
+def _free_mask(decomposition: Decomposition) -> int:
+    mask = 0
+    for variable in decomposition.free_variables:
+        mask |= 1 << variable
+    return mask
+
+
+def _weight_columns(
+    num_variables: int, weights: Mapping[int, tuple] | None
+) -> tuple[list[Any], list[Any], bool]:
+    """Per-variable ``(w⁺, w⁻)`` columns, defaulting to ``(1, 1)``."""
+    positive: list[Any] = [1] * (num_variables + 1)
+    negative: list[Any] = [1] * (num_variables + 1)
+    all_int = True
+    for variable, pair in (weights or {}).items():
+        if variable < 1 or variable > num_variables:
+            raise ValueError(
+                "weight for variable %r outside 1..%d"
+                % (variable, num_variables)
+            )
+        w_pos, w_neg = pair[0], pair[1]
+        positive[variable] = w_pos
+        negative[variable] = w_neg
+        if all_int and not (
+            isinstance(w_pos, int) and isinstance(w_neg, int)
+        ):
+            all_int = False
+    return positive, negative, all_int
+
+
+def _solve(
+    decomposition: Decomposition,
+    positive: list[Any],
+    negative: list[Any],
+    all_int: bool,
+    projected: bool,
+) -> tuple[str, list[Any], int]:
+    """Pick the table dtype, run the pass(es), return root factors."""
+    if _np is None:
+        factors, rows = _run_python(decomposition, positive, negative, projected)
+        return "python", factors, rows
+    if not all_int:
+        factors, rows, _ = _run_numpy(
+            decomposition, positive, negative, projected, dtype=object
+        )
+        return "object", factors, rows
+    if _product_bound(decomposition, positive, negative) < _INT64_SAFE:
+        factors, rows, _ = _run_numpy(
+            decomposition, positive, negative, projected, dtype=_np.int64
+        )
+        return "int64", [int(factor) for factor in factors], rows
+    # The cheap bound failed: run the float64 guard pass — the same DP on
+    # clamped magnitudes — and trust int64 only if its running maximum
+    # stays clear of overflow (NaN/inf compare False and land on object).
+    magnitude_pos = [value if value >= 0 else -value for value in positive]
+    magnitude_neg = [value if value >= 0 else -value for value in negative]
+    _, _, seen = _run_numpy(
+        decomposition,
+        magnitude_pos,
+        magnitude_neg,
+        projected,
+        dtype=_np.float64,
+        track_max=True,
+    )
+    if seen < _INT64_GUARD:
+        factors, rows, _ = _run_numpy(
+            decomposition, positive, negative, projected, dtype=_np.int64
+        )
+        return "int64+guard", [int(factor) for factor in factors], rows
+    factors, rows, _ = _run_numpy(
+        decomposition, positive, negative, projected, dtype=object
+    )
+    return "object+guard", factors, rows
+
+
+def _product_bound(
+    decomposition: Decomposition, positive: list[Any], negative: list[Any]
+) -> int:
+    """Cheap overflow bound: every table cell sums products of one
+    ``(w⁺, w⁻)`` factor per already-eliminated variable, so its magnitude
+    is at most the product of per-variable ``|w⁺|+|w⁻|`` (clamped to 1)
+    over the clause-occurring variables."""
+    bound = 1
+    for variable in decomposition.order:
+        w_pos, w_neg = positive[variable], negative[variable]
+        factor = (w_pos if w_pos >= 0 else -w_pos) + (
+            w_neg if w_neg >= 0 else -w_neg
+        )
+        if factor > 1:
+            bound *= factor
+        if bound >= _INT64_SAFE:
+            return _INT64_SAFE
+    return bound
+
+
+def _clamp_message(
+    decomposition: Decomposition, node: int, projected: bool
+) -> bool:
+    """Does ``node``'s message cross the auxiliary/projected boundary?
+
+    In projected mode an auxiliary node's message is an extension count;
+    it becomes an existence indicator the moment it leaves the auxiliary
+    zone — into a projected-variable parent, or out of the top of a
+    pure-auxiliary component.
+    """
+    if not projected:
+        return False
+    if (decomposition.projection_mask >> decomposition.order[node]) & 1:
+        return False
+    parent = decomposition.parent[node]
+    if parent < 0:
+        return True
+    return bool(
+        (decomposition.projection_mask >> decomposition.order[parent]) & 1
+    )
+
+
+def _run_numpy(
+    decomposition: Decomposition,
+    positive: list[Any],
+    negative: list[Any],
+    projected: bool,
+    dtype: Any,
+    track_max: bool = False,
+) -> tuple[list[Any], int, float]:
+    """One DP pass with dense numpy tables of the given dtype.
+
+    Every dtype runs the identical operation sequence, so the float64
+    guard pass majorizes each intermediate of the int64 pass cell for
+    cell.  Returns ``(root_factors, cells_processed, running_max)``.
+    """
+    np = _np
+    assert np is not None
+    messages: list[Any] = [None] * len(decomposition)
+    factors: list[Any] = []
+    rows = 0
+    seen = 0.0
+
+    for node in range(len(decomposition)):
+        bag_vars = list(_bits(decomposition.bags[node]))
+        width = len(bag_vars)
+        at = {variable: bit for bit, variable in enumerate(bag_vars)}
+        size = 1 << width
+        table = np.ones(size, dtype=dtype)
+        index = None
+
+        for child in decomposition.children[node]:
+            message = messages[child]
+            messages[child] = None
+            if index is None:
+                index = np.arange(size, dtype=np.int64)
+            selector = np.zeros(size, dtype=np.int64)
+            for bit, variable in enumerate(
+                _bits(decomposition.separator(child))
+            ):
+                selector |= ((index >> at[variable]) & 1) << bit
+            table = table * message[selector]
+            rows += size
+            if track_max:
+                seen = max(seen, float(table.max()))
+
+        for clause in decomposition.node_clauses[node]:
+            pos_mask = 0
+            neg_mask = 0
+            for literal in clause:
+                if literal > 0:
+                    pos_mask |= 1 << at[literal]
+                else:
+                    neg_mask |= 1 << at[-literal]
+            if index is None:
+                index = np.arange(size, dtype=np.int64)
+            violated = ((index & pos_mask) == 0) & (
+                (index & neg_mask) == neg_mask
+            )
+            table = np.where(violated, _zero_of(dtype), table)
+            rows += size
+
+        eliminated = decomposition.order[node]
+        bit = at[eliminated]
+        split = table.reshape(1 << (width - 1 - bit), 2, 1 << bit)
+        message = (
+            negative[eliminated] * split[:, 0, :]
+            + positive[eliminated] * split[:, 1, :]
+        ).reshape(-1)
+        if track_max:
+            seen = max(seen, float(message.max()))
+        if _clamp_message(decomposition, node, projected):
+            message = _indicator(message, dtype)
+        if decomposition.parent[node] < 0:
+            factors.append(message[0])
+        else:
+            messages[node] = message
+    return factors, rows, seen
+
+
+def _zero_of(dtype: Any) -> Any:
+    return 0 if dtype is object else dtype(0)
+
+
+def _indicator(message: Any, dtype: Any) -> Any:
+    """``[x > 0]`` per cell, staying in the table dtype (Python ints for
+    object tables, so no int64 can sneak into an exact pass)."""
+    np = _np
+    assert np is not None
+    if dtype is object:
+        clamped = np.zeros(message.shape, dtype=object)
+        clamped[message > 0] = 1
+        return clamped
+    return (message > 0).astype(dtype)
+
+
+def _run_python(
+    decomposition: Decomposition,
+    positive: list[Any],
+    negative: list[Any],
+    projected: bool,
+) -> tuple[list[Any], int]:
+    """The same DP over plain Python lists (no numpy; always exact)."""
+    messages: list[Any] = [None] * len(decomposition)
+    factors: list[Any] = []
+    rows = 0
+
+    for node in range(len(decomposition)):
+        bag_vars = list(_bits(decomposition.bags[node]))
+        width = len(bag_vars)
+        at = {variable: bit for bit, variable in enumerate(bag_vars)}
+        size = 1 << width
+        table: list[Any] = [1] * size
+
+        for child in decomposition.children[node]:
+            message = messages[child]
+            messages[child] = None
+            sep_bits = [
+                at[variable]
+                for variable in _bits(decomposition.separator(child))
+            ]
+            for cell in range(size):
+                selector = 0
+                for bit, source in enumerate(sep_bits):
+                    selector |= ((cell >> source) & 1) << bit
+                table[cell] = table[cell] * message[selector]
+            rows += size
+
+        for clause in decomposition.node_clauses[node]:
+            pos_mask = 0
+            neg_mask = 0
+            for literal in clause:
+                if literal > 0:
+                    pos_mask |= 1 << at[literal]
+                else:
+                    neg_mask |= 1 << at[-literal]
+            for cell in range(size):
+                if (cell & pos_mask) == 0 and (cell & neg_mask) == neg_mask:
+                    table[cell] = 0
+            rows += size
+
+        eliminated = decomposition.order[node]
+        bit = at[eliminated]
+        w_pos, w_neg = positive[eliminated], negative[eliminated]
+        low = (1 << bit) - 1
+        message = [
+            w_neg * table[(cell & ~low) << 1 | (cell & low)]
+            + w_pos * table[((cell & ~low) << 1) | (1 << bit) | (cell & low)]
+            for cell in range(size >> 1)
+        ]
+        if _clamp_message(decomposition, node, projected):
+            message = [1 if value > 0 else 0 for value in message]
+        if decomposition.parent[node] < 0:
+            factors.append(message[0])
+        else:
+            messages[node] = message
+    return factors, rows
+
+
+def _bits(mask: int) -> Iterator[int]:
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+# ---------------------------------------------------------------------------
+# the width probe (what the planner consults)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DpdbProbe:
+    """One memoized width probe: verdict, width, and the elimination the
+    runner can reuse (``order``/``bags`` are probe-owned; treat as
+    read-only)."""
+
+    ok: bool
+    reason: str
+    width: int | None
+    variables: int
+    clauses: int
+    encoding: Any = None
+    order: Any = None
+    bags: Any = None
+    projection_mask: int = 0
+
+    def detail(self) -> dict[str, Any]:
+        """The cost detail surfaced in ``Plan`` rows and ``plan --json``."""
+        payload: dict[str, Any] = {
+            "width_limit": DPDB_WIDTH_LIMIT,
+            "variables": self.variables,
+            "clauses": self.clauses,
+        }
+        if self.width is not None:
+            payload["width"] = self.width
+        return payload
+
+
+def dpdb_probe(
+    kind: str, db: IncompleteDatabase, query: BooleanQuery | None
+) -> DpdbProbe:
+    """Cheap memoized width probe for ``(kind, D, q)``.
+
+    Compiles the matching encoding once, reads the two-phase greedy
+    elimination width off the cached primal masks, and reports budget
+    overruns instead of paying for huge instances.  The runner reuses the
+    probe's encoding and elimination, so planning never duplicates work
+    the solve would redo.
+    """
+    if kind == "val":
+        return _probe_val(db, query)
+    if kind == "comp":
+        return _probe_comp(db, query)
+    raise ValueError("dpdb probes cover 'val' and 'comp'; got %r" % (kind,))
+
+
+@lru_cache(maxsize=64)
+def _probe_val(
+    db: IncompleteDatabase, query: BooleanQuery | None
+) -> DpdbProbe:
+    if not lineage_supports(query):
+        return DpdbProbe(
+            ok=False,
+            reason="lineage compilation handles (U)CQs only",
+            width=None,
+            variables=0,
+            clauses=0,
+        )
+    budget = _budget_reason(db)
+    if budget is not None:
+        return DpdbProbe(
+            ok=False, reason=budget, width=None, variables=0, clauses=0
+        )
+    encoding = compile_valuation_cnf(db, query)
+    return _probe_cnf(encoding, encoding.cnf, projection_mask=0)
+
+
+@lru_cache(maxsize=64)
+def _probe_comp(
+    db: IncompleteDatabase, query: BooleanQuery | None
+) -> DpdbProbe:
+    if query is not None and not lineage_supports(query):
+        return DpdbProbe(
+            ok=False,
+            reason="lineage compilation handles (U)CQs only",
+            width=None,
+            variables=0,
+            clauses=0,
+        )
+    budget = _budget_reason(db)
+    if budget is not None:
+        return DpdbProbe(
+            ok=False, reason=budget, width=None, variables=0, clauses=0
+        )
+    encoding = compile_completion_cnf(db, query)
+    projection_mask = 0
+    for variable in encoding.projection:
+        projection_mask |= 1 << variable
+    return _probe_cnf(encoding, encoding.cnf, projection_mask=projection_mask)
+
+
+def _budget_reason(db: IncompleteDatabase) -> str | None:
+    choice_variables = sum(len(db.domain_of(null)) for null in db.nulls)
+    if choice_variables > DPDB_PROBE_VARIABLE_LIMIT:
+        return (
+            "width probe over budget (%d choice variables > %d)"
+            % (choice_variables, DPDB_PROBE_VARIABLE_LIMIT)
+        )
+    return None
+
+
+def _probe_cnf(encoding: Any, cnf: CNF, projection_mask: int) -> DpdbProbe:
+    if cnf.num_variables > DPDB_PROBE_VARIABLE_LIMIT:
+        return DpdbProbe(
+            ok=False,
+            reason="width probe over budget (%d encoding variables > %d)"
+            % (cnf.num_variables, DPDB_PROBE_VARIABLE_LIMIT),
+            width=None,
+            variables=cnf.num_variables,
+            clauses=len(cnf),
+        )
+    if len(cnf) > DPDB_PROBE_CLAUSE_LIMIT:
+        return DpdbProbe(
+            ok=False,
+            reason="width probe over budget (%d clauses > %d)"
+            % (len(cnf), DPDB_PROBE_CLAUSE_LIMIT),
+            width=None,
+            variables=cnf.num_variables,
+            clauses=len(cnf),
+        )
+    masks = primal_masks(cnf)
+    delay = 0
+    if projection_mask:
+        occurring = 0
+        for vertex in masks:
+            occurring |= 1 << vertex
+        delay = projection_mask & occurring
+    with _span(
+        "dpdb.probe", variables=cnf.num_variables, clauses=len(cnf)
+    ):
+        order, width, bags = refined_elimination_masks(masks, delay=delay)
+    return DpdbProbe(
+        ok=True,
+        reason="elimination width %d" % width,
+        width=width,
+        variables=cnf.num_variables,
+        clauses=len(cnf),
+        encoding=encoding,
+        order=order,
+        bags=bags,
+        projection_mask=projection_mask,
+    )
+
+
+def probe_cache_clear() -> None:
+    """Drop the memoized probes (tests and long-running services)."""
+    _probe_val.cache_clear()
+    _probe_comp.cache_clear()
+
+
+# ---------------------------------------------------------------------------
+# the counting front doors the planner registers
+# ---------------------------------------------------------------------------
+
+
+def count_valuations_dpdb(db: IncompleteDatabase, query: BooleanQuery) -> int:
+    """``#Val(q)(D)`` by tree-decomposition DP over the complement
+    encoding, bit-identical to ``method='lineage'``; delegates to the
+    trail core when the width makes tables unaffordable."""
+    probe = dpdb_probe("val", db, query)
+    if not probe.ok or probe.width is None or probe.width > DPDB_HARD_WIDTH_CAP:
+        return _fallback("val", probe, db, query)
+    encoding = probe.encoding
+    if encoding.total_valuations == 0:
+        return 0
+    decomposition = decompose_from_elimination(
+        encoding.cnf, probe.order, probe.width, probe.bags
+    )
+    falsifying = count_models_dpdb(encoding.cnf, decomposition=decomposition)
+    return int(encoding.count_from_models(falsifying))
+
+
+def count_completions_dpdb(
+    db: IncompleteDatabase, query: BooleanQuery | None = None
+) -> int:
+    """``#Comp(q)(D)`` by *projected* tree-decomposition DP over the
+    canonical-fact encoding, bit-identical to ``method='lineage'``;
+    delegates to the trail core when the (projection-constrained) width
+    makes tables unaffordable."""
+    probe = dpdb_probe("comp", db, query)
+    if not probe.ok or probe.width is None or probe.width > DPDB_HARD_WIDTH_CAP:
+        return _fallback("comp", probe, db, query)
+    encoding = probe.encoding
+    decomposition = decompose_from_elimination(
+        encoding.cnf,
+        probe.order,
+        probe.width,
+        probe.bags,
+        projection_mask=probe.projection_mask,
+    )
+    return int(
+        count_models_dpdb(
+            encoding.cnf,
+            projection=encoding.projection,
+            decomposition=decomposition,
+        )
+    )
+
+
+def count_valuations_weighted_dpdb(
+    db: IncompleteDatabase,
+    query: BooleanQuery,
+    weights: Mapping[Any, Any] | None = None,
+) -> Any:
+    """Weighted ``#Val`` through the DP: the weighted total factorizes per
+    null, the falsifying mass is one weighted DP pass over the complement
+    encoding with the circuit's ``(w⁺, w⁻)`` weight-table convention.
+    Exact for int/Fraction weights; agrees with
+    :meth:`ValuationCircuit.weighted_count` answer for answer."""
+    from repro.db.valuation import resolve_null_weights
+
+    probe = dpdb_probe("val", db, query)
+    if not probe.ok or probe.width is None or probe.width > DPDB_HARD_WIDTH_CAP:
+        from repro.compile.backend import ValuationCircuit
+
+        _record_fallback("val-weighted", probe)
+        return ValuationCircuit(db, query).weighted_count(weights)
+    encoding = probe.encoding
+    resolved = resolve_null_weights(db, weights)
+    if encoding.total_valuations == 0:
+        return 0
+    total: Any = 1
+    for null in db.nulls:
+        total = total * sum(resolved[null].values())
+    variable_weights = {
+        variable: (resolved[null].get(value, 0), 1)
+        for (null, value), variable in encoding.choices.items()
+    }
+    decomposition = decompose_from_elimination(
+        encoding.cnf, probe.order, probe.width, probe.bags
+    )
+    falsifying = count_models_dpdb(
+        encoding.cnf, weights=variable_weights, decomposition=decomposition
+    )
+    return total - falsifying
+
+
+def _fallback(
+    kind: str,
+    probe: DpdbProbe,
+    db: IncompleteDatabase,
+    query: BooleanQuery | None,
+) -> int:
+    from repro.compile.backend import (
+        count_completions_lineage,
+        count_valuations_lineage,
+    )
+
+    _record_fallback(kind, probe)
+    if kind == "val":
+        assert query is not None
+        return count_valuations_lineage(db, query)
+    return count_completions_lineage(db, query)
+
+
+def _record_fallback(kind: str, probe: DpdbProbe) -> None:
+    _incr("dpdb.fallback")
+    _obs_event(
+        "dpdb.fallback",
+        problem=kind,
+        width=probe.width,
+        cap=DPDB_HARD_WIDTH_CAP,
+        reason=(
+            probe.reason
+            if not probe.ok
+            else "width %d exceeds hard cap %d"
+            % (probe.width, DPDB_HARD_WIDTH_CAP)
+        ),
+    )
+
+
+__all__ = [
+    "DPDB_HARD_WIDTH_CAP",
+    "DPDB_PROBE_CLAUSE_LIMIT",
+    "DPDB_PROBE_VARIABLE_LIMIT",
+    "DPDB_WIDTH_LIMIT",
+    "DpdbProbe",
+    "count_completions_dpdb",
+    "count_models_dpdb",
+    "count_valuations_dpdb",
+    "count_valuations_weighted_dpdb",
+    "dpdb_probe",
+    "probe_cache_clear",
+]

@@ -4,12 +4,16 @@ Decomposition-based counters are fast exactly when their branching order
 follows a good tree decomposition of the formula's primal graph — this is
 the driving idea of ``dpdb`` (Fichte, Hecher, Thier, Woltran: *Exploiting
 Database Management Systems and Treewidth for Counting*), which feeds a
-tree decomposition of the CNF into a dynamic program.  We stay
-decomposition-guided but lighter-weight: a greedy **min-fill** elimination
-ordering (falling back to min-degree on large graphs) approximates a tree
-decomposition, and branching in *reverse* elimination order makes the
-residual formula fall apart into the decomposition's subtrees, which the
-component cache then conquers independently.
+tree decomposition of the CNF into a dynamic program.  Two consumers sit
+on top of the greedy eliminations computed here:
+
+* the **trail core** branches in *reverse* elimination order, so the
+  residual formula falls apart into the decomposition's subtrees, which
+  the component cache then conquers independently;
+* the **dpdb backend** (:mod:`repro.compile.decompose` /
+  :mod:`repro.compile.dpdb`) turns the elimination *bags* — the
+  neighborhoods each vertex had at elimination time — directly into a
+  rooted tree decomposition and runs the join/project/sum DP over it.
 
 Internally the greedy loop runs over **integer bitsets**: each vertex's
 neighborhood is one Python int with bit ``v`` set for neighbor ``v``, so a
@@ -21,11 +25,14 @@ search (the greedy *choices* are unchanged — same min-fill score, same
 tie-break — only their cost).  The model counter hands its
 occurrence-index-derived adjacency masks straight to
 :func:`elimination_order_masks`, so the primal graph is built exactly once
-per formula.
+per formula; :func:`primal_masks` additionally memoizes per CNF object so
+the planner's width probe, :func:`branching_order` and the decomposer
+share one primal-graph build.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, Mapping
 
 from repro.complexity.cnf import CNF
@@ -34,13 +41,14 @@ from repro.complexity.cnf import CNF
 #: greedy min-degree is a standard cheaper surrogate.
 MIN_FILL_VERTEX_LIMIT = 2_000
 
-#: The branching order runs cheap min-degree first and refines with
+#: The two-phase orderings run cheap min-degree first and refine with
 #: min-fill only when the min-degree width lands at or below this bound.
-#: The search is exponential in width, so where the width is small the
+#: Both consumers are exponential in width (the search in its branching
+#: width, the DP in its bag size), so where the width is small the
 #: quadratic refinement is worth its price (a width shaved there can halve
-#: the search); where min-degree already reports a large width the
-#: formula is either propagation-dominated or intractable and min-fill is
-#: the bottleneck, not the search.
+#: the search or halve every DP table); where min-degree already reports a
+#: large width the formula is either propagation-dominated or intractable
+#: and min-fill is the bottleneck, not the width.
 MIN_FILL_REFINE_WIDTH = 24
 
 
@@ -60,13 +68,41 @@ def primal_graph(cnf: CNF) -> dict[int, set[int]]:
     return adjacency
 
 
+#: Per-CNF memo of :func:`primal_masks`: ``cnf -> (num_clauses,
+#: num_variables, masks)``.  The CNF class is an incremental builder, so
+#: the entry is validated against the formula's current shape and rebuilt
+#: when clauses were added since it was cached.  Weak keys keep the memo
+#: from pinning formulas alive.
+_PRIMAL_CACHE: "weakref.WeakKeyDictionary[CNF, tuple[int, int, dict[int, int]]]"
+_PRIMAL_CACHE = weakref.WeakKeyDictionary()
+
+
 def primal_masks(cnf: CNF) -> dict[int, int]:
     """The primal graph as ``variable -> neighborhood bitset``.
 
     One pass over the clause list: every clause contributes its variable
     bitset to each member's adjacency mask (self-bits cleared at the end).
     This is the mask form :func:`elimination_order_masks` consumes.
+
+    The result is memoized per CNF object (invalidated when the clause or
+    variable count changes), so the planner's width probe,
+    :func:`branching_order` and the dpdb decomposer all share one build.
+    Callers must treat the returned dict as read-only.
     """
+    cached = _PRIMAL_CACHE.get(cnf)
+    if cached is not None:
+        num_clauses, num_variables, masks = cached
+        if num_clauses == len(cnf) and num_variables == cnf.num_variables:
+            return masks
+    masks = _primal_masks_uncached(cnf)
+    try:
+        _PRIMAL_CACHE[cnf] = (len(cnf), cnf.num_variables, masks)
+    except TypeError:  # pragma: no cover - CNF subclasses without weakrefs
+        pass
+    return masks
+
+
+def _primal_masks_uncached(cnf: CNF) -> dict[int, int]:
     masks: dict[int, int] = {}
     for clause in cnf.clauses:
         clause_mask = 0
@@ -83,32 +119,38 @@ def primal_masks(cnf: CNF) -> dict[int, int]:
     return masks
 
 
-def elimination_order_masks(
+def _greedy_eliminate(
     masks: Mapping[int, int],
-    use_min_fill: bool | None = None,
-) -> tuple[list[int], int]:
-    """Greedy elimination ordering over adjacency bitsets.
+    use_min_fill: bool,
+    delay: int,
+    collect_bags: bool,
+) -> tuple[list[int], int, list[int]]:
+    """The one greedy elimination loop behind every public ordering.
 
-    Semantics match :func:`elimination_order` exactly — min-fill score
-    (min-degree beyond :data:`MIN_FILL_VERTEX_LIMIT` vertices), ties broken
-    by vertex index, neighborhoods turned into cliques on elimination —
-    computed with ``&``/``|``/``bit_count`` instead of set algebra.
-    Returns ``(order, width)``.
+    Returns ``(order, width, bags)`` where ``bags[i]`` is the bitset of
+    ``order[i]`` plus its (fill-graph) neighbors alive at elimination time
+    — exactly the bag the elimination induces in the tree decomposition —
+    or ``[]`` when ``collect_bags`` is false.  Vertices whose bit is set
+    in ``delay`` are only eligible once no other vertex remains, which
+    forces them into the *late* (root-side) bags; the projected DP uses
+    this to keep the projection variables above every auxiliary variable.
     """
     adjacency = dict(masks)
-    if use_min_fill is None:
-        use_min_fill = len(adjacency) <= MIN_FILL_VERTEX_LIMIT
 
     alive = 0
     for vertex in adjacency:
         alive |= 1 << vertex
 
     order: list[int] = []
+    bags: list[int] = []
     width = 0
     while adjacency:
+        eager_only = bool(alive & ~delay)
         best_vertex = -1
         best_score = None
         for vertex in adjacency:
+            if eager_only and (delay >> vertex) & 1:
+                continue
             neighbors = adjacency[vertex] & alive
             if use_min_fill:
                 score = 0
@@ -127,6 +169,8 @@ def elimination_order_masks(
         neighbors = adjacency.pop(best_vertex) & alive
         alive &= ~(1 << best_vertex)
         order.append(best_vertex)
+        if collect_bags:
+            bags.append(neighbors | (1 << best_vertex))
         width = max(width, neighbors.bit_count())
         remaining = neighbors
         while remaining:
@@ -134,7 +178,81 @@ def elimination_order_masks(
             u = low.bit_length() - 1
             remaining ^= low
             adjacency[u] = (adjacency[u] | neighbors) & ~low
+    return order, width, bags
+
+
+def elimination_order_masks(
+    masks: Mapping[int, int],
+    use_min_fill: bool | None = None,
+) -> tuple[list[int], int]:
+    """Greedy elimination ordering over adjacency bitsets.
+
+    Semantics match :func:`elimination_order` exactly — min-fill score
+    (min-degree beyond :data:`MIN_FILL_VERTEX_LIMIT` vertices), ties broken
+    by vertex index, neighborhoods turned into cliques on elimination —
+    computed with ``&``/``|``/``bit_count`` instead of set algebra.
+    Returns ``(order, width)``.
+    """
+    if use_min_fill is None:
+        use_min_fill = len(masks) <= MIN_FILL_VERTEX_LIMIT
+    order, width, _ = _greedy_eliminate(
+        masks, use_min_fill, delay=0, collect_bags=False
+    )
     return order, width
+
+
+def elimination_bags_masks(
+    masks: Mapping[int, int],
+    use_min_fill: bool | None = None,
+    delay: int = 0,
+) -> tuple[list[int], int, list[int]]:
+    """:func:`elimination_order_masks` keeping the bags it already computes.
+
+    ``bags[i]`` is the bitset bag of ``order[i]`` (the vertex plus its
+    fill-graph neighborhood at elimination time); the greedy loop always
+    had these in hand and used to discard them.  ``delay`` restricts the
+    greedy choice to non-delayed vertices while any remain (see
+    :func:`_greedy_eliminate`).
+    """
+    if use_min_fill is None:
+        use_min_fill = len(masks) <= MIN_FILL_VERTEX_LIMIT
+    return _greedy_eliminate(masks, use_min_fill, delay=delay, collect_bags=True)
+
+
+def refined_elimination_masks(
+    masks: Mapping[int, int], delay: int = 0
+) -> tuple[list[int], int, list[int]]:
+    """The two-phase elimination both consumers share, with bags.
+
+    Min-degree first (linear-ish, and its width is a usable difficulty
+    estimate), then a min-fill refinement only where the width is small
+    enough for the refinement to matter (:data:`MIN_FILL_REFINE_WIDTH`);
+    the better of the two widths wins.  This is the policy behind
+    :func:`branching_order` and the dpdb width probe, so the width the
+    planner quotes is the width the decomposition actually gets.
+    """
+    order, width, bags = _greedy_eliminate(
+        masks, use_min_fill=False, delay=delay, collect_bags=True
+    )
+    if width <= MIN_FILL_REFINE_WIDTH and len(masks) <= MIN_FILL_VERTEX_LIMIT:
+        fill_order, fill_width, fill_bags = _greedy_eliminate(
+            masks, use_min_fill=True, delay=delay, collect_bags=True
+        )
+        if fill_width < width:
+            order, width, bags = fill_order, fill_width, fill_bags
+    return order, width, bags
+
+
+def elimination_width(cnf: CNF, delay: int = 0) -> int:
+    """Width of the two-phase greedy elimination of ``cnf``'s primal graph.
+
+    The cheap width probe: an upper bound on the treewidth (exact on the
+    instances the greedy handles well), computed from the memoized
+    :func:`primal_masks` without materializing the decomposition.  This is
+    the number the planner quotes when deciding for or against ``dpdb``.
+    """
+    _, width, _ = refined_elimination_masks(primal_masks(cnf), delay=delay)
+    return width
 
 
 def elimination_order(
@@ -179,19 +297,9 @@ def branching_order_masks(masks: Mapping[int, int]) -> tuple[list[int], int]:
 
     The model counter calls this with the masks its occurrence index
     already derived, so the primal graph is never rebuilt from the clause
-    list a second time.
-
-    Two-phase: min-degree first (linear-ish, and its width is a usable
-    difficulty estimate), then a min-fill refinement only where the width
-    is small enough for the refinement to matter
-    (:data:`MIN_FILL_REFINE_WIDTH`); the better of the two widths wins.
+    list a second time.  The two-phase policy lives in
+    :func:`refined_elimination_masks`; branching just reverses its order.
     """
-    order, width = elimination_order_masks(masks, use_min_fill=False)
-    if width <= MIN_FILL_REFINE_WIDTH and len(masks) <= MIN_FILL_VERTEX_LIMIT:
-        fill_order, fill_width = elimination_order_masks(
-            masks, use_min_fill=True
-        )
-        if fill_width < width:
-            order, width = fill_order, fill_width
+    order, width, _ = refined_elimination_masks(masks)
     order.reverse()
     return order, width

@@ -43,6 +43,12 @@ from repro.compile.backend import (
     lineage_supports,
     valuation_marginals,
 )
+from repro.compile.dpdb import (
+    DPDB_WIDTH_LIMIT,
+    count_completions_dpdb,
+    count_valuations_dpdb,
+    dpdb_probe,
+)
 from repro.core.patterns import (
     has_atom_with_two_variables,
     has_double_edge_pattern,
@@ -84,6 +90,7 @@ _POLY_PROBLEMS = frozenset({"val", "comp"})
 TIER_CLOSED_FORM = 1.0
 TIER_CLOSED_FORM_CODD = 2.0
 TIER_CLOSED_FORM_UNIFORM = 3.0
+TIER_DPDB = 9.0
 TIER_LINEAGE = 10.0
 TIER_CIRCUIT = 11.0
 TIER_BRUTE = 20.0
@@ -92,6 +99,9 @@ TIER_BRUTE = 20.0
 Applies = Callable[[IncompleteDatabase, BooleanQuery | None], "tuple[bool, str]"]
 Cost = Callable[[IncompleteDatabase, BooleanQuery | None], float]
 Run = Callable[..., Any]
+Detail = Callable[
+    [IncompleteDatabase, BooleanQuery | None], "Mapping[str, Any] | None"
+]
 
 
 @dataclass(frozen=True)
@@ -111,6 +121,10 @@ class Method:
     #: cannot handle (``None``: honor the forced choice and let the solver
     #: raise its own error).
     fallback: str | None = None
+    #: Optional cost-detail hook: structured numbers behind the cost
+    #: estimate (e.g. the dpdb width probe), surfaced in :class:`Plan`
+    #: rows and ``repro-count plan --json``.
+    detail: Detail | None = None
 
 
 #: problem -> method name -> registration, in registration order.
@@ -159,6 +173,9 @@ class Considered:
     polynomial: bool
     supports_weights: bool
     supports_marginals: bool
+    #: Structured cost detail (e.g. ``{"width": 8, "width_limit": 12}``
+    #: from the dpdb probe); ``None`` for methods without a detail hook.
+    detail: Mapping[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -189,6 +206,7 @@ class Plan:
                     "polynomial": item.polynomial,
                     "supports_weights": item.supports_weights,
                     "supports_marginals": item.supports_marginals,
+                    "detail": dict(item.detail) if item.detail else None,
                 }
                 for item in self.considered
             ],
@@ -224,6 +242,14 @@ class Plan:
                 "  %s %-18s %s [%s]  %s"
                 % (marker, item.method, verdict, flags, item.reason)
             )
+            if item.detail:
+                lines.append(
+                    "    detail: %s"
+                    % ", ".join(
+                        "%s=%s" % (key, value)
+                        for key, value in item.detail.items()
+                    )
+                )
         return "\n".join(lines)
 
 
@@ -250,6 +276,11 @@ def plan(
     for entry in entries:
         applicable, reason = entry.applies(db, query)
         cost = entry.cost(db, query) if applicable else None
+        detail = (
+            entry.detail(db, query)
+            if applicable and entry.detail is not None
+            else None
+        )
         verdicts[entry.name] = (applicable, reason, cost)
         considered.append(
             Considered(
@@ -260,6 +291,7 @@ def plan(
                 polynomial=entry.polynomial,
                 supports_weights=entry.supports_weights,
                 supports_marginals=entry.supports_marginals,
+                detail=detail,
             )
         )
 
@@ -471,6 +503,38 @@ def _applies_lineage(
     return True, "(U)CQ lineage compiles to CNF; exact #SAT search"
 
 
+def _applies_dpdb(kind: str) -> Applies:
+    """Applicability of the tree-decomposition DP for ``val``/``comp``.
+
+    Applies wherever lineage does (a forced ``method='dpdb'`` is honored;
+    the runner itself degrades to the trail core above its hard width
+    cap), but the *reason* carries the width probe's verdict so the plan
+    explains why ``auto`` did or did not pick it.
+    """
+
+    def applies(
+        db: IncompleteDatabase, query: BooleanQuery | None
+    ) -> tuple[bool, str]:
+        if (kind == "val" or query is not None) and not lineage_supports(
+            query
+        ):
+            return False, "lineage compilation handles (U)CQs only"
+        probe = dpdb_probe(kind, db, query)
+        if probe.ok and probe.width is not None:
+            if probe.width <= DPDB_WIDTH_LIMIT:
+                return True, (
+                    "elimination width %d <= %d: join/project/sum DP "
+                    "linear in formula size" % (probe.width, DPDB_WIDTH_LIMIT)
+                )
+            return True, (
+                "elimination width %d > %d: trail search preferred"
+                % (probe.width, DPDB_WIDTH_LIMIT)
+            )
+        return True, "%s; trail search preferred" % probe.reason
+
+    return applies
+
+
 def _applies_circuit(
     db: IncompleteDatabase, query: BooleanQuery | None
 ) -> tuple[bool, str]:
@@ -547,6 +611,40 @@ def _search_cost(tier: float) -> Cost:
     return cost
 
 
+def _dpdb_cost(kind: str) -> Cost:
+    """Width-driven estimate: below the width limit the DP undercuts the
+    trail search (:data:`TIER_DPDB` < :data:`TIER_LINEAGE`); at high width
+    or a blown probe budget it lands strictly *between* lineage and
+    circuit (``TIER_LINEAGE + 0.5 + frac/2`` with ``frac < 1``), so
+    ``auto`` keeps preferring the trail core without dpdb ever looking
+    cheaper than the method it would delegate to."""
+
+    def cost(db: IncompleteDatabase, query: BooleanQuery | None) -> float:
+        probe = dpdb_probe(kind, db, query)
+        if (
+            probe.ok
+            and probe.width is not None
+            and probe.width <= DPDB_WIDTH_LIMIT
+        ):
+            return TIER_DPDB + _fraction(probe.width)
+        return (
+            TIER_LINEAGE
+            + 0.5
+            + _fraction(_effective_search_variables(db)) / 2.0
+        )
+
+    return cost
+
+
+def _dpdb_detail(kind: str) -> Detail:
+    def detail(
+        db: IncompleteDatabase, query: BooleanQuery | None
+    ) -> Mapping[str, Any] | None:
+        return dpdb_probe(kind, db, query).detail()
+
+    return detail
+
+
 def _brute_cost(db: IncompleteDatabase, query: BooleanQuery | None) -> float:
     # Enumeration visits every valuation: the magnitude of the product is
     # the honest cost signal, capped into the tier's band.  bit_length()
@@ -618,6 +716,20 @@ register(Method(
 ))
 
 register(Method(
+    name="dpdb",
+    problem="val",
+    description="lineage -> CNF, join/project/sum DP over a tree decomposition",
+    polynomial=False,
+    supports_weights=False,
+    supports_marginals=False,
+    applies=_applies_dpdb("val"),
+    cost=_dpdb_cost("val"),
+    run=_run_ignoring(count_valuations_dpdb),
+    fallback="brute",
+    detail=_dpdb_detail("val"),
+))
+
+register(Method(
     name="lineage",
     problem="val",
     description="lineage -> CNF, exact #SAT with component caching",
@@ -665,6 +777,20 @@ register(Method(
     applies=_applies_uniform_unary,
     cost=_closed_form_cost(TIER_CLOSED_FORM),
     run=_run_ignoring(_comp_uniform.count_completions_uniform_unary),
+))
+
+register(Method(
+    name="dpdb",
+    problem="comp",
+    description="canonical-fact encoding, projected DP over a tree decomposition",
+    polynomial=False,
+    supports_weights=False,
+    supports_marginals=False,
+    applies=_applies_dpdb("comp"),
+    cost=_dpdb_cost("comp"),
+    run=_run_ignoring(count_completions_dpdb),
+    fallback="brute",
+    detail=_dpdb_detail("comp"),
 ))
 
 register(Method(

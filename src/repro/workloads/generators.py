@@ -158,6 +158,99 @@ def scaling_hard_val_instance(
     return IncompleteDatabase.uniform(facts, domain), query
 
 
+def scaling_grid_val_instance(
+    rows: int, cols: int, num_colors: int = 2, seed: int = 0
+) -> tuple[IncompleteDatabase, BCQ]:
+    """Low-treewidth hard-cell ``#Val`` family: ``R(x,x)`` over the
+    coloring database of a ``rows x cols`` grid graph.
+
+    The grid's treewidth is ``min(rows, cols)``, so the lineage CNF stays
+    width-bounded no matter how long the grid grows — *wide but
+    width-bounded*, the shape where the tree-decomposition DP is linear
+    while search-based counting keeps paying for the grid's cycles.
+    Brute force costs ``num_colors^(rows*cols)``.
+    """
+    node_null = {
+        (r, c): Null(("grid", r, c))
+        for r in range(rows)
+        for c in range(cols)
+    }
+    facts = []
+    for r in range(rows):
+        for c in range(cols):
+            for dr, dc in ((0, 1), (1, 0)):
+                rr, cc = r + dr, c + dc
+                if rr < rows and cc < cols:
+                    facts.append(
+                        Fact("R", [node_null[(r, c)], node_null[(rr, cc)]])
+                    )
+                    facts.append(
+                        Fact("R", [node_null[(rr, cc)], node_null[(r, c)]])
+                    )
+    query = BCQ([Atom("R", ["x", "x"])])
+    domain = ["c%d" % i for i in range(num_colors)]
+    return IncompleteDatabase.uniform(facts, domain), query
+
+
+def scaling_long_cycle_val_instance(
+    length: int, band: int = 2, num_colors: int = 2, seed: int = 0
+) -> tuple[IncompleteDatabase, BCQ]:
+    """Low-treewidth hard-cell ``#Val`` family: ``R(x,x)`` over the
+    coloring database of a circulant graph — a ``length``-cycle where
+    each vertex is also joined to its ``band`` nearest successors.
+
+    Treewidth is about ``2 * band`` regardless of ``length``: arbitrarily
+    *long* instances of fixed width.  ``band=1`` is a plain cycle; larger
+    bands thicken every bag without ever letting the width grow with the
+    instance, which is exactly the regime the dpdb backend is built for.
+    """
+    node_null = {v: Null(("ring", v)) for v in range(length)}
+    facts = []
+    seen = set()
+    for v in range(length):
+        for step in range(1, band + 1):
+            u, w = v, (v + step) % length
+            edge = (min(u, w), max(u, w))
+            if u == w or edge in seen:
+                continue
+            seen.add(edge)
+            facts.append(Fact("R", [node_null[u], node_null[w]]))
+            facts.append(Fact("R", [node_null[w], node_null[u]]))
+    query = BCQ([Atom("R", ["x", "x"])])
+    domain = ["c%d" % i for i in range(num_colors)]
+    return IncompleteDatabase.uniform(facts, domain), query
+
+
+def scaling_block_comp_instance(
+    num_blocks: int, block_size: int = 3, overlap: int = 2, seed: int = 0
+) -> tuple[IncompleteDatabase, None]:
+    """Low-width ``#Comp`` family: independent overlap blocks.
+
+    ``num_blocks`` disjoint groups of ``block_size`` unary nulls whose
+    domains overlap *within* the block only.  The projection-constrained
+    elimination width is bounded by the block size (each block is its own
+    primal-graph component), so projected dpdb counting stays cheap for
+    arbitrarily many blocks — unlike chain- or cycle-shaped overlap,
+    where eliminating every choice variable first provably accumulates
+    the projected pendants and the constrained width grows linearly.
+    Returned with ``query=None``: the count-all-completions form.
+    """
+    rng = random.Random(seed)
+    facts = []
+    dom: dict[Null, list[str]] = {}
+    for block in range(num_blocks):
+        values = [
+            "b%d_v%d" % (block, i) for i in range(block_size + overlap - 1)
+        ]
+        for i in range(block_size):
+            null = Null(("block", block, i))
+            dom[null] = values[i : i + overlap]
+            facts.append(Fact("R", [null]))
+        if rng.random() < 0.5:  # a ground fact collapsing some choices
+            facts.append(Fact("R", [values[0]]))
+    return IncompleteDatabase(facts, dom=dom), None
+
+
 def scaling_hard_comp_instance(
     size: int, overlap: int = 2, seed: int = 0
 ) -> tuple[IncompleteDatabase, BCQ]:

@@ -89,7 +89,9 @@ def test_completions_lineage_matches_brute_and_poly(seed, flavor, uniform, codd)
 @pytest.mark.parametrize("size", [3, 5, 7])
 def test_hard_val_family_small_sizes(size):
     db, query = scaling_hard_val_instance(size, chord_probability=0.3, seed=size)
-    assert resolve_valuation_method(db, query) == "lineage"
+    # Small cycles keep the lineage treewidth low, so auto now routes the
+    # hard cell to the tree-decomposition DP instead of the trail search.
+    assert resolve_valuation_method(db, query) == "dpdb"
     assert count_valuations(db, query) == count_valuations_brute(db, query)
 
 
@@ -97,13 +99,16 @@ def test_hard_val_family_small_sizes(size):
 def test_hard_comp_family_small_sizes(size):
     db, query = scaling_hard_comp_instance(size, seed=size)
     for q in (None, query):
-        assert resolve_completion_method(db, q) == "lineage"
+        # At these sizes the projection-constrained width is still small,
+        # so auto picks the projected DP over the trail search.
+        assert resolve_completion_method(db, q) == "dpdb"
         assert count_completions(db, q) == count_completions_brute(db, q)
 
 
 class TestAutoSelection:
     def test_auto_prefers_poly_then_lineage(self):
-        # Hard cell (R(x,x), naive non-uniform): auto resolves to lineage.
+        # Hard cell (R(x,x), naive non-uniform): auto resolves to the
+        # width-bounded DP (the instance's elimination width is tiny).
         from repro.db.fact import Fact
         from repro.db.incomplete import IncompleteDatabase
         from repro.db.terms import Null
@@ -112,7 +117,7 @@ class TestAutoSelection:
             [Fact("R", [Null(1), Null(1)])], dom={Null(1): ["a", "b"]}
         )
         assert resolve_valuation_method(db, BCQ([Atom("R", ["x", "x"])])) == (
-            "lineage"
+            "dpdb"
         )
         # Tractable cell: auto keeps the polynomial algorithm.
         assert resolve_valuation_method(db, BCQ([Atom("R", ["x", "y"])])) == (

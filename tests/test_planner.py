@@ -47,11 +47,12 @@ class TestRegistry:
 
     def test_method_vocabulary_matches_pre_registry_dispatch(self):
         assert set(planner.method_names("val")) == {
-            "auto", "poly", "brute", "lineage", "circuit",
+            "auto", "poly", "brute", "dpdb", "lineage", "circuit",
             "single-occurrence", "codd", "uniform",
         }
         assert set(planner.method_names("comp")) == {
-            "auto", "poly", "brute", "lineage", "circuit", "uniform-unary",
+            "auto", "poly", "brute", "dpdb", "lineage", "circuit",
+            "uniform-unary",
         }
         assert set(planner.method_names("val-weighted")) == {
             "auto", "brute", "circuit", "single-occurrence",
@@ -75,7 +76,8 @@ class TestPlans:
     def test_plan_reports_rejections_with_reasons(self):
         db, query = scaling_hard_val_instance(6, seed=1)
         plan = plan_valuations(db, query)
-        assert plan.chosen == "lineage"
+        # The low-width hard cell now routes to the tree-decomposition DP.
+        assert plan.chosen == "dpdb"
         rejected = {
             item.method: item.reason
             for item in plan.considered
@@ -85,6 +87,7 @@ class TestPlans:
         assert rejected["single-occurrence"]  # a human-readable reason
         text = plan.explain()
         assert "lineage" in text and "single-occurrence" in text
+        assert "width" in text  # the dpdb probe's cost detail surfaces
 
     def test_plan_costs_order_applicable_methods(self):
         db, query = scaling_hard_val_instance(6, seed=1)
@@ -94,7 +97,8 @@ class TestPlans:
             for item in plan.considered
             if item.applicable
         }
-        assert costs["lineage"] < costs["circuit"] < costs["brute"]
+        assert costs["dpdb"] < costs["lineage"] < costs["circuit"]
+        assert costs["circuit"] < costs["brute"]
 
     def test_poly_plan_on_hard_cell_carries_error(self):
         db, query = scaling_hard_val_instance(6, seed=1)
@@ -141,8 +145,12 @@ class TestPlans:
         db, query = scaling_hard_val_instance(6, seed=1)
         record = plan_valuations(db, query).to_dict()
         json.dumps(record)
-        assert record["chosen"] == "lineage"
+        assert record["chosen"] == "dpdb"
         assert all("reason" in item for item in record["considered"])
+        dpdb_row = next(
+            item for item in record["considered"] if item["method"] == "dpdb"
+        )
+        assert dpdb_row["detail"]["width"] <= dpdb_row["detail"]["width_limit"]
 
 
 class TestDispatchParity:
@@ -158,8 +166,10 @@ class TestDispatchParity:
         assert resolve_valuation_method(db, free) == "single-occurrence"
 
     def test_auto_on_hard_cell_is_lineage(self):
+        # A low-width hard cell goes to the DP; lineage is the choice as
+        # soon as the width probe reports more than the dpdb limit.
         db, query = scaling_hard_val_instance(6, seed=1)
-        assert resolve_valuation_method(db, query) == "lineage"
+        assert resolve_valuation_method(db, query) == "dpdb"
 
     def test_resolution_survives_astronomical_valuation_totals(self):
         # 5000 nulls of domain 10: the total has ~5000 decimal digits,
@@ -184,6 +194,8 @@ class TestDispatchParity:
         assert resolve_completion_method(_uniform_unary_db(), None) == (
             "uniform-unary"
         )
+        # The completion encoding's projection-constrained width is large
+        # on this family, so #Comp stays with the trail search.
         db, query = scaling_hard_val_instance(6, seed=1)
         assert resolve_completion_method(db, query) == "lineage"
 
@@ -229,4 +241,4 @@ class TestDispatchParity:
             assert count_valuations(db, query) == 42
         finally:
             del planner._REGISTRY["val"][name]
-        assert resolve_valuation_method(db, query) == "lineage"
+        assert resolve_valuation_method(db, query) == "dpdb"
