@@ -225,6 +225,97 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0 if built.chosen is not None else 1
 
 
+class _DeltaAction(argparse.Action):
+    """Collect ``--resolve/--restrict/--insert/--delete`` flags *in CLI
+    order* into one ``deltas`` list — updates are a chain, and applying
+    a resolve before or after a restrict of the same null differs."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        items = getattr(namespace, self.dest, None) or []
+        items.append((self.const, values))
+        setattr(namespace, self.dest, items)
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    """Apply a delta chain to a database and count on the updated instance.
+
+    The planner sees the derived instance's provenance: a resolution-only
+    chain is answered by *conditioning* the parent's circuit, an
+    insert/delete chain by recompiling only the touched lineage
+    components (``--plan`` shows the choice without solving).
+    """
+    from repro.io.databases import DatabaseSyntaxError, parse_delta
+    from repro.obs import capture, span
+
+    db = _load_db(args.db)
+    query = parse_query(args.query) if args.query else None
+    if args.mode == "val" and query is None:
+        print("--mode val needs --query", file=sys.stderr)
+        return 2
+    if not args.deltas:
+        print(
+            "provide at least one --resolve/--restrict/--insert/--delete",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        deltas = [parse_delta(kind, text) for kind, text in args.deltas]
+    except DatabaseSyntaxError as exc:
+        print("%s" % exc, file=sys.stderr)
+        return 2
+    child = db
+    try:
+        for delta in deltas:
+            child = child.apply(delta)
+    except (KeyError, ValueError) as exc:
+        print("cannot apply delta: %s" % exc, file=sys.stderr)
+        return 2
+
+    if args.plan:
+        from repro.exact import planner
+
+        built = planner.plan(args.mode, child, query, args.method)
+        if args.json:
+            print(json.dumps(built.to_dict()))
+        else:
+            print(built.explain())
+        return 0 if built.chosen is not None else 1
+
+    with capture() as captured:
+        with span("cli.update", mode=args.mode, deltas=len(deltas)):
+            answer = solve(
+                args.mode, child, query,
+                method=args.method, budget=args.budget,
+            )
+    if args.trace:
+        _print_trace(captured)
+    if args.json:
+        from repro.engine.fingerprint import fingerprint_derivation
+
+        print(
+            json.dumps(
+                {
+                    "mode": args.mode,
+                    "count": answer.count,
+                    "method": answer.method,
+                    "deltas": len(deltas),
+                    "derivation": fingerprint_derivation(
+                        child, query, kind=args.mode
+                    ),
+                    "seconds": round(answer.seconds, 6),
+                }
+            )
+        )
+    else:
+        print(answer.count)
+        print(
+            "update: %d deltas, method %s, %.3fs"
+            % (len(deltas), answer.method, answer.seconds),
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_approx(args: argparse.Namespace) -> int:
     from repro.approx.fpras import KarpLubyEstimator
 
@@ -400,6 +491,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             stats["worker_circuits"],
             stats["circuit_bytes"] / (1024.0 * 1024.0),
             elapsed,
+        ),
+        file=sys.stderr,
+    )
+    print(
+        "cache: %d memo hits, %d circuit hits, %d parent-chain "
+        "derivations, %d/%d component splices"
+        % (
+            stats["hits"],
+            stats["circuit_hits"],
+            stats["parent_chain_hits"],
+            stats["component_hits"],
+            stats["component_hits"] + stats["component_misses"],
         ),
         file=sys.stderr,
     )
@@ -605,6 +708,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the plan record as JSON",
     )
     p_plan.set_defaults(func=_cmd_plan)
+
+    p_update = sub.add_parser(
+        "update",
+        help="apply a delta chain (resolve/restrict/insert/delete) and "
+        "count on the updated instance; resolution-only chains are "
+        "answered by conditioning the parent circuit",
+    )
+    p_update.add_argument("--mode", choices=("val", "comp"), default="val")
+    p_update.add_argument("--db", required=True, help="database file")
+    p_update.add_argument("--query", help="query text (optional for comp)")
+    p_update.add_argument(
+        "--resolve", dest="deltas", action=_DeltaAction, const="resolve",
+        default=None, metavar="NULL=VALUE",
+        help="pin a null to a constant of its domain (repeatable)",
+    )
+    p_update.add_argument(
+        "--restrict", dest="deltas", action=_DeltaAction, const="restrict",
+        metavar="NULL=V1,V2,...",
+        help="shrink a null's domain to the listed values (repeatable)",
+    )
+    p_update.add_argument(
+        "--insert", dest="deltas", action=_DeltaAction, const="insert",
+        metavar="FACTS",
+        help="add ';'-separated facts, e.g. \"R(a, ?n3) where n3: a b\" "
+        "(repeatable)",
+    )
+    p_update.add_argument(
+        "--delete", dest="deltas", action=_DeltaAction, const="delete",
+        metavar="FACTS",
+        help="remove ';'-separated existing facts (repeatable)",
+    )
+    p_update.add_argument(
+        "--method",
+        default="auto",
+        help="auto | delta | circuit | ... (auto prefers the delta method "
+        "on conditionable chains)",
+    )
+    p_update.add_argument(
+        "--budget",
+        type=int,
+        default=2_000_000,
+        help="max valuations for brute force",
+    )
+    p_update.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the planner's choice for the updated instance and exit",
+    )
+    p_update.add_argument(
+        "--json",
+        action="store_true",
+        help="emit {mode, count, method, deltas, derivation, seconds} as JSON",
+    )
+    p_update.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the nested phase tree with timings to stderr",
+    )
+    p_update.set_defaults(func=_cmd_update)
 
     p_approx = sub.add_parser("approx", help="FPRAS estimate of #Val")
     p_approx.add_argument("--db", required=True)

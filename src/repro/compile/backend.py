@@ -27,13 +27,25 @@ from fractions import Fraction
 from typing import Mapping, Sequence
 
 from repro.complexity.cnf import CNF
-from repro.compile.circuit import CircuitSampler, DDNNF, draw_index
+from repro.compile.circuit import (
+    KIND_DECISION,
+    KIND_FALSE,
+    KIND_PRODUCT,
+    KIND_TRUE,
+    CircuitSampler,
+    DDNNF,
+    draw_index,
+)
 from repro.compile.ddnnf_trace import TraceBuilder
 from repro.compile.encode import (
     compile_completion_cnf,
     compile_valuation_cnf,
 )
-from repro.compile.lineage import lineage_supports
+from repro.compile.lineage import (
+    clause_components,
+    component_key,
+    lineage_supports,
+)
 from repro.compile.serialize import (
     CircuitFormatError,
     Reader,
@@ -54,7 +66,7 @@ from repro.db.valuation import (
     count_total_valuations,
     resolve_null_weights,
 )
-from repro.obs import span as _span
+from repro.obs import incr as _incr, span as _span
 
 #: Frame magics of the two wrapper artifacts (see ``to_bytes``).
 VALUATION_MAGIC = b"RVAL"
@@ -92,6 +104,52 @@ def count_completions_lineage(
 # ---------------------------------------------------------------------------
 # compiled circuits: one search, many questions
 # ---------------------------------------------------------------------------
+
+
+class _ChoiceView:
+    """Choice map of a delta-derived instance.
+
+    A conditioned circuit keeps the *parent's* variable universe, so the
+    child's surviving ``(null, value)`` pairs must keep the parent's
+    variable ids.  This view exposes exactly the
+    :class:`~repro.compile.variables.ChoiceVariables` surface the circuit
+    passes use (``items`` / ``var`` / ``variables`` / ``decode``) over
+    that restricted pair set.
+    """
+
+    __slots__ = ("_vars", "_pairs")
+
+    def __init__(self, pairs: Mapping[tuple[Null, Term], int]) -> None:
+        self._vars = dict(pairs)
+        self._pairs = sorted(self._vars.items(), key=lambda item: item[1])
+
+    @classmethod
+    def from_parent(
+        cls, parent_choices, child_db: IncompleteDatabase
+    ) -> "_ChoiceView":
+        pairs = {}
+        for null in child_db.nulls:
+            for value in child_db.domain_of(null):
+                pairs[(null, value)] = parent_choices.var(null, value)
+        return cls(pairs)
+
+    def var(self, null: Null, value: Term) -> int:
+        return self._vars[(null, value)]
+
+    def items(self) -> list[tuple[tuple[Null, Term], int]]:
+        return list(self._pairs)
+
+    def variables(self) -> list[int]:
+        return [variable for _pair, variable in self._pairs]
+
+    def decode(self, variable: int) -> tuple[Null, Term]:
+        for pair, known in self._pairs:
+            if known == variable:
+                return pair
+        raise KeyError("variable %d is not a choice variable" % variable)
+
+    def __len__(self) -> int:
+        return len(self._vars)
 
 
 class ValuationCircuit:
@@ -223,6 +281,103 @@ class ValuationCircuit:
         compiled.cache_entries = cache_entries
         compiled.components_split = components_split
         compiled._wire_bytes = len(data)
+        return compiled
+
+    # -- deltas ------------------------------------------------------------
+
+    def condition(self, delta) -> "ValuationCircuit":
+        """The circuit of ``db.apply(delta)`` for a resolution-only delta.
+
+        Resolving a null pins its choice-variable block (the chosen
+        value's variable true, its siblings false); restricting a domain
+        pins the removed values' variables false.  Either way the child
+        circuit is one linear rewrite of the parent program
+        (:meth:`DDNNF.condition <repro.compile.circuit.DDNNF.condition>`)
+        — no lineage enumeration, no CNF, no search — and every answer
+        (count, weighted counts, marginals, samples) is bit-identical to
+        compiling the updated instance from scratch.
+
+        Insert/delete deltas change the clause set itself; use
+        :meth:`compile_componentwise` for those.  Raises
+        :class:`ValueError` on a non-resolution delta or an invalid one
+        (unknown null, value outside the domain).
+        """
+        from repro.db.deltas import ResolveNull, RestrictDomain
+
+        child = self._db.apply(delta)  # validates the delta
+        assignments: dict[int, bool] = {}
+        if isinstance(delta, ResolveNull):
+            for (null, value), variable in self._choices.items():
+                if null == delta.null:
+                    assignments[variable] = value == delta.value
+        elif isinstance(delta, RestrictDomain):
+            for (null, value), variable in self._choices.items():
+                if null == delta.null and value not in delta.values:
+                    assignments[variable] = False
+        else:
+            raise ValueError(
+                "condition() handles resolution-only deltas; %s changes "
+                "the clause set — recompile via compile_componentwise()"
+                % type(delta).__name__
+            )
+        with _span(
+            "delta.condition",
+            kind=type(delta).__name__,
+            pinned=len(assignments),
+        ):
+            conditioned = self.circuit.condition(assignments)
+            derived = ValuationCircuit.__new__(ValuationCircuit)
+            derived._falsifying = conditioned.count()
+        _incr("delta.conditioning_passes")
+        derived.circuit = conditioned
+        derived._db = child
+        derived._choices = _ChoiceView.from_parent(self._choices, child)
+        derived.total_valuations = count_total_valuations(child)
+        derived._count = derived.total_valuations - derived._falsifying
+        derived.num_matches = self.num_matches
+        derived.num_clauses = self.num_clauses
+        derived.heuristic_width = self.heuristic_width
+        derived.cache_entries = self.cache_entries
+        derived.components_split = self.components_split
+        derived._wire_bytes = None
+        return derived
+
+    @classmethod
+    def compile_componentwise(
+        cls,
+        db: IncompleteDatabase,
+        query: BooleanQuery,
+        components=None,
+    ) -> "ValuationCircuit":
+        """Compile by independent lineage components, reusing cached ones.
+
+        Model counts multiply across variable-disjoint CNF components, so
+        each component compiles on its own and the sub-circuits splice
+        under one product root — same answers as the monolithic
+        constructor, bit for bit.  ``components`` is an optional
+        component store (``get_component`` / ``put_component``; the
+        engine passes its :class:`~repro.engine.cache.CountCache`): an
+        insert/delete delta invalidates only the components whose
+        clauses changed, every other sub-DAG is a cache hit.
+        """
+        with _span("compile.encode", mode="val"):
+            encoding = compile_valuation_cnf(db, query)
+        circuit, falsifying, stats = _compile_cnf_components(
+            encoding.cnf, None, "val", components
+        )
+        compiled = cls.__new__(cls)
+        compiled._falsifying = falsifying
+        compiled.circuit = circuit
+        compiled._db = db
+        compiled._choices = encoding.choices
+        compiled.total_valuations = encoding.total_valuations
+        compiled._count = encoding.count_from_models(falsifying)
+        compiled.num_matches = encoding.num_matches
+        compiled.num_clauses = len(encoding.cnf)
+        compiled.heuristic_width = stats["width"]
+        compiled.cache_entries = stats["cache_entries"]
+        compiled.components_split = stats["components_split"]
+        compiled._wire_bytes = None
         return compiled
 
     # -- questions ---------------------------------------------------------
@@ -550,6 +705,69 @@ class CompletionCircuit:
         compiled._wire_bytes = len(data)
         return compiled
 
+    # -- deltas ------------------------------------------------------------
+
+    def condition_facts(
+        self, assignments: "Mapping[Fact, bool]"
+    ) -> "CompletionCircuit":
+        """Pin potential facts in or out of the counted completions.
+
+        A ``True`` fact is forced into every completion, a ``False`` one
+        excluded — one linear conditioning rewrite over the projected
+        circuit, answers identical to re-encoding with the pins as unit
+        clauses.  (Database *deltas* for ``#Comp`` change the potential
+        facts themselves and therefore recompile componentwise; this is
+        the pure conditioning move that stays within one instance.)
+        """
+        pinned = {
+            self._facts.var(fact): bool(value)
+            for fact, value in assignments.items()
+        }
+        with _span("delta.condition", kind="facts", pinned=len(pinned)):
+            conditioned = self.circuit.condition(pinned)
+            derived = CompletionCircuit.__new__(CompletionCircuit)
+            derived._count = conditioned.count()
+        _incr("delta.conditioning_passes")
+        derived.circuit = conditioned
+        derived._facts = self._facts
+        derived.num_clauses = self.num_clauses
+        derived.heuristic_width = self.heuristic_width
+        derived.cache_entries = self.cache_entries
+        derived.components_split = self.components_split
+        derived._sampler_cache = None
+        derived._wire_bytes = None
+        return derived
+
+    @classmethod
+    def compile_componentwise(
+        cls,
+        db: IncompleteDatabase,
+        query: BooleanQuery | None = None,
+        components=None,
+    ) -> "CompletionCircuit":
+        """Componentwise ``#Comp`` compile with component reuse (the
+        insert/delete delta path); see
+        :meth:`ValuationCircuit.compile_componentwise`.  Projected counts
+        multiply across variable-disjoint components just like full
+        counts, so the spliced circuit's answers match the monolithic
+        compile exactly."""
+        with _span("compile.encode", mode="comp"):
+            encoding = compile_completion_cnf(db, query)
+        circuit, count, stats = _compile_cnf_components(
+            encoding.cnf, encoding.projection, "comp", components
+        )
+        compiled = cls.__new__(cls)
+        compiled._count = count
+        compiled.circuit = circuit
+        compiled._facts = encoding.facts
+        compiled.num_clauses = len(encoding.cnf)
+        compiled.heuristic_width = stats["width"]
+        compiled.cache_entries = stats["cache_entries"]
+        compiled.components_split = stats["components_split"]
+        compiled._sampler_cache = None
+        compiled._wire_bytes = None
+        return compiled
+
     def count(self) -> int:
         """``#Comp(q)(D)`` — exact, big-int."""
         return self._count
@@ -658,6 +876,255 @@ class CompletionCircuit:
 
     def __repr__(self) -> str:
         return "CompletionCircuit(count=%d, %r)" % (self._count, self.circuit)
+
+
+# ---------------------------------------------------------------------------
+# componentwise compilation (the insert/delete delta path)
+# ---------------------------------------------------------------------------
+
+
+def _remap_component_program(
+    code: Sequence[int],
+    offsets: Sequence[int],
+    variables: Sequence[int],
+    node_base: int,
+    out_code: list[int],
+    out_offsets: list[int],
+) -> None:
+    """Append a component-local program to the global one.
+
+    Local variable ``i + 1`` becomes ``variables[i]``; node ids shift by
+    ``node_base``.  Children stay before parents, so the spliced program
+    remains a valid topological flat circuit.
+    """
+    for offset in offsets:
+        out_offsets.append(len(out_code))
+        kind = code[offset]
+        if kind == KIND_FALSE or kind == KIND_TRUE:
+            out_code.append(kind)
+        elif kind == KIND_PRODUCT:
+            length = code[offset + 1]
+            out_code.append(KIND_PRODUCT)
+            out_code.append(length)
+            out_code.extend(
+                node_base + child
+                for child in code[offset + 2:offset + 2 + length]
+            )
+        else:
+            nbranches = code[offset + 1]
+            out_code.append(KIND_DECISION)
+            out_code.append(nbranches)
+            cursor = offset + 2
+            for _ in range(nbranches):
+                nlits = code[cursor]
+                cursor += 1
+                out_code.append(nlits)
+                for literal in code[cursor:cursor + nlits]:
+                    variable = variables[abs(literal) - 1]
+                    out_code.append(variable if literal > 0 else -variable)
+                cursor += nlits
+                nfree = code[cursor]
+                cursor += 1
+                out_code.append(nfree)
+                for freed in code[cursor:cursor + nfree]:
+                    out_code.append(variables[freed - 1])
+                cursor += nfree
+                out_code.append(node_base + code[cursor])
+                cursor += 1
+
+
+def _compile_cnf_components(
+    cnf: CNF,
+    projection,
+    kind: str,
+    components,
+) -> tuple[DDNNF, int, dict]:
+    """Compile a CNF one clause-component at a time and splice the parts.
+
+    Returns ``(circuit, model_count, stats)``; the count is the (projected
+    when ``projection`` is given) model count of the whole CNF, exact.
+    ``components`` is an optional store with ``get_component`` /
+    ``put_component`` keyed by :func:`~repro.compile.lineage.component_key`
+    — components unchanged across database versions are reused without
+    recompilation (counted on ``delta.components.reused``).
+    """
+    projection_set = None if projection is None else frozenset(projection)
+    all_clauses = list(cnf.clauses)
+    num_variables = cnf.num_variables
+    if any(not clause for clause in all_clauses):
+        # An empty clause makes the CNF unsatisfiable outright (the
+        # trivially-true valuation encoding emits one); no component
+        # structure survives it.
+        circuit = DDNNF.from_program(
+            [KIND_FALSE], [0], 0, num_variables,
+            range(1, num_variables + 1)
+            if projection_set is None else projection_set,
+        )
+        return circuit, 0, {
+            "width": None, "cache_entries": 0, "components_split": 0,
+        }
+    with _span("delta.splice", mode=kind, clauses=len(all_clauses)):
+        parts = clause_components(num_variables, all_clauses)
+        code: list[int] = []
+        offsets: list[int] = []
+        roots: list[int] = []
+        covered: set[int] = set()
+        total = 1
+        width: int | None = None
+        cache_entries = 0
+        reused = recompiled = 0
+        get_component = getattr(components, "get_component", None)
+        put_component = getattr(components, "put_component", None)
+        for variables, clause_indices in parts:
+            covered.update(variables)
+            clauses = [all_clauses[index] for index in clause_indices]
+            countable_globals = (
+                () if projection_set is None
+                else [v for v in variables if v in projection_set]
+            )
+            key = component_key(kind, variables, clauses, countable_globals)
+            entry = get_component(key) if get_component is not None else None
+            if entry is None:
+                recompiled += 1
+                local = {
+                    variable: i + 1 for i, variable in enumerate(variables)
+                }
+                local_clauses = [
+                    tuple(
+                        (1 if literal > 0 else -1) * local[abs(literal)]
+                        for literal in clause
+                    )
+                    for clause in clauses
+                ]
+                local_cnf = CNF(len(variables), local_clauses)
+                local_projection = (
+                    None if projection_set is None
+                    else frozenset(local[v] for v in countable_globals)
+                )
+                trace = TraceBuilder()
+                counter = ModelCounter(
+                    local_cnf, projection=local_projection, trace=trace
+                )
+                local_count = counter.count()
+                assert counter.trace_root is not None
+                if local_projection is None:
+                    local_circuit = trace.build(
+                        counter.trace_root, local_cnf.num_variables
+                    )
+                else:
+                    local_circuit = trace.build(
+                        counter.trace_root,
+                        local_cnf.num_variables,
+                        countable=local_projection,
+                    )
+                stats = counter.stats()
+                entry = {
+                    "code": local_circuit._code,
+                    "offsets": local_circuit._offsets,
+                    "root": local_circuit.root,
+                    "count": local_count,
+                    "width": stats["width"],
+                    "cache_entries": stats["cache_entries"],
+                }
+                if put_component is not None:
+                    put_component(key, entry)
+            else:
+                reused += 1
+            node_base = len(offsets)
+            _remap_component_program(
+                entry["code"], entry["offsets"], variables,
+                node_base, code, offsets,
+            )
+            roots.append(node_base + entry["root"])
+            total *= entry["count"]
+            if entry["width"] is not None:
+                width = (
+                    entry["width"] if width is None
+                    else max(width, entry["width"])
+                )
+            cache_entries += entry["cache_entries"]
+        # Countable variables in no clause at all are unconstrained: each
+        # doubles the count.  (Neither encoding produces them — choice
+        # variables sit in exactly-one blocks, fact variables in image
+        # clauses — but the splice stays correct if one ever appears.)
+        uncovered = [
+            variable
+            for variable in range(1, num_variables + 1)
+            if variable not in covered
+            and (projection_set is None or variable in projection_set)
+        ]
+        if uncovered:
+            offsets.append(len(code))
+            code.append(KIND_TRUE)
+            true_node = len(offsets) - 1
+            offsets.append(len(code))
+            code.extend(
+                [KIND_DECISION, 1, 0, len(uncovered)]
+                + uncovered + [true_node]
+            )
+            roots.append(len(offsets) - 1)
+            total <<= len(uncovered)
+        if not roots:
+            offsets.append(len(code))
+            code.append(KIND_TRUE)
+            root = len(offsets) - 1
+        elif len(roots) == 1:
+            root = roots[0]
+        else:
+            offsets.append(len(code))
+            code.append(KIND_PRODUCT)
+            code.append(len(roots))
+            code.extend(roots)
+            root = len(offsets) - 1
+        circuit = DDNNF.from_program(
+            code, offsets, root, num_variables,
+            range(1, num_variables + 1)
+            if projection_set is None else projection_set,
+        )
+        circuit._count = total
+    _incr("delta.components.reused", reused)
+    _incr("delta.components.recompiled", recompiled)
+    return circuit, total, {
+        "width": width,
+        "cache_entries": cache_entries,
+        "components_split": len(parts),
+    }
+
+
+def count_valuations_delta(db: IncompleteDatabase, query: BooleanQuery) -> int:
+    """``#Val(q)(D)`` for a delta-derived instance, from its parent.
+
+    Resolution-only deltas compile the parent circuit and condition it;
+    fact deltas recompile componentwise (where a component store — the
+    engine cache — turns unchanged components into reuse).  Answers are
+    bit-identical to a from-scratch count; raises :class:`ValueError`
+    when ``db`` has no recorded provenance.
+    """
+    from repro.db.deltas import resolution_only
+
+    parent = db.parent
+    delta = db.delta
+    if parent is None or delta is None:
+        raise ValueError(
+            "database has no delta provenance; build it via db.apply(delta)"
+        )
+    if resolution_only(delta):
+        return ValuationCircuit(parent, query).condition(delta).count()
+    return ValuationCircuit.compile_componentwise(db, query).count()
+
+
+def count_completions_delta(
+    db: IncompleteDatabase, query: BooleanQuery | None = None
+) -> int:
+    """``#Comp(q)(D)`` for a delta-derived instance (componentwise
+    recompile — completions range over *potential facts*, which every
+    delta kind can change, so the circuit is respliced rather than
+    conditioned).  Raises :class:`ValueError` without provenance."""
+    if db.parent is None or db.delta is None:
+        raise ValueError(
+            "database has no delta provenance; build it via db.apply(delta)"
+        )
+    return CompletionCircuit.compile_componentwise(db, query).count()
 
 
 def artifact_from_bytes(
@@ -816,6 +1283,8 @@ __all__ = [
     "count_completions_lineage",
     "count_valuations_circuit",
     "count_completions_circuit",
+    "count_valuations_delta",
+    "count_completions_delta",
     "ValuationCircuit",
     "CompletionCircuit",
     "valuation_marginals",

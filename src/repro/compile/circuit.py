@@ -299,6 +299,108 @@ class DDNNF:
 
         return loads_circuit(data)
 
+    # -- conditioning ------------------------------------------------------
+
+    def condition(self, assignments: Mapping[int, bool]) -> "DDNNF":
+        """Pin variables to fixed values: one linear rewrite, no research.
+
+        ``assignments`` maps variables to polarities.  The result is a
+        smooth d-DNNF over the *same* variable universe whose models are
+        exactly this circuit's models consistent with the pins, with each
+        pinned variable appearing as a forced literal on every surviving
+        path — so every downstream pass (count, weighted evaluate,
+        literal counts, sampling) stays a plain linear sweep and agrees
+        bit for bit with recompiling the restricted formula.
+
+        Per decision branch: a kept literal contradicting a pin drops the
+        branch; a pinned variable listed as *freed* moves into the branch
+        literals with the pinned polarity (preserving smoothness).  A
+        decision node losing every branch becomes the false constant.
+        Product nodes and node ids are untouched, so shared sub-DAGs stay
+        shared.
+
+        Only countable variables may be pinned: non-countable (projected
+        or auxiliary) variables are summed out by the compiler and may no
+        longer appear explicitly on every path, so pinning them here
+        would silently under-restrict.  ``ValueError`` otherwise.
+        """
+        if not assignments:
+            return self
+        polarity = bytearray(self._num_variables + 1)  # 0 / +1 / 2 (= -1)
+        for variable, value in assignments.items():
+            if not 1 <= variable <= self._num_variables:
+                raise ValueError(
+                    "cannot condition on unknown variable %d" % variable
+                )
+            if not self._is_countable[variable]:
+                raise ValueError(
+                    "cannot condition on non-countable variable %d "
+                    "(projected/auxiliary variables are summed out)"
+                    % variable
+                )
+            polarity[variable] = 1 if value else 2
+        code = self._code
+        new_code: list[int] = []
+        new_offsets: list[int] = []
+        with _span("circuit.condition", pinned=len(assignments),
+                   nodes=self.num_nodes):
+            for offset in self._offsets:
+                new_offsets.append(len(new_code))
+                kind = code[offset]
+                if kind == KIND_FALSE or kind == KIND_TRUE:
+                    new_code.append(kind)
+                    continue
+                if kind == KIND_PRODUCT:
+                    length = 2 + code[offset + 1]
+                    new_code.extend(code[offset:offset + length])
+                    continue
+                branches: list[tuple[list[int], list[int], int]] = []
+                cursor = offset + 2
+                for _ in range(code[offset + 1]):
+                    nlits = code[cursor]
+                    cursor += 1
+                    literals_end = cursor + nlits
+                    literals = code[cursor:literals_end]
+                    nfree = code[literals_end]
+                    free_end = literals_end + 1 + nfree
+                    freed = code[literals_end + 1:free_end]
+                    child = code[free_end]
+                    cursor = free_end + 1
+                    alive = True
+                    for literal in literals:
+                        pin = polarity[abs(literal)]
+                        if pin and (pin == 1) != (literal > 0):
+                            alive = False
+                            break
+                    if not alive:
+                        continue
+                    kept_free: list[int] = []
+                    forced = list(literals)
+                    for variable in freed:
+                        pin = polarity[variable]
+                        if pin:
+                            forced.append(
+                                variable if pin == 1 else -variable
+                            )
+                        else:
+                            kept_free.append(variable)
+                    branches.append((forced, kept_free, child))
+                if not branches:
+                    new_code.append(KIND_FALSE)
+                    continue
+                new_code.append(KIND_DECISION)
+                new_code.append(len(branches))
+                for forced, kept_free, child in branches:
+                    new_code.append(len(forced))
+                    new_code.extend(forced)
+                    new_code.append(len(kept_free))
+                    new_code.extend(kept_free)
+                    new_code.append(child)
+        return DDNNF.from_program(
+            new_code, new_offsets, self._root,
+            self._num_variables, self._countable,
+        )
+
     # -- weights -----------------------------------------------------------
 
     def _weight_arrays(

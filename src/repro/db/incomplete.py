@@ -39,6 +39,10 @@ class IncompleteDatabase:
                 "provide exactly one of `dom` (non-uniform) or "
                 "`uniform_domain` (uniform)"
             )
+        # Delta provenance (set by `apply`, never part of equality/hash):
+        # the instance this one was derived from, and the delta that did it.
+        self._parent: "IncompleteDatabase | None" = None
+        self._delta: object | None = None
         self._facts: frozenset[Fact] = frozenset(facts)
         self._check_arities()
         occurring = self._occurring_nulls()
@@ -170,6 +174,16 @@ class IncompleteDatabase:
         return occurrences
 
     @property
+    def parent(self) -> "IncompleteDatabase | None":
+        """The instance this one was derived from via :meth:`apply`."""
+        return self._parent
+
+    @property
+    def delta(self) -> object | None:
+        """The delta :meth:`apply` used to derive this instance."""
+        return self._delta
+
+    @property
     def is_codd(self) -> bool:
         """Codd table: every null occurs at most once in ``T`` (Section 2).
 
@@ -188,6 +202,89 @@ class IncompleteDatabase:
         if self._uniform is not None:
             return IncompleteDatabase.uniform(facts, self._uniform)
         return IncompleteDatabase(facts, dom=self._dom)
+
+    def without_facts(self, facts: Iterable[Fact]) -> "IncompleteDatabase":
+        """Same domains, table minus ``facts`` (all must be present)."""
+        removed = frozenset(facts)
+        missing = removed - self._facts
+        if missing:
+            raise ValueError(
+                "facts not in the table: %s"
+                % ", ".join(sorted(map(repr, missing)))
+            )
+        return self.with_facts(self._facts - removed)
+
+    def resolve(self, null: Null, value: Term) -> "IncompleteDatabase":
+        """Replace ``null`` by the constant ``value`` throughout ``T``.
+
+        ``value`` must lie in ``dom(null)``; the resolved null (and, in the
+        non-uniform case, its domain entry) disappears from the result.
+        """
+        domain = self.domain_of(null)  # raises KeyError if not occurring
+        if value not in domain:
+            raise ValueError(
+                "value %r is outside dom(%r)" % (value, null)
+            )
+        substitution = {null: value}
+        return self.with_facts(
+            fact.substitute(substitution) for fact in self._facts
+        )
+
+    def apply(self, delta: object) -> "IncompleteDatabase":
+        """Apply a :mod:`repro.db.deltas` record, recording provenance.
+
+        The result is an ordinary immutable instance whose :attr:`parent`
+        and :attr:`delta` record where it came from, which lets the
+        incremental counting layer answer it from an ancestor circuit
+        (conditioning for resolution-only deltas, component-level
+        recompilation otherwise).  Provenance never affects equality,
+        hashing, or fingerprints of the database *content*.
+        """
+        from repro.db.deltas import (
+            DeleteFacts,
+            InsertFacts,
+            ResolveNull,
+            RestrictDomain,
+        )
+
+        if isinstance(delta, ResolveNull):
+            child = self.resolve(delta.null, delta.value)
+        elif isinstance(delta, RestrictDomain):
+            domain = self.domain_of(delta.null)
+            extra = delta.values - domain
+            if extra:
+                raise ValueError(
+                    "restricted domain of %r adds values outside dom: %s"
+                    % (delta.null, ", ".join(sorted(map(repr, extra))))
+                )
+            if self._uniform is not None and delta.values == self._uniform:
+                child = IncompleteDatabase.uniform(self._facts, self._uniform)
+            else:
+                new_dom = dict(self._dom)
+                new_dom[delta.null] = delta.values
+                child = IncompleteDatabase(self._facts, dom=new_dom)
+        elif isinstance(delta, InsertFacts):
+            new_facts = self._facts | delta.facts
+            carried = delta.domains()
+            if self._uniform is not None and not carried:
+                child = IncompleteDatabase.uniform(new_facts, self._uniform)
+            else:
+                base = dict(self._dom)
+                for null, values in carried.items():
+                    known = base.get(null)
+                    if known is not None and known != values:
+                        raise ValueError(
+                            "delta re-declares dom(%r) inconsistently" % null
+                        )
+                    base[null] = values
+                child = IncompleteDatabase(new_facts, dom=base)
+        elif isinstance(delta, DeleteFacts):
+            child = self.without_facts(delta.facts)
+        else:
+            raise TypeError("not a delta: %r" % (delta,))
+        child._parent = self
+        child._delta = delta
+        return child
 
     def restrict_to_relations(
         self, names: Iterable[str]

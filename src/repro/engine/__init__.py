@@ -12,15 +12,23 @@ misses are fanned out to a shared-nothing multiprocessing pool
 from repro.engine.cache import CountCache
 from repro.engine.fingerprint import (
     fingerprint_db,
+    fingerprint_delta,
+    fingerprint_derivation,
     fingerprint_instance,
     fingerprint_job,
     fingerprint_query,
+)
+from repro.engine.incremental import (
+    cached_ancestor,
+    delta_chain,
+    derive_instance_circuit,
 )
 from repro.engine.jobs import (
     CountJob,
     JobResult,
     execute_job,
     execute_job_capturing,
+    instance_db,
     instance_fingerprint_of,
     needs_circuit,
 )
@@ -31,12 +39,18 @@ __all__ = [
     "CountCache",
     "CountJob",
     "JobResult",
+    "cached_ancestor",
+    "delta_chain",
+    "derive_instance_circuit",
     "execute_job",
     "execute_job_capturing",
     "fingerprint_db",
+    "fingerprint_delta",
+    "fingerprint_derivation",
     "fingerprint_instance",
     "fingerprint_job",
     "fingerprint_query",
+    "instance_db",
     "instance_fingerprint_of",
     "needs_circuit",
     "run_batch",

@@ -1,6 +1,6 @@
 """Cross-job memoization keyed on canonical instance fingerprints.
 
-Two stores live side by side:
+Three stores live side by side:
 
 * the **answer memo** — ``fingerprint -> (count, resolved method)`` pairs,
   one per distinct *question*.  Answers are tiny; an optional
@@ -15,15 +15,28 @@ Two stores live side by side:
   ``max_circuit_bytes`` bound evicts least-recently-used circuits —
   **together with every memo entry derived from them**, so a bounded
   cache never serves an answer whose provenance it already dropped.
+  Circuits derived from a cached parent by delta conditioning record the
+  parent link: evicting a parent drops its derived children too (a
+  conditioned circuit shares structure and provenance with its parent),
+  and :meth:`CountCache.get_ancestor_circuit` walks a child's ancestor
+  chain so a fingerprint miss can still be answered by conditioning a
+  cached ancestor (tallied as ``parent_chain_hits``);
+* the **component store** — a small LRU of compiled clause-component
+  programs keyed by :func:`~repro.compile.lineage.component_key`.
+  Insert/delete deltas recompile only the components their clauses
+  touched; everything else splices from here.
 
-``stats()`` reports both stores; ``repro-count batch --cache-mb`` is the
+``stats()`` reports all three; ``repro-count batch --cache-mb`` is the
 CLI surface of the byte bound.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any
+from typing import Any, Sequence
+
+#: Default bound of the clause-component program store (entries).
+DEFAULT_MAX_COMPONENTS = 512
 
 
 class CountCache:
@@ -33,19 +46,28 @@ class CountCache:
         self,
         max_entries: int | None = None,
         max_circuit_bytes: int | None = None,
+        max_components: int | None = DEFAULT_MAX_COMPONENTS,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive (or None)")
         if max_circuit_bytes is not None and max_circuit_bytes < 0:
             raise ValueError("max_circuit_bytes must be >= 0 (or None)")
+        if max_components is not None and max_components < 0:
+            raise ValueError("max_components must be >= 0 (or None)")
         self._entries: OrderedDict[str, tuple[Any, str]] = OrderedDict()
         self._max_entries = max_entries
         self._max_circuit_bytes = max_circuit_bytes
+        self._max_components = max_components
         # instance fingerprint -> (circuit, bytes); LRU order.
         self._circuits: OrderedDict[str, tuple[Any, int]] = OrderedDict()
         # links for joint eviction: memo entry <-> owning instance.
         self._entry_instance: dict[str, str] = {}
         self._instance_entries: dict[str, set[str]] = {}
+        # delta provenance links: child instance <-> parent instance.
+        self._circuit_parent: dict[str, str] = {}
+        self._circuit_children: dict[str, set[str]] = {}
+        # clause-component programs: component key -> program entry.
+        self._components: OrderedDict[tuple, dict] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.circuit_hits = 0
@@ -53,6 +75,9 @@ class CountCache:
         self.circuit_evictions = 0
         self.circuit_bytes = 0
         self.worker_circuits = 0
+        self.parent_chain_hits = 0
+        self.component_hits = 0
+        self.component_misses = 0
 
     # -- answer memo -------------------------------------------------------
 
@@ -123,17 +148,41 @@ class CountCache:
         self.circuit_hits += 1
         return cached[0]
 
+    def get_ancestor_circuit(
+        self, ancestry: Sequence[str]
+    ) -> tuple[str, Any] | None:
+        """First cached circuit along a delta ancestor chain.
+
+        ``ancestry`` lists instance fingerprints nearest-ancestor first
+        (parent, grandparent, ...).  A hit counts as a ``parent_chain``
+        hit — the incremental layer then applies the missing delta
+        suffix to the returned circuit instead of recompiling.
+        """
+        for fingerprint in ancestry:
+            cached = self._circuits.get(fingerprint)
+            if cached is not None:
+                self._circuits.move_to_end(fingerprint)
+                self.parent_chain_hits += 1
+                return fingerprint, cached[0]
+        return None
+
     def put_circuit(
-        self, instance: str, circuit: Any, from_worker: bool = False
+        self,
+        instance: str,
+        circuit: Any,
+        from_worker: bool = False,
+        parent: str | None = None,
     ) -> None:
         """Store a compiled circuit, evicting LRU circuits past the bound.
 
         The circuit must expose ``memory_bytes()``.  A circuit alone
         larger than the bound is not stored at all (storing it would only
         evict everything else and then itself).  Evicting a circuit also
-        drops the memo entries linked to its instance.  ``from_worker``
-        marks an artifact compiled in a worker process and installed by
-        the parent (tallied separately in :meth:`stats`).
+        drops the memo entries linked to its instance — and, recursively,
+        every circuit derived from it (``parent`` records that link when
+        the incremental layer installs a conditioned/respliced child).
+        ``from_worker`` marks an artifact compiled in a worker process
+        and installed by the parent (tallied separately in :meth:`stats`).
         """
         size = int(circuit.memory_bytes())
         if (
@@ -145,6 +194,9 @@ class CountCache:
         if previous is not None:
             self.circuit_bytes -= previous[1]
         self._circuits[instance] = (circuit, size)
+        if parent is not None and parent in self._circuits:
+            self._circuit_parent[instance] = parent
+            self._circuit_children.setdefault(parent, set()).add(instance)
         if from_worker:
             self.worker_circuits += 1
         self.circuit_bytes += size
@@ -153,20 +205,72 @@ class CountCache:
                 self.circuit_bytes > self._max_circuit_bytes
                 and len(self._circuits) > 1
             ):
-                self._evict_oldest_circuit(keep=instance)
+                if not self._evict_oldest_circuit(keep=instance):
+                    break
 
-    def _evict_oldest_circuit(self, keep: str | None = None) -> None:
+    def _evict_oldest_circuit(self, keep: str | None = None) -> bool:
+        """Evict the oldest circuit tree not protecting ``keep``.
+
+        ``keep`` and its ancestors are protected — evicting an ancestor
+        would take the just-inserted child down with it.  Returns whether
+        anything was evicted.
+        """
+        protected = set()
+        node = keep
+        while node is not None and node not in protected:
+            protected.add(node)
+            node = self._circuit_parent.get(node)
         for candidate in self._circuits:
-            if candidate != keep:
-                break
-        else:
+            if candidate not in protected:
+                self._drop_circuit_tree(candidate)
+                return True
+        return False
+
+    def _drop_circuit_tree(self, instance: str) -> None:
+        """Drop a circuit, its derived descendants, and linked answers."""
+        stack = [instance]
+        while stack:
+            fingerprint = stack.pop()
+            entry = self._circuits.pop(fingerprint, None)
+            if entry is None:
+                continue
+            self.circuit_bytes -= entry[1]
+            self.circuit_evictions += 1
+            stack.extend(self._circuit_children.pop(fingerprint, ()))
+            parent = self._circuit_parent.pop(fingerprint, None)
+            if parent is not None:
+                siblings = self._circuit_children.get(parent)
+                if siblings is not None:
+                    siblings.discard(fingerprint)
+                    if not siblings:
+                        del self._circuit_children[parent]
+            for linked in self._instance_entries.pop(fingerprint, set()):
+                self._entries.pop(linked, None)
+                self._entry_instance.pop(linked, None)
+
+    # -- component store ---------------------------------------------------
+
+    def get_component(self, key: tuple) -> dict | None:
+        """A cached clause-component program, LRU-touched on hit."""
+        entry = self._components.get(key)
+        if entry is None:
+            self.component_misses += 1
+            return None
+        self._components.move_to_end(key)
+        self.component_hits += 1
+        return entry
+
+    def put_component(self, key: tuple, entry: dict) -> None:
+        """Store one compiled clause-component program (bounded LRU)."""
+        if self._max_components == 0:
             return
-        _circuit, size = self._circuits.pop(candidate)
-        self.circuit_bytes -= size
-        self.circuit_evictions += 1
-        for fingerprint in self._instance_entries.pop(candidate, set()):
-            self._entries.pop(fingerprint, None)
-            self._entry_instance.pop(fingerprint, None)
+        self._components[key] = entry
+        self._components.move_to_end(key)
+        if (
+            self._max_components is not None
+            and len(self._components) > self._max_components
+        ):
+            self._components.popitem(last=False)
 
     # -- statistics --------------------------------------------------------
 
@@ -177,7 +281,7 @@ class CountCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> dict[str, Any]:
-        """One JSON-ready snapshot of both stores."""
+        """One JSON-ready snapshot of all three stores."""
         return {
             "entries": len(self._entries),
             "hits": self.hits,
@@ -189,6 +293,10 @@ class CountCache:
             "circuit_misses": self.circuit_misses,
             "circuit_evictions": self.circuit_evictions,
             "worker_circuits": self.worker_circuits,
+            "parent_chain_hits": self.parent_chain_hits,
+            "components": len(self._components),
+            "component_hits": self.component_hits,
+            "component_misses": self.component_misses,
             "max_circuit_bytes": self._max_circuit_bytes,
         }
 
@@ -205,6 +313,9 @@ class CountCache:
         self._circuits.clear()
         self._entry_instance.clear()
         self._instance_entries.clear()
+        self._circuit_parent.clear()
+        self._circuit_children.clear()
+        self._components.clear()
         self.hits = 0
         self.misses = 0
         self.circuit_hits = 0
@@ -212,6 +323,9 @@ class CountCache:
         self.circuit_evictions = 0
         self.circuit_bytes = 0
         self.worker_circuits = 0
+        self.parent_chain_hits = 0
+        self.component_hits = 0
+        self.component_misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -234,6 +234,41 @@ def fingerprint_instance(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def fingerprint_delta(delta: object) -> str:
+    """Hex digest of a delta's canonical form (:func:`repro.db.deltas.delta_form`)."""
+    from repro.db.deltas import delta_form
+
+    payload = repr(("delta", delta_form(delta)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def fingerprint_derivation(
+    db: IncompleteDatabase,
+    query: BooleanQuery | None,
+    kind: str = "val",
+) -> str | None:
+    """Digest of *how* a derived instance came to be, or ``None``.
+
+    For an instance produced by ``parent.apply(delta)`` this records the
+    parent's circuit fingerprint together with the canonical delta form —
+    the provenance edge the incremental layer reports in plans and obs
+    events.  Content addressing is deliberately separate: the instance's
+    own :func:`fingerprint_instance` depends only on its content, so a
+    derived instance and a from-scratch twin share cache entries.
+    """
+    parent = getattr(db, "parent", None)
+    delta = getattr(db, "delta", None)
+    if parent is None or delta is None:
+        return None
+    parent_form = fingerprint_instance(parent, query, kind)
+    if parent_form is None:
+        return None
+    from repro.db.deltas import delta_form
+
+    payload = repr(("derived", kind, parent_form, delta_form(delta)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def fingerprint_job(job: "CountJob") -> str | None:
     """Hex digest identifying the job's *answer*, or ``None`` (uncacheable).
 
@@ -271,6 +306,18 @@ def fingerprint_job(job: "CountJob") -> str | None:
         # label-exact — a renamed twin has a differently-keyed answer.
         db_form = _exact_db_form(job.db)
         extras = (_weights_form(job.weights, None),)
+    elif job.problem == "update":
+        # An update job answers #Val of the *updated* instance, so it is
+        # fingerprinted as the plain 'val' job on the delta-chain result —
+        # memo entries are shared with equivalent from-scratch val jobs.
+        try:
+            child = job.db
+            for delta in job.deltas:
+                child = child.apply(delta)
+        except (ValueError, KeyError, TypeError):
+            return None  # invalid chain: solve reports the real error
+        payload = repr(("val", (), query_form, fingerprint_db(child)))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
     else:
         extras = ()
         db_form = fingerprint_db(job.db)

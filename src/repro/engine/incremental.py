@@ -1,0 +1,164 @@
+"""Delta-aware circuit derivation: answer updated instances from ancestors.
+
+An instance built via ``db.apply(delta)`` carries provenance — its parent
+instance and the delta between them.  When the engine misses the circuit
+store on such an instance, this module walks the ancestor chain
+(:func:`delta_chain`), asks the cache for the nearest compiled ancestor
+(:meth:`~repro.engine.cache.CountCache.get_ancestor_circuit`), and derives
+the child circuit from it:
+
+* a **resolution-only** delta suffix (resolve-null, restrict-domain) is
+  applied by *conditioning* — one linear program rewrite per delta, no
+  recompilation (``#Val`` circuits only; projected ``#Comp`` circuits sum
+  choice variables out, so conditioning them is unsound by construction);
+* any suffix containing an **insert/delete** recompiles the child
+  componentwise, splicing every clause component unchanged since the
+  ancestor from the cache's component store.
+
+The derived circuit is installed as an ordinary store entry whose parent
+link makes ``--cache-mb`` eviction drop children with their parents.
+Answers are bit-identical to from-scratch compilation either way.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.query import BooleanQuery
+from repro.db.deltas import resolution_only
+from repro.db.incomplete import IncompleteDatabase
+from repro.engine.fingerprint import fingerprint_instance
+from repro.obs import event as _event, incr as _incr, span as _span
+
+#: Longest provenance chain the derivation will walk.  Beyond this a
+#: fresh compile is cheaper than replaying the chain (and an unbounded
+#: walk could loop on pathological hand-built provenance).
+MAX_CHAIN_DEPTH = 64
+
+
+def delta_chain(
+    db: IncompleteDatabase,
+) -> list[tuple[IncompleteDatabase, list]]:
+    """Ancestors of ``db`` with the deltas leading back down to ``db``.
+
+    Returns ``[(parent, [d_k]), (grandparent, [d_{k-1}, d_k]), ...]``,
+    nearest ancestor first; each delta list replays that ancestor forward
+    into ``db``.  Empty when ``db`` has no provenance.
+    """
+    chain: list[tuple[IncompleteDatabase, list]] = []
+    suffix: list = []
+    node = db
+    while len(chain) < MAX_CHAIN_DEPTH:
+        parent = getattr(node, "parent", None)
+        delta = getattr(node, "delta", None)
+        if parent is None or delta is None:
+            break
+        suffix.insert(0, delta)
+        chain.append((parent, list(suffix)))
+        node = parent
+    return chain
+
+
+def cached_ancestor(
+    db: IncompleteDatabase,
+    query: BooleanQuery | None,
+    kind: str,
+    circuits: Any,
+) -> str | None:
+    """Fingerprint of the nearest cached ancestor circuit, if any.
+
+    A statistics-free peek (``has_circuit``) for routing decisions — the
+    batch engine uses it to keep derivable jobs in the parent process
+    instead of shipping them to a compile worker.
+    """
+    has_circuit = getattr(circuits, "has_circuit", None)
+    if has_circuit is None:
+        return None
+    for ancestor, _deltas in delta_chain(db):
+        fingerprint = fingerprint_instance(ancestor, query, kind)
+        if fingerprint is not None and has_circuit(fingerprint):
+            return fingerprint
+    return None
+
+
+def derive_instance_circuit(
+    db: IncompleteDatabase,
+    query: BooleanQuery | None,
+    kind: str,
+    circuits: Any,
+    fingerprint: str | None = None,
+) -> Any | None:
+    """Derive the circuit of a delta-derived instance from a cached ancestor.
+
+    Call on a circuit-store miss for ``db``.  Walks the provenance chain,
+    takes the nearest cached ancestor, and either conditions it (val,
+    resolution-only suffix) or recompiles the child componentwise against
+    the cache's component store.  The result is installed into
+    ``circuits`` under ``fingerprint`` with its parent link and returned;
+    ``None`` when ``db`` has no provenance, no ancestor is cached, or the
+    cache lacks the ancestor API (worker-side one-slot stores).
+    """
+    get_ancestor = getattr(circuits, "get_ancestor_circuit", None)
+    if get_ancestor is None:
+        return None
+    chain = delta_chain(db)
+    if not chain:
+        return None
+    ancestry = []
+    deltas_of: dict[str, list] = {}
+    for ancestor, deltas in chain:
+        ancestor_fingerprint = fingerprint_instance(ancestor, query, kind)
+        if ancestor_fingerprint is None:
+            return None
+        ancestry.append(ancestor_fingerprint)
+        deltas_of[ancestor_fingerprint] = deltas
+    found = get_ancestor(ancestry)
+    if found is None:
+        return None
+    ancestor_fingerprint, circuit = found
+    deltas = deltas_of[ancestor_fingerprint]
+    conditionable = kind == "val" and all(map(resolution_only, deltas))
+    with _span(
+        "delta.derive",
+        kind=kind,
+        mode="condition" if conditionable else "splice",
+        chain=len(deltas),
+    ):
+        if conditionable:
+            for delta in deltas:
+                circuit = circuit.condition(delta)
+        else:
+            from repro.compile.backend import (
+                CompletionCircuit,
+                ValuationCircuit,
+            )
+
+            if kind == "comp":
+                circuit = CompletionCircuit.compile_componentwise(
+                    db, query, components=circuits
+                )
+            else:
+                circuit = ValuationCircuit.compile_componentwise(
+                    db, query, components=circuits
+                )
+    _incr("delta.derivations")
+    _event(
+        "delta.derived",
+        kind=kind,
+        mode="condition" if conditionable else "splice",
+        chain=len(deltas),
+        ancestor=ancestor_fingerprint[:12],
+    )
+    if fingerprint is None:
+        fingerprint = fingerprint_instance(db, query, kind)
+    if fingerprint is not None:
+        circuits.put_circuit(fingerprint, circuit, parent=ancestor_fingerprint)
+    return circuit
+
+
+__all__ = [
+    "MAX_CHAIN_DEPTH",
+    "cached_ancestor",
+    "delta_chain",
+    "derive_instance_circuit",
+]

@@ -28,7 +28,10 @@ from repro.exact.brute import DEFAULT_BUDGET
 from repro.obs import capture as _capture
 
 #: Problem kinds the engine understands.
-PROBLEMS = ("val", "comp", "approx-val", "val-weighted", "marginals", "sweep")
+PROBLEMS = (
+    "val", "comp", "approx-val", "val-weighted", "marginals", "sweep",
+    "update",
+)
 
 #: Problems answered by passes over a compiled circuit.
 CIRCUIT_PROBLEMS = ("val-weighted", "marginals", "sweep")
@@ -48,10 +51,12 @@ class CountJob:
     Karp-Luby FPRAS; ``epsilon``/``delta``/``seed`` apply),
     ``'val-weighted'`` (weighted ``#Val``; ``weights`` applies),
     ``'marginals'`` (all per-null value marginals of ``#Val``; ``weights``
-    optionally biases the valuation distribution) or ``'sweep'`` (weighted
+    optionally biases the valuation distribution), ``'sweep'`` (weighted
     ``#Val`` under a *sequence* of weight tables — ``weights`` is that
-    sequence, the result one count per table).  ``method`` and ``budget``
-    are forwarded to :mod:`repro.exact.dispatch` for the exact problems.
+    sequence, the result one count per table) or ``'update'`` (``#Val``
+    of ``db`` after applying the ``deltas`` chain, answered from a cached
+    ancestor circuit when possible).  ``method`` and ``budget`` are
+    forwarded to :mod:`repro.exact.dispatch` for the exact problems.
     """
 
     problem: str
@@ -68,6 +73,10 @@ class CountJob:
         | None
     ) = None
     label: str | None = None
+    #: ``'update'`` only: the delta chain to apply to ``db`` — the job
+    #: answers ``#Val`` of the *updated* instance, preferring a cached
+    #: ancestor circuit (conditioning / component splice) over recompiling.
+    deltas: Sequence[Any] = ()
 
     def __post_init__(self) -> None:
         if self.problem not in PROBLEMS:
@@ -79,6 +88,19 @@ class CountJob:
                 "problem %r needs a query (only 'comp' allows query=None)"
                 % self.problem
             )
+        if self.problem == "update":
+            from repro.db.deltas import is_delta
+
+            chain = tuple(self.deltas)
+            if not chain:
+                raise ValueError("'update' needs at least one delta")
+            if not all(is_delta(delta) for delta in chain):
+                raise ValueError(
+                    "'update' deltas must be repro.db.deltas records"
+                )
+            object.__setattr__(self, "deltas", chain)
+        elif self.deltas:
+            raise ValueError("deltas only apply to problem 'update'")
         if self.problem == "sweep":
             if self.weights is None or isinstance(self.weights, Mapping):
                 raise ValueError(
@@ -220,7 +242,9 @@ class _CapturedCircuitStore:
     def get_circuit(self, instance: str) -> Any | None:
         return self.circuit
 
-    def put_circuit(self, instance: str, circuit: Any) -> None:
+    def put_circuit(
+        self, instance: str, circuit: Any, parent: str | None = None
+    ) -> None:
         self.circuit = circuit
 
 
@@ -260,7 +284,7 @@ def needs_circuit(job: CountJob) -> bool:
         resolve_weighted_method,
     )
 
-    if job.problem == "marginals":
+    if job.problem in ("marginals", "update"):
         return True
     if job.problem in ("val-weighted", "sweep"):
         resolver = (
@@ -280,34 +304,81 @@ def needs_circuit(job: CountJob) -> bool:
     return False
 
 
+def instance_db(job: CountJob) -> IncompleteDatabase:
+    """The database whose circuit answers ``job``.
+
+    The job's own database for everything except ``'update'``, whose
+    circuit belongs to the delta-chain *result* — provenance rides along,
+    so the engine can later derive the circuit from a cached ancestor.
+    """
+    if job.problem != "update":
+        return job.db
+    db = job.db
+    for delta in job.deltas:
+        db = db.apply(delta)
+    return db
+
+
 def instance_fingerprint_of(job: CountJob) -> str | None:
     """The circuit-store key for ``job``'s instance, or ``None``."""
     from repro.engine.fingerprint import fingerprint_instance
 
     kind = "comp" if job.problem == "comp" else "val"
-    return fingerprint_instance(job.db, job.query, kind)
+    try:
+        db = instance_db(job)
+    except (ValueError, KeyError, TypeError):
+        # An invalid delta chain: the solve will report the real error;
+        # scheduling just treats the job as uncacheable.
+        return None
+    return fingerprint_instance(db, job.query, kind)
+
+
+def _circuit_for(job: CountJob, circuits: Any) -> tuple[Any, str]:
+    """The compiled circuit for ``job``'s instance, plus how it was got.
+
+    Returns ``(circuit, source)`` with ``source`` one of ``'cached'``
+    (store hit), ``'derived'`` (conditioned or spliced from a cached
+    delta ancestor — see :mod:`repro.engine.incremental`) or
+    ``'compiled'`` (fresh).  Derivation kicks in for *any* circuit
+    problem whose instance carries delta provenance, not just
+    ``'update'`` jobs.
+    """
+    from repro.compile.backend import CompletionCircuit, ValuationCircuit
+
+    db = instance_db(job)
+    kind = "comp" if job.problem == "comp" else "val"
+    fingerprint = None
+    if circuits is not None:
+        from repro.engine.fingerprint import fingerprint_instance
+
+        fingerprint = fingerprint_instance(db, job.query, kind)
+    if fingerprint is not None:
+        cached = circuits.get_circuit(fingerprint)
+        if cached is not None:
+            return cached, "cached"
+        if getattr(db, "parent", None) is not None:
+            from repro.engine.incremental import derive_instance_circuit
+
+            derived = derive_instance_circuit(
+                db, job.query, kind, circuits, fingerprint
+            )
+            if derived is not None:
+                return derived, "derived"
+    if job.problem == "comp":
+        compiled: Any = CompletionCircuit(db, job.query)
+    else:
+        assert job.query is not None
+        compiled = ValuationCircuit(db, job.query)
+    if fingerprint is not None:
+        circuits.put_circuit(fingerprint, compiled)
+    return compiled, "compiled"
 
 
 def _instance_circuit(job: CountJob, circuits: Any):
     """The compiled circuit for ``job``'s instance — cached when a store
     is available, compiled fresh otherwise."""
-    from repro.compile.backend import CompletionCircuit, ValuationCircuit
-
-    fingerprint = (
-        instance_fingerprint_of(job) if circuits is not None else None
-    )
-    if fingerprint is not None:
-        cached = circuits.get_circuit(fingerprint)
-        if cached is not None:
-            return cached
-    if job.problem == "comp":
-        compiled: Any = CompletionCircuit(job.db, job.query)
-    else:
-        assert job.query is not None
-        compiled = ValuationCircuit(job.db, job.query)
-    if fingerprint is not None:
-        circuits.put_circuit(fingerprint, compiled)
-    return compiled
+    circuit, _source = _circuit_for(job, circuits)
+    return circuit
 
 
 def marginals_record(marginals: dict) -> dict[str, dict[str, float]]:
@@ -388,6 +459,13 @@ def _solve(job: CountJob, circuits: Any = None) -> tuple[Any, str]:
     if job.problem == "marginals":
         compiled = _instance_circuit(job, circuits)
         return marginals_record(compiled.marginals(job.weights)), "circuit"
+    if job.problem == "update":
+        assert job.query is not None
+        compiled, source = _circuit_for(job, circuits)
+        # 'delta' marks an answer actually derived from an ancestor
+        # circuit (conditioning or component splice); a cold store still
+        # reports the honest 'circuit' compile.
+        return compiled.count(), "delta" if source == "derived" else "circuit"
     assert job.problem == "approx-val"
     from repro.approx.fpras import fpras_count_valuations
 

@@ -4,7 +4,8 @@ One JSON object per line; blank lines and ``#`` comment lines are skipped.
 Recognized keys (only a database is mandatory)::
 
     {"problem": "val",            # val | comp | approx-val | val-weighted
-                                  #   | marginals | sweep (default val)
+                                  #   | marginals | sweep | update
+                                  #   (default val)
      "db": "instance.idb",        # path, relative to the jobs file — or:
      "db_text": "domain a b\\nR(?n1, a)",   # inline database text
      "query": "R(x), S(x)",       # query text; omit for problem=comp
@@ -17,6 +18,10 @@ Recognized keys (only a database is mandatory)::
                                   # problem=sweep takes an *array* of such
                                   # tables (null for a default-weight row)
                                   # and answers one count per table.
+     "deltas": [["resolve", "n1=a"],        # problem=update only: the
+                ["insert", "R(a, b)"]],     # ordered delta chain, each
+                                  # [kind, text] in the CLI flag syntax of
+                                  # repro.io.databases.parse_delta
      "label": "my-job"}           # defaults to "job-<line number>"
 
 Databases referenced by path are parsed once and shared across jobs, so a
@@ -107,6 +112,32 @@ def _job_from_record(
             ]
         else:
             weights = parse_weights(weights, db, "line %d" % line_number)
+    deltas: list = []
+    raw_deltas = record.get("deltas")
+    if raw_deltas is not None:
+        from repro.io.databases import DatabaseSyntaxError, parse_delta
+
+        if not isinstance(raw_deltas, list):
+            raise JobSyntaxError(
+                "line %d: 'deltas' must be an array of [kind, text] pairs"
+                % line_number
+            )
+        for position, pair in enumerate(raw_deltas):
+            if (
+                not isinstance(pair, list)
+                or len(pair) != 2
+                or not all(isinstance(part, str) for part in pair)
+            ):
+                raise JobSyntaxError(
+                    "line %d: deltas[%d] must be a [kind, text] pair of "
+                    "strings" % (line_number, position)
+                )
+            try:
+                deltas.append(parse_delta(pair[0], pair[1]))
+            except DatabaseSyntaxError as exc:
+                raise JobSyntaxError(
+                    "line %d: deltas[%d]: %s" % (line_number, position, exc)
+                ) from exc
     return CountJob(
         problem=record.get("problem", "val"),
         db=db,
@@ -117,6 +148,7 @@ def _job_from_record(
         delta=record.get("delta", 0.25),
         seed=record.get("seed", 0),
         weights=weights,  # type: ignore[arg-type]  # parsed above
+        deltas=tuple(deltas),
         label=record.get("label", "job-%d" % line_number),
     )
 

@@ -52,12 +52,14 @@ from typing import Iterable, Sequence
 from repro.compile.serialize import CircuitFormatError
 from repro.core.query import BCQ, Negation, UCQ
 from repro.engine.cache import CountCache
-from repro.engine.fingerprint import fingerprint_job
+from repro.engine.fingerprint import fingerprint_instance, fingerprint_job
+from repro.engine.incremental import cached_ancestor, delta_chain
 from repro.engine.jobs import (
     CountJob,
     JobResult,
     execute_job,
     execute_job_capturing,
+    instance_db,
     instance_fingerprint_of,
     needs_circuit,
 )
@@ -226,6 +228,30 @@ class BatchEngine:
         """Circuit-store key linking a memo entry to its instance."""
         return instance_fingerprint_of(job) if needs_circuit(job) else None
 
+    def _derivable(self, job: CountJob, claimed: set[str]) -> bool:
+        """Whether the job's instance derives from an ancestor circuit.
+
+        True when an ancestor is cached already *or* claimed by a compile
+        worker earlier in the same batch — the serial pass runs after
+        worker artifacts are installed, so the ancestor is in the store
+        by the time this job executes in the parent.
+        """
+        try:
+            db = instance_db(job)
+        except (ValueError, KeyError, TypeError):
+            return False
+        if getattr(db, "parent", None) is None:
+            return False
+        kind = "comp" if job.problem == "comp" else "val"
+        if cached_ancestor(db, job.query, kind, self.cache) is not None:
+            return True
+        if claimed:
+            for ancestor, _deltas in delta_chain(db):
+                fingerprint = fingerprint_instance(ancestor, job.query, kind)
+                if fingerprint is not None and fingerprint in claimed:
+                    return True
+        return False
+
     def _execute(self, jobs: Sequence[CountJob]) -> list[JobResult]:
         if self.workers <= 1 or len(jobs) <= 1:
             return [execute_job(job, self.cache) for job in jobs]
@@ -251,6 +277,13 @@ class BatchEngine:
                 if instance is None or self.cache.has_circuit(instance):
                     serial.append(index)
                 elif instance in claimed:
+                    serial.append(index)
+                elif self._derivable(job, claimed):
+                    # Delta-derived instance with a cached ancestor: the
+                    # parent conditions/resplices the ancestor circuit in
+                    # a linear pass — cheaper than a worker recompile,
+                    # and the derived circuit lands in the store with its
+                    # provenance link intact.
                     serial.append(index)
                 else:
                     claimed.add(instance)
@@ -391,7 +424,9 @@ class BatchEngine:
             # stack, which workers that never touch circuits skip loading.
             from repro.compile.backend import artifact_from_bytes
 
-            compiled = artifact_from_bytes(payload, job.db)
+            # Update jobs ship the *child* instance's circuit; rehydrate
+            # against the database the chain produces, not the base one.
+            compiled = artifact_from_bytes(payload, instance_db(job))
         except CircuitFormatError as exc:
             result.meta["artifact_rejected"] = str(exc)
             return

@@ -37,8 +37,10 @@ from typing import Any, Callable, Mapping
 
 from repro.compile.backend import (
     count_completions_circuit,
+    count_completions_delta,
     count_completions_lineage,
     count_valuations_circuit,
+    count_valuations_delta,
     count_valuations_lineage,
     lineage_supports,
     valuation_marginals,
@@ -57,6 +59,7 @@ from repro.core.patterns import (
     has_shared_variable,
 )
 from repro.core.query import BCQ, BooleanQuery
+from repro.db.deltas import resolution_only as _resolution_only
 from repro.db.incomplete import IncompleteDatabase
 from repro.db.valuation import count_total_valuations
 from repro.exact import brute
@@ -90,6 +93,7 @@ _POLY_PROBLEMS = frozenset({"val", "comp"})
 TIER_CLOSED_FORM = 1.0
 TIER_CLOSED_FORM_CODD = 2.0
 TIER_CLOSED_FORM_UNIFORM = 3.0
+TIER_DELTA = 8.5
 TIER_DPDB = 9.0
 TIER_LINEAGE = 10.0
 TIER_CIRCUIT = 11.0
@@ -553,6 +557,87 @@ def _applies_marginal_circuit(
     return True, "(U)CQ lineage compiles to a reusable d-DNNF circuit"
 
 
+def _delta_provenance(db: IncompleteDatabase) -> tuple[int, bool]:
+    """``(chain depth, resolution-only?)`` of the delta provenance chain.
+
+    Depth 0 means no provenance (the instance was built directly, not via
+    :meth:`~repro.db.incomplete.IncompleteDatabase.apply`).  The walk is
+    bounded so pathological hand-built chains cannot loop the planner.
+    """
+    depth = 0
+    pure = True
+    node = db
+    while depth < 64:
+        parent = getattr(node, "parent", None)
+        delta = getattr(node, "delta", None)
+        if parent is None or delta is None:
+            break
+        if not _resolution_only(delta):
+            pure = False
+        depth += 1
+        node = parent
+    return depth, pure
+
+
+def _applies_delta(kind: str) -> Applies:
+    """Applicability of the incremental delta method for ``val``/``comp``."""
+
+    def applies(
+        db: IncompleteDatabase, query: BooleanQuery | None
+    ) -> tuple[bool, str]:
+        if (kind == "val" or query is not None) and not lineage_supports(
+            query
+        ):
+            return False, "lineage compilation handles (U)CQs only"
+        depth, pure = _delta_provenance(db)
+        if depth == 0:
+            return False, (
+                "instance has no delta provenance (no parent circuit to "
+                "derive from)"
+            )
+        if kind == "val" and pure:
+            return True, (
+                "answer from the parent circuit by conditioning "
+                "(no recompilation)"
+            )
+        return True, (
+            "recompile only the lineage components the delta touched; "
+            "splice the rest from cache"
+        )
+
+    return applies
+
+
+def _delta_cost(kind: str) -> Cost:
+    """Below every search tier for a conditionable chain; otherwise the
+    componentwise recompile lands just *above* the circuit method (same
+    asymptotics, splicing pays off only when the component store is warm,
+    which a cold cost estimate must not assume)."""
+
+    def cost(db: IncompleteDatabase, query: BooleanQuery | None) -> float:
+        depth, pure = _delta_provenance(db)
+        if kind == "val" and pure:
+            return TIER_DELTA + _fraction(depth)
+        return (
+            TIER_CIRCUIT
+            + 0.5
+            + _fraction(_effective_search_variables(db)) / 2.0
+        )
+
+    return cost
+
+
+def _delta_detail(kind: str) -> Detail:
+    def detail(
+        db: IncompleteDatabase, query: BooleanQuery | None
+    ) -> Mapping[str, Any] | None:
+        depth, pure = _delta_provenance(db)
+        mode = "condition" if kind == "val" and pure else "splice"
+        return {"chain": depth, "resolution_only": pure, "mode": mode}
+
+    return detail
+
+
 def _applies_always(
     db: IncompleteDatabase, query: BooleanQuery | None
 ) -> tuple[bool, str]:
@@ -716,6 +801,20 @@ register(Method(
 ))
 
 register(Method(
+    name="delta",
+    problem="val",
+    description="condition/resplice the parent instance's circuit (updates)",
+    polynomial=False,
+    supports_weights=False,
+    supports_marginals=False,
+    applies=_applies_delta("val"),
+    cost=_delta_cost("val"),
+    run=_run_ignoring(count_valuations_delta),
+    fallback="circuit",
+    detail=_delta_detail("val"),
+))
+
+register(Method(
     name="dpdb",
     problem="val",
     description="lineage -> CNF, join/project/sum DP over a tree decomposition",
@@ -777,6 +876,20 @@ register(Method(
     applies=_applies_uniform_unary,
     cost=_closed_form_cost(TIER_CLOSED_FORM),
     run=_run_ignoring(_comp_uniform.count_completions_uniform_unary),
+))
+
+register(Method(
+    name="delta",
+    problem="comp",
+    description="recompile only delta-touched components, splice the rest",
+    polynomial=False,
+    supports_weights=False,
+    supports_marginals=False,
+    applies=_applies_delta("comp"),
+    cost=_delta_cost("comp"),
+    run=_run_ignoring(count_completions_delta),
+    fallback="circuit",
+    detail=_delta_detail("comp"),
 ))
 
 register(Method(

@@ -52,6 +52,91 @@ def _parse_fact_term(token: str) -> Term:
     return _parse_value(token)
 
 
+def parse_term(text: str) -> Term:
+    """Parse one term: ``?name`` is a null, otherwise a constant
+    (``'quoted'`` string, bare integer, or bare string token)."""
+    return _parse_fact_term(text)
+
+
+def parse_fact(text: str) -> Fact:
+    """Parse one ``R(t1, ..., tn)`` fact line (the file format's syntax)."""
+    match = _FACT_RE.match(text)
+    if not match:
+        raise DatabaseSyntaxError("cannot parse fact %r" % text)
+    relation, body = match.group(1), match.group(2)
+    return Fact(
+        relation,
+        [_parse_fact_term(part) for part in _TERM_SPLIT_RE.split(body)],
+    )
+
+
+def parse_delta(kind: str, text: str):
+    """Parse one update-delta argument (the ``repro-count update`` flags).
+
+    * ``resolve``:  ``n1=a`` — pin null ``n1`` to constant ``a``;
+    * ``restrict``: ``n1=a,b`` — shrink ``n1``'s domain to ``{a, b}``;
+    * ``insert``:   ``R(a, ?n3); S(b)`` — add facts (``;``-separated);
+      new nulls declare domains with ``where n3: a b`` at the end;
+    * ``delete``:   ``R(a, b)`` — remove facts (``;``-separated).
+    """
+    from repro.db.deltas import (
+        DeleteFacts,
+        InsertFacts,
+        ResolveNull,
+        RestrictDomain,
+    )
+
+    def null_of(token: str) -> Null:
+        token = token.strip()
+        if token.startswith("?"):
+            token = token[1:]
+        if not token:
+            raise DatabaseSyntaxError("empty null name in delta %r" % text)
+        return Null(token)
+
+    if kind in ("resolve", "restrict"):
+        if "=" not in text:
+            raise DatabaseSyntaxError(
+                "expected 'null=value%s', got %r"
+                % (",..." if kind == "restrict" else "", text)
+            )
+        name, values = text.split("=", 1)
+        if kind == "resolve":
+            return ResolveNull(null_of(name), _parse_value(values))
+        return RestrictDomain(
+            null_of(name),
+            frozenset(_parse_value(tok) for tok in values.split(",")),
+        )
+    if kind in ("insert", "delete"):
+        body, _, declarations = text.partition(" where ")
+        facts = frozenset(
+            parse_fact(part) for part in body.split(";") if part.strip()
+        )
+        if not facts:
+            raise DatabaseSyntaxError("no facts in delta %r" % text)
+        if kind == "delete":
+            if declarations:
+                raise DatabaseSyntaxError(
+                    "delete deltas take no 'where' domains: %r" % text
+                )
+            return DeleteFacts(facts)
+        dom: dict[Null, frozenset] = {}
+        for declaration in declarations.split(";"):
+            declaration = declaration.strip()
+            if not declaration:
+                continue
+            if ":" not in declaration:
+                raise DatabaseSyntaxError(
+                    "expected 'name: values' in %r" % declaration
+                )
+            name, values = declaration.split(":", 1)
+            dom[null_of(name)] = frozenset(
+                _parse_value(tok) for tok in values.split()
+            )
+        return InsertFacts(facts, dom=dom or None)
+    raise DatabaseSyntaxError("unknown delta kind %r" % kind)
+
+
 def parse_database(text: str) -> IncompleteDatabase:
     """Parse the text format into an :class:`IncompleteDatabase`."""
     uniform_domain: list[Term] | None = None

@@ -1,0 +1,393 @@
+"""Differential tests: conditioning and componentwise compilation must be
+bit-identical to compiling the updated instance from scratch.
+
+Every delta kind is exercised on randomized instances: counts, weighted
+counts (exact :class:`~fractions.Fraction` weights included), marginal
+tables, seeded sampling, chains of deltas, and the projected ``#Comp``
+splice path.  The only acceptable difference between ``condition`` and
+``recompile`` is wall time.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.compile.backend import (
+    CompletionCircuit,
+    ValuationCircuit,
+    count_completions_delta,
+    count_valuations_delta,
+)
+from repro.compile.circuit import DDNNF
+from repro.compile.lineage import clause_components, component_key
+from repro.complexity.cnf import CNF, count_models_brute
+from repro.compile.ddnnf_trace import TraceBuilder
+from repro.compile.sharpsat import ModelCounter
+from repro.core.query import Atom, BCQ
+from repro.db.deltas import (
+    DeleteFacts,
+    InsertFacts,
+    ResolveNull,
+    RestrictDomain,
+)
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.workloads.generators import random_incomplete_db
+
+QUERY = BCQ([Atom("R", ["x", "y"]), Atom("S", ["y"])])
+SCHEMA = {"R": 2, "S": 1}
+
+
+def random_update_db(seed):
+    return random_incomplete_db(
+        SCHEMA,
+        seed=seed,
+        num_nulls=3,
+        facts_per_relation=(2, 4),
+        domain_size=3,
+        null_probability=0.6,
+    )
+
+
+def random_delta(rng, db):
+    """One applicable random delta for ``db`` (None when none applies)."""
+    kind = rng.choice(("resolve", "restrict", "insert", "delete"))
+    nulls = sorted(db.nulls, key=repr)
+    if kind in ("resolve", "restrict") and not nulls:
+        kind = "insert"
+    if kind == "resolve":
+        null = rng.choice(nulls)
+        return ResolveNull(null, rng.choice(sorted(db.domain_of(null), key=repr)))
+    if kind == "restrict":
+        null = rng.choice(nulls)
+        domain = sorted(db.domain_of(null), key=repr)
+        keep = rng.randint(1, len(domain))
+        return RestrictDomain(null, frozenset(rng.sample(domain, keep)))
+    if kind == "insert":
+        relation = rng.choice(("R", "S"))
+        arity = SCHEMA[relation]
+        pool = ["v0", "v1", "v2"] + nulls
+        terms = tuple(rng.choice(pool) for _ in range(arity))
+        fact = Fact(relation, terms)
+        if fact in db.facts:
+            return None
+        return InsertFacts(frozenset({fact}))
+    victims = sorted(db.facts)
+    if len(victims) <= 1:
+        return None
+    return DeleteFacts(frozenset({rng.choice(victims)}))
+
+
+# -- DDNNF.condition against raw CNFs ---------------------------------------
+
+
+def random_cnf(rng, max_variables=8, max_clauses=10):
+    n = rng.randint(2, max_variables)
+    cnf = CNF(n)
+    for _ in range(rng.randint(1, max_clauses)):
+        width = rng.randint(1, min(3, n))
+        variables = rng.sample(range(1, n + 1), width)
+        cnf.add_clause(v if rng.random() < 0.5 else -v for v in variables)
+    return cnf
+
+
+def traced(cnf):
+    trace = TraceBuilder()
+    counter = ModelCounter(cnf, trace=trace)
+    count = counter.count()
+    return trace.build(counter.trace_root, cnf.num_variables), count
+
+
+def test_ddnnf_condition_matches_brute_force():
+    rng = random.Random(20240807)
+    for _ in range(60):
+        cnf = random_cnf(rng)
+        circuit, count = traced(cnf)
+        assert circuit.count() == count
+        pinned = {
+            v: rng.random() < 0.5
+            for v in rng.sample(
+                range(1, cnf.num_variables + 1),
+                rng.randint(1, cnf.num_variables),
+            )
+        }
+        conditioned = circuit.condition(pinned)
+        # brute-force the conditioned count over the full variable set
+        expected = 0
+        for model in range(1 << cnf.num_variables):
+            assignment = {
+                v: bool(model >> (v - 1) & 1)
+                for v in range(1, cnf.num_variables + 1)
+            }
+            if any(assignment[v] != want for v, want in pinned.items()):
+                continue
+            if all(
+                any(
+                    assignment[abs(l)] == (l > 0) for l in clause
+                )
+                for clause in cnf.clauses
+            ):
+                expected += 1
+        assert conditioned.count() == expected
+        # node ids survive: the conditioned program keeps the same shape
+        assert conditioned.num_variables == circuit.num_variables
+
+
+def test_ddnnf_condition_rejects_uncountable_variables():
+    cnf = CNF(2)
+    cnf.add_clause([1, 2])
+    trace = TraceBuilder()
+    counter = ModelCounter(cnf, projection=frozenset({1}), trace=trace)
+    counter.count()
+    circuit = trace.build(counter.trace_root, 2, countable=frozenset({1}))
+    with pytest.raises(ValueError):
+        circuit.condition({2: True})
+    with pytest.raises(ValueError):
+        circuit.condition({7: True})
+
+
+def test_ddnnf_condition_empty_assignment_is_identity():
+    rng = random.Random(7)
+    circuit, _count = traced(random_cnf(rng))
+    assert circuit.condition({}) is circuit
+
+
+# -- ValuationCircuit.condition: every question mode ------------------------
+
+
+def test_condition_resolution_deltas_match_recompile():
+    rng = random.Random(99)
+    checked = 0
+    for seed in range(40):
+        db = random_update_db(seed)
+        if not db.nulls:
+            continue
+        parent = ValuationCircuit(db, QUERY)
+        delta = random_delta(rng, db)
+        if delta is None or not isinstance(
+            delta, (ResolveNull, RestrictDomain)
+        ):
+            continue
+        child_db = db.apply(delta)
+        derived = parent.condition(delta)
+        fresh = ValuationCircuit(child_db, QUERY)
+        assert derived.count() == fresh.count()
+        assert derived.total_valuations == fresh.total_valuations
+        checked += 1
+    assert checked >= 10
+
+
+def test_condition_weighted_and_fraction_weights():
+    for seed in (3, 11, 19):
+        db = random_update_db(seed)
+        if not db.nulls:
+            continue
+        null = sorted(db.nulls, key=repr)[0]
+        domain = sorted(db.domain_of(null), key=repr)
+        if len(domain) < 2:
+            continue
+        delta = RestrictDomain(null, frozenset(domain[:2]))
+        derived = ValuationCircuit(db, QUERY).condition(delta)
+        fresh = ValuationCircuit(db.apply(delta), QUERY)
+        assert derived.weighted_count() == fresh.weighted_count()
+        weights = {
+            n: {
+                value: Fraction(1, 2 + i)
+                for i, value in enumerate(
+                    sorted(db.apply(delta).domain_of(n), key=repr)
+                )
+            }
+            for n in db.apply(delta).nulls
+        }
+        assert derived.weighted_count(weights) == fresh.weighted_count(
+            weights
+        )
+        assert isinstance(derived.weighted_count(weights), Fraction)
+
+
+def test_condition_vectorized_sweep_both_lanes():
+    # a conditioned circuit must agree with the fresh compile through the
+    # batched pass on both lanes: small weights ride the numpy int64
+    # column, huge weights overflow the magnitude bound onto the exact
+    # object column
+    db = random_update_db(3)
+    nulls = sorted(db.nulls, key=repr)
+    assert nulls
+    null = nulls[0]
+    domain = sorted(db.domain_of(null), key=repr)
+    delta = RestrictDomain(null, frozenset(domain))
+    derived = ValuationCircuit(db, QUERY).condition(delta)
+    fresh = ValuationCircuit(db.apply(delta), QUERY)
+    for scale in (1, 10**30):
+        rows = [
+            {
+                n: {
+                    value: scale * (1 + (index + position) % 3)
+                    for position, value in enumerate(
+                        sorted(db.domain_of(n), key=repr)
+                    )
+                }
+                for n in db.apply(delta).nulls
+            }
+            for index in range(5)
+        ]
+        assert derived.weighted_count_many(rows) == fresh.weighted_count_many(
+            rows
+        )
+
+
+def test_condition_marginals_and_sampling_match():
+    db = random_update_db(5)
+    nulls = sorted(db.nulls, key=repr)
+    assert nulls
+    null = nulls[0]
+    value = sorted(db.domain_of(null), key=repr)[0]
+    delta = ResolveNull(null, value)
+    derived = ValuationCircuit(db, QUERY).condition(delta)
+    fresh = ValuationCircuit(db.apply(delta), QUERY)
+    if fresh.count() == 0:
+        pytest.skip("query unsatisfiable after this delta")
+    assert derived.marginals() == fresh.marginals()
+    assert derived.sample_valuation(seed=123) == fresh.sample_valuation(
+        seed=123
+    )
+
+
+def test_condition_chain_matches_recompile():
+    rng = random.Random(2718)
+    for seed in range(12):
+        db = random_update_db(seed)
+        node = db
+        parent = ValuationCircuit(db, QUERY)
+        for _step in range(3):
+            nulls = sorted(node.nulls, key=repr)
+            if not nulls:
+                break
+            null = rng.choice(nulls)
+            domain = sorted(node.domain_of(null), key=repr)
+            if rng.random() < 0.5:
+                delta = ResolveNull(null, rng.choice(domain))
+            else:
+                keep = rng.randint(1, len(domain))
+                delta = RestrictDomain(null, frozenset(rng.sample(domain, keep)))
+            node = node.apply(delta)
+            parent = parent.condition(delta)
+            assert parent.count() == ValuationCircuit(node, QUERY).count()
+
+
+def test_condition_rejects_insert_delete():
+    db = random_update_db(1)
+    circuit = ValuationCircuit(db, QUERY)
+    with pytest.raises(ValueError):
+        circuit.condition(InsertFacts(frozenset({Fact("S", ("v0",))})))
+
+
+# -- componentwise compilation (the insert/delete splice path) ---------------
+
+
+def test_componentwise_val_matches_plain_compile():
+    rng = random.Random(424242)
+    checked = 0
+    for seed in range(30):
+        db = random_update_db(seed)
+        delta = random_delta(rng, db)
+        if delta is None:
+            continue
+        try:
+            child = db.apply(delta)
+        except (ValueError, KeyError):
+            continue
+        split = ValuationCircuit.compile_componentwise(child, QUERY)
+        plain = ValuationCircuit(child, QUERY)
+        assert split.count() == plain.count()
+        assert split.total_valuations == plain.total_valuations
+        checked += 1
+    assert checked >= 10
+
+
+def test_componentwise_comp_matches_plain_compile():
+    for seed in range(8):
+        db = random_incomplete_db(
+            {"R": 1, "S": 1}, seed=seed, num_nulls=2,
+            facts_per_relation=(1, 3), domain_size=3,
+        )
+        split = CompletionCircuit.compile_componentwise(db, None)
+        plain = CompletionCircuit(db, None)
+        assert split.count() == plain.count()
+        split_q = CompletionCircuit.compile_componentwise(
+            db, BCQ([Atom("R", ["x"]), Atom("S", ["x"])])
+        )
+        plain_q = CompletionCircuit(
+            db, BCQ([Atom("R", ["x"]), Atom("S", ["x"])])
+        )
+        assert split_q.count() == plain_q.count()
+
+
+def test_count_delta_helpers_require_and_use_provenance():
+    db = random_update_db(2)
+    with pytest.raises(ValueError):
+        count_valuations_delta(db, QUERY)
+    nulls = sorted(db.nulls, key=repr)
+    null = nulls[0]
+    value = sorted(db.domain_of(null), key=repr)[0]
+    child = db.apply(ResolveNull(null, value))
+    assert count_valuations_delta(child, QUERY) == ValuationCircuit(
+        child, QUERY
+    ).count()
+    grown = db.apply(InsertFacts(frozenset({Fact("S", ("v1",))})))
+    assert count_valuations_delta(grown, QUERY) == ValuationCircuit(
+        grown, QUERY
+    ).count()
+    assert count_completions_delta(child) == CompletionCircuit(
+        child, None
+    ).count()
+
+
+def test_completion_condition_facts_partitions_the_count():
+    db = random_incomplete_db(
+        {"R": 1}, seed=9, num_nulls=2, facts_per_relation=(2, 3),
+        domain_size=3,
+    )
+    circuit = CompletionCircuit(db, None)
+    fact = sorted(circuit._facts.facts())[0]
+    with_fact = circuit.condition_facts({fact: True})
+    without = circuit.condition_facts({fact: False})
+    assert with_fact.count() + without.count() == circuit.count()
+
+
+# -- component keys ----------------------------------------------------------
+
+
+def test_component_key_is_position_stable():
+    # the same local structure under shifted global numbering shares a key
+    clauses_a = [[1, -2], [2, 3]]
+    clauses_b = [[4, -5], [5, 6]]
+    key_a = component_key("val", [1, 2, 3], clauses_a)
+    key_b = component_key("val", [4, 5, 6], clauses_b)
+    assert key_a == key_b
+    assert key_a != component_key("comp", [1, 2, 3], clauses_a)
+    assert key_a != component_key(
+        "val", [1, 2, 3], clauses_a, countable=[2]
+    )
+
+
+def test_clause_components_partition():
+    parts = clause_components(6, [[1, -2], [2, 3], [5, 6], []])
+    assert parts == [((1, 2, 3), (0, 1)), ((5, 6), (2,))]
+    counts = []
+    for variables, indices in parts:
+        local = {v: i + 1 for i, v in enumerate(variables)}
+        cnf = CNF(len(variables))
+        for index in indices:
+            cnf.add_clause(
+                (1 if l > 0 else -1) * local[abs(l)]
+                for l in [[1, -2], [2, 3], [5, 6], []][index]
+            )
+        counts.append(count_models_brute(cnf))
+    # model counts multiply across components (free var 4 doubles)
+    full = CNF(6)
+    for clause in [[1, -2], [2, 3], [5, 6]]:
+        full.add_clause(clause)
+    assert counts[0] * counts[1] * 2 == count_models_brute(full)

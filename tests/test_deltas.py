@@ -1,0 +1,232 @@
+"""Delta records and the update surface of :class:`IncompleteDatabase`.
+
+Covers the four delta kinds (resolve, restrict, insert, delete), the
+``apply`` provenance chain, the ``without_facts``/``resolve`` helpers,
+validation errors, canonical delta forms, and the derivation
+fingerprints layered on top.
+"""
+
+import pytest
+
+from repro.db.deltas import (
+    DeleteFacts,
+    InsertFacts,
+    ResolveNull,
+    RestrictDomain,
+    delta_form,
+    is_delta,
+    resolution_only,
+)
+from repro.db.fact import Fact
+from repro.db.incomplete import IncompleteDatabase
+from repro.db.terms import Null
+from repro.engine.fingerprint import (
+    fingerprint_delta,
+    fingerprint_derivation,
+    fingerprint_instance,
+)
+from repro.io.databases import DatabaseSyntaxError, parse_delta
+
+N1 = Null("n1")
+N2 = Null("n2")
+
+
+def small_db():
+    return IncompleteDatabase(
+        [Fact("R", ("a", N1)), Fact("R", (N2, "b")), Fact("S", ("a", "b"))],
+        uniform_domain=["a", "b", "c"],
+    )
+
+
+# -- record validation ------------------------------------------------------
+
+
+def test_resolve_record_validation():
+    delta = ResolveNull(N1, "a")
+    assert is_delta(delta) and resolution_only(delta)
+    with pytest.raises(ValueError):
+        ResolveNull("n1", "a")  # null must be a Null
+    with pytest.raises(ValueError):
+        ResolveNull(N1, N2)  # value must be a constant
+
+
+def test_restrict_record_validation():
+    delta = RestrictDomain(N1, frozenset({"a", "b"}))
+    assert resolution_only(delta)
+    assert delta.values == frozenset({"a", "b"})
+    with pytest.raises(ValueError):
+        RestrictDomain(N1, frozenset())
+    with pytest.raises(ValueError):
+        RestrictDomain(N1, frozenset({N2}))
+
+
+def test_insert_delete_record_validation():
+    insert = InsertFacts(frozenset({Fact("R", ("a",))}))
+    delete = DeleteFacts(frozenset({Fact("R", ("a",))}))
+    assert not resolution_only(insert)
+    assert not resolution_only(delete)
+    with pytest.raises(ValueError):
+        InsertFacts(frozenset())
+    with pytest.raises(ValueError):
+        DeleteFacts(frozenset())
+    assert not is_delta("resolve")
+
+
+def test_delta_forms_are_canonical():
+    a = RestrictDomain(N1, frozenset({"b", "a"}))
+    b = RestrictDomain(N1, frozenset({"a", "b"}))
+    assert delta_form(a) == delta_form(b)
+    assert fingerprint_delta(a) == fingerprint_delta(b)
+    assert delta_form(a) != delta_form(ResolveNull(N1, "a"))
+    two = InsertFacts(frozenset({Fact("R", ("a",)), Fact("R", ("b",))}))
+    assert delta_form(two)[0] == "insert"
+
+
+# -- apply semantics --------------------------------------------------------
+
+
+def test_apply_resolve_substitutes_and_links_provenance():
+    db = small_db()
+    child = db.apply(ResolveNull(N1, "b"))
+    assert Fact("R", ("a", "b")) in child.facts
+    assert N1 not in child.nulls
+    assert child.parent is db
+    assert child.delta == ResolveNull(N1, "b")
+    assert db.parent is None and db.delta is None
+
+
+def test_apply_restrict_shrinks_domain():
+    db = small_db()
+    child = db.apply(RestrictDomain(N2, frozenset({"a", "c"})))
+    assert set(child.domain_of(N2)) == {"a", "c"}
+    # untouched null keeps its full domain
+    assert set(child.domain_of(N1)) == {"a", "b", "c"}
+    with pytest.raises(ValueError):
+        db.apply(RestrictDomain(N2, frozenset({"z"})))  # outside the domain
+
+
+def test_apply_restrict_to_full_domain_stays_uniform():
+    db = small_db()
+    child = db.apply(RestrictDomain(N2, frozenset({"a", "b", "c"})))
+    assert child.is_uniform
+
+
+def test_apply_insert_and_delete():
+    db = small_db()
+    grown = db.apply(InsertFacts(frozenset({Fact("T", ("c",))})))
+    assert Fact("T", ("c",)) in grown.facts
+    shrunk = grown.apply(DeleteFacts(frozenset({Fact("T", ("c",))})))
+    assert Fact("T", ("c",)) not in shrunk.facts
+    assert shrunk.parent is grown and grown.parent is db
+
+
+def test_apply_insert_with_new_null_domain():
+    db = small_db()
+    n3 = Null("n3")
+    child = db.apply(
+        InsertFacts(
+            frozenset({Fact("T", (n3,))}), dom={n3: frozenset({"a", "b"})}
+        )
+    )
+    assert set(child.domain_of(n3)) == {"a", "b"}
+    # a uniform table gives an undeclared new null the shared domain
+    inherited = db.apply(InsertFacts(frozenset({Fact("T", (Null("n4"),))})))
+    assert set(inherited.domain_of(Null("n4"))) == {"a", "b", "c"}
+    # a non-uniform table has no domain to fall back to: rejected
+    non_uniform = IncompleteDatabase(
+        [Fact("R", (N1,))], dom={N1: ["a", "b"]}
+    )
+    with pytest.raises((ValueError, KeyError)):
+        non_uniform.apply(InsertFacts(frozenset({Fact("T", (Null("n5"),))})))
+
+
+def test_apply_rejects_unknown_delta():
+    with pytest.raises(TypeError):
+        small_db().apply("resolve n1=a")
+
+
+def test_provenance_is_excluded_from_equality():
+    db = small_db()
+    child = db.apply(ResolveNull(N1, "b"))
+    twin = IncompleteDatabase(
+        child.facts, uniform_domain=child.uniform_domain
+    )
+    assert child == twin
+    assert hash(child) == hash(twin)
+    assert twin.parent is None
+
+
+# -- satellite helpers ------------------------------------------------------
+
+
+def test_without_facts_is_strict():
+    db = small_db()
+    child = db.without_facts([Fact("S", ("a", "b"))])
+    assert Fact("S", ("a", "b")) not in child.facts
+    with pytest.raises(ValueError):
+        db.without_facts([Fact("S", ("zzz", "zzz"))])
+
+
+def test_resolve_helper_validates_domain():
+    db = small_db()
+    child = db.resolve(N1, "c")
+    assert Fact("R", ("a", "c")) in child.facts
+    with pytest.raises(KeyError):
+        db.resolve(Null("ghost"), "a")
+    with pytest.raises(ValueError):
+        db.resolve(N1, "zzz")
+
+
+# -- chains and fingerprints ------------------------------------------------
+
+
+def test_chain_provenance_and_fingerprints():
+    db = small_db()
+    c1 = db.apply(ResolveNull(N1, "b"))
+    c2 = c1.apply(RestrictDomain(N2, frozenset({"a"})))
+    assert c2.parent is c1 and c1.parent is db
+
+    # content-based instance fingerprint: derived child and from-scratch
+    # twin share one fingerprint (and hence one cache slot)
+    twin = IncompleteDatabase(c2.facts, dom={N2: c2.domain_of(N2)})
+    assert fingerprint_instance(c2, None, "val") == fingerprint_instance(
+        twin, None, "val"
+    )
+
+    # derivation fingerprint exists only with provenance, and separates
+    # different deltas from the same parent
+    assert fingerprint_derivation(db, None) is None
+    d1 = fingerprint_derivation(c1, None)
+    other = db.apply(ResolveNull(N1, "a"))
+    assert d1 is not None
+    assert d1 != fingerprint_derivation(other, None)
+
+
+# -- text parsing -----------------------------------------------------------
+
+
+def test_parse_delta_round_trips_each_kind():
+    assert parse_delta("resolve", "n1=a") == ResolveNull(N1, "a")
+    assert parse_delta("resolve", "?n1=a") == ResolveNull(N1, "a")
+    assert parse_delta("restrict", "n2=a,b") == RestrictDomain(
+        N2, frozenset({"a", "b"})
+    )
+    assert parse_delta("delete", "R(a, b)") == DeleteFacts(
+        frozenset({Fact("R", ("a", "b"))})
+    )
+    parsed = parse_delta("insert", "T(?n3); U(c) where n3: a b")
+    assert parsed.facts == frozenset(
+        {Fact("T", (Null("n3"),)), Fact("U", ("c",))}
+    )
+    assert parsed.domains() == {Null("n3"): frozenset({"a", "b"})}
+
+
+def test_parse_delta_rejects_malformed_text():
+    with pytest.raises(DatabaseSyntaxError):
+        parse_delta("resolve", "n1")  # no '='
+    with pytest.raises(DatabaseSyntaxError):
+        parse_delta("insert", "   ")  # no facts
+    with pytest.raises(DatabaseSyntaxError):
+        parse_delta("delete", "R(a) where n: a")  # delete takes no domains
+    with pytest.raises(DatabaseSyntaxError):
+        parse_delta("mutate", "R(a)")  # unknown kind

@@ -47,11 +47,11 @@ class TestRegistry:
 
     def test_method_vocabulary_matches_pre_registry_dispatch(self):
         assert set(planner.method_names("val")) == {
-            "auto", "poly", "brute", "dpdb", "lineage", "circuit",
+            "auto", "poly", "brute", "delta", "dpdb", "lineage", "circuit",
             "single-occurrence", "codd", "uniform",
         }
         assert set(planner.method_names("comp")) == {
-            "auto", "poly", "brute", "dpdb", "lineage", "circuit",
+            "auto", "poly", "brute", "delta", "dpdb", "lineage", "circuit",
             "uniform-unary",
         }
         assert set(planner.method_names("val-weighted")) == {
